@@ -1,0 +1,82 @@
+//! The battery model trait and lifetime result.
+
+use serde::{Deserialize, Serialize};
+
+/// How long a battery lasted under a repeated power profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lifetime {
+    /// Complete profile repetitions before cutoff.
+    pub iterations: u64,
+    /// Additional cycles survived inside the final, incomplete
+    /// repetition.
+    pub extra_cycles: u64,
+    /// Charge actually delivered to the load before cutoff.
+    pub delivered_charge: f64,
+}
+
+impl Lifetime {
+    /// Total cycles survived (`iterations × profile length + extra`).
+    #[must_use]
+    pub fn total_cycles(&self, profile_len: usize) -> u64 {
+        self.iterations * profile_len as u64 + self.extra_cycles
+    }
+
+    /// Lifetime ratio against a baseline (`> 1` means this one lasted
+    /// longer). Compares total cycles for the same profile length.
+    #[must_use]
+    pub fn ratio_to(&self, baseline: &Lifetime, profile_len: usize) -> f64 {
+        self.total_cycles(profile_len) as f64 / baseline.total_cycles(profile_len).max(1) as f64
+    }
+}
+
+/// A battery that can simulate discharging under a cyclic per-cycle power
+/// profile.
+///
+/// Implementations replay `profile` until their cutoff condition, with a
+/// hard stop (counted as cutoff) once delivered charge would exceed any
+/// physically available charge. Power and current are identified (unit
+/// supply voltage), matching the paper's unit-less power numbers.
+pub trait BatteryModel {
+    /// Simulates repeated executions of `profile` until cutoff.
+    ///
+    /// An all-zero or empty profile yields a lifetime of `u64::MAX`
+    /// iterations conceptually; implementations return a saturated value
+    /// instead of looping forever.
+    fn lifetime(&self, profile: &[f64]) -> Lifetime;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Iteration cap so that degenerate (zero-power) profiles terminate.
+pub(crate) const MAX_ITERATIONS: u64 = 10_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cycles_combines_parts() {
+        let l = Lifetime {
+            iterations: 3,
+            extra_cycles: 2,
+            delivered_charge: 0.0,
+        };
+        assert_eq!(l.total_cycles(10), 32);
+    }
+
+    #[test]
+    fn ratio_is_relative() {
+        let a = Lifetime {
+            iterations: 12,
+            extra_cycles: 0,
+            delivered_charge: 0.0,
+        };
+        let b = Lifetime {
+            iterations: 10,
+            extra_cycles: 0,
+            delivered_charge: 0.0,
+        };
+        assert!((a.ratio_to(&b, 5) - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Lifetime comparison of two power profiles on one battery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::models::{BatteryModel, Lifetime};
+
+/// Lifetimes of a baseline (typically power-oblivious) and a flattened
+/// (power-constrained) profile on the same battery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeComparison {
+    /// Model name.
+    pub model: String,
+    /// Lifetime of the baseline profile.
+    pub baseline: Lifetime,
+    /// Lifetime of the flattened profile.
+    pub flattened: Lifetime,
+    /// `flattened / baseline` total-cycle ratio (`> 1` = extension).
+    pub extension: f64,
+}
+
+/// Runs both profiles on `model` and reports the lifetime extension.
+///
+/// The profiles may have different lengths (a power-constrained schedule
+/// is usually longer); the comparison is on *total clock cycles
+/// survived*, so a longer-but-flatter schedule must overcome its own
+/// overhead to show a gain — exactly the trade-off a designer faces.
+#[must_use]
+pub fn compare_profiles(
+    model: &dyn BatteryModel,
+    baseline: &[f64],
+    flattened: &[f64],
+) -> LifetimeComparison {
+    let b = model.lifetime(baseline);
+    let f = model.lifetime(flattened);
+    let b_cycles = b.total_cycles(baseline.len()).max(1);
+    let f_cycles = f.total_cycles(flattened.len());
+    LifetimeComparison {
+        model: model.name().to_owned(),
+        baseline: b,
+        flattened: f,
+        extension: f_cycles as f64 / b_cycles as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdealBattery, RateCapacityBattery};
+
+    #[test]
+    fn ideal_battery_shows_no_real_extension() {
+        let m = IdealBattery::new(100_000.0);
+        let spiky = vec![30.0, 0.0, 0.0];
+        let flat = vec![10.0, 10.0, 10.0];
+        let cmp = compare_profiles(&m, &spiky, &flat);
+        assert!((cmp.extension - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_capacity_shows_extension() {
+        let m = RateCapacityBattery::low_quality(100_000.0);
+        let spiky = vec![30.0, 0.0, 0.0];
+        let flat = vec![10.0, 10.0, 10.0];
+        let cmp = compare_profiles(&m, &spiky, &flat);
+        assert!(cmp.extension > 1.05, "extension {}", cmp.extension);
+        assert_eq!(cmp.model, "rate-capacity");
+    }
+
+    #[test]
+    fn longer_flat_schedule_must_pay_its_overhead() {
+        // A flattened profile that is twice as long with the same average
+        // power per cycle: the ideal model sees no extension, because the
+        // comparison is on total cycles survived, not iterations.
+        let m = IdealBattery::new(100_000.0);
+        let spiky = vec![20.0, 0.0];
+        let flat = vec![10.0, 10.0, 10.0, 10.0];
+        let cmp = compare_profiles(&m, &spiky, &flat);
+        assert!((cmp.extension - 1.0).abs() < 0.01);
+    }
+}

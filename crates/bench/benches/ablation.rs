@@ -1,0 +1,51 @@
+//! Ablation: what each ingredient of the synthesis heuristic buys
+//! (measured as wall time here; the area impact is reported by the
+//! `ablation` rows of EXPERIMENTS.md via `cargo test -p pchls-bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pchls_cdfg::benchmarks;
+use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls_fulib::paper_library;
+
+fn bench_ablation(c: &mut Criterion) {
+    let lib = paper_library();
+    let g = benchmarks::elliptic();
+    let constraints = SynthesisConstraints::new(26, 30.0);
+    let variants = [
+        ("full", SynthesisOptions::default()),
+        (
+            "no_module_selection",
+            SynthesisOptions {
+                module_selection: false,
+                ..SynthesisOptions::default()
+            },
+        ),
+        (
+            "no_interconnect",
+            SynthesisOptions {
+                interconnect_scoring: false,
+                ..SynthesisOptions::default()
+            },
+        ),
+        (
+            "no_backtracking",
+            SynthesisOptions {
+                backtracking: false,
+                ..SynthesisOptions::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::new("elliptic-T26", name), &g, |b, g| {
+            b.iter(|| {
+                let _ = synthesize(g, &lib, constraints, &opts);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

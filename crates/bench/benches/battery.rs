@@ -1,0 +1,26 @@
+//! Evaluation cost of the battery models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pchls_battery::{BatteryModel, IdealBattery, PeukertBattery, RateCapacityBattery};
+
+fn bench_battery(c: &mut Criterion) {
+    let profile: Vec<f64> = (0..64)
+        .map(|i| if i % 3 == 0 { 30.0 } else { 5.0 })
+        .collect();
+    let capacity = 1_000_000.0;
+    let models: Vec<Box<dyn BatteryModel>> = vec![
+        Box::new(IdealBattery::new(capacity)),
+        Box::new(PeukertBattery::low_quality(capacity)),
+        Box::new(RateCapacityBattery::low_quality(capacity)),
+    ];
+    let mut group = c.benchmark_group("battery");
+    for m in &models {
+        group.bench_with_input(BenchmarkId::new("lifetime", m.name()), &profile, |b, p| {
+            b.iter(|| m.lifetime(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_battery);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Scaling of compatibility-graph construction and clique partitioning
+//! on random DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pchls_bind::{bind_schedule, CompatibilityGraph, CostWeights};
+use pchls_cdfg::{random_dag, RandomDagConfig, Reachability};
+use pchls_fulib::{paper_library, SelectionPolicy};
+use pchls_sched::{asap, TimingMap};
+
+fn bench_binding(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("binding");
+    for ops in [20usize, 50, 100] {
+        let g = random_dag(&RandomDagConfig {
+            ops,
+            inputs: 4,
+            outputs: 2,
+            seed: 7,
+            ..Default::default()
+        });
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let s = asap(&g, &t);
+        let r = Reachability::new(&g);
+        group.bench_with_input(BenchmarkId::new("compat_build", ops), &g, |b, g| {
+            b.iter(|| CompatibilityGraph::build(g, &lib, &s, &s, &t, &r, &CostWeights::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("bind_schedule", ops), &g, |b, g| {
+            b.iter(|| bind_schedule(g, &lib, &s, &t, &CostWeights::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binding);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end synthesis cost for every Figure 2 curve (one representative
+//! power bound per curve), plus the baselines for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pchls_bench::figure2_curves;
+use pchls_core::{synthesize, two_step_bind, SynthesisConstraints, SynthesisOptions};
+use pchls_fulib::{paper_library, SelectionPolicy};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(20);
+    for (g, t) in figure2_curves() {
+        let id = format!("{}-T{t}", g.name());
+        let constraints = SynthesisConstraints::new(t, 40.0);
+        group.bench_with_input(BenchmarkId::new("combined", &id), &g, |b, g| {
+            b.iter(|| synthesize(g, &lib, constraints, &SynthesisOptions::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("two_step", &id), &g, |b, g| {
+            b.iter(|| {
+                // The baseline may fail power at tight latencies; timing
+                // cost is what is measured.
+                let _ = two_step_bind(g, &lib, constraints, SelectionPolicy::Fastest);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 2 of the paper: functional-unit area as a function
+//! of the power constraint, for hal (T = 10, 17), cosine (T = 12, 15,
+//! 19) and elliptic (T = 22). Results are printed per curve and dumped to
+//! `results/figure2.json`.
+
+use pchls_bench::{dump_json, figure2_curves, format_points, run_curve};
+use pchls_fulib::paper_library;
+
+fn main() {
+    let lib = paper_library();
+    let mut all = Vec::new();
+    println!("Figure 2. Power vs. area under different time constraints.");
+    for (graph, latency) in figure2_curves() {
+        println!("\n=== {} (T={latency}) ===", graph.name());
+        let points = run_curve(&graph, &lib, latency);
+        print!("{}", format_points(&points));
+        all.extend(points);
+    }
+    dump_json("figure2", &all);
+}

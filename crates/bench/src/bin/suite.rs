@@ -1,0 +1,63 @@
+//! Regression dashboard: every benchmark through the paper algorithm,
+//! the refined variant and the portfolio at standard constraints, with
+//! the extended (registers + muxes) area breakdown.
+
+use pchls_cdfg::benchmarks;
+use pchls_core::{
+    area_breakdown, synthesize, synthesize_portfolio, synthesize_refined, AreaModel,
+    SynthesisConstraints, SynthesisOptions,
+};
+use pchls_fulib::paper_library;
+
+fn main() {
+    let lib = paper_library();
+    let opts = SynthesisOptions::default();
+    println!(
+        "{:<10} {:>4} {:>6} | {:>6} {:>7} {:>7} | {:>5} {:>5} {:>6}",
+        "benchmark", "T", "P<", "paper", "refined", "portf.", "regs", "muxes", "full"
+    );
+    println!("{}", "-".repeat(76));
+    for g in benchmarks::all() {
+        // Standard constraints: 1.5x the fastest critical path, a power
+        // budget of 40.
+        let t = {
+            let timing = pchls_sched::TimingMap::from_policy(
+                &g,
+                &lib,
+                pchls_fulib::SelectionPolicy::Fastest,
+            );
+            pchls_sched::asap(&g, &timing).latency(&timing) * 3 / 2
+        };
+        let c = SynthesisConstraints::new(t, 40.0);
+        let paper = synthesize(&g, &lib, c, &opts);
+        let refined = synthesize_refined(&g, &lib, c, &opts);
+        let portfolio = synthesize_portfolio(&g, &lib, c, &opts);
+        let fmt = |r: &Result<pchls_core::SynthesizedDesign, _>| match r {
+            Ok(d) => d.area.to_string(),
+            Err(_) => "-".into(),
+        };
+        let (regs, muxes, full) = match &portfolio {
+            Ok(d) => {
+                let b = area_breakdown(d, &g, AreaModel::with_storage());
+                (
+                    (b.registers / u64::from(AreaModel::with_storage().register)).to_string(),
+                    (b.interconnect / u64::from(AreaModel::with_storage().mux_input)).to_string(),
+                    b.total().to_string(),
+                )
+            }
+            Err(_) => ("-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "{:<10} {:>4} {:>6} | {:>6} {:>7} {:>7} | {:>5} {:>5} {:>6}",
+            g.name(),
+            t,
+            40.0,
+            fmt(&paper),
+            fmt(&refined),
+            fmt(&portfolio),
+            regs,
+            muxes,
+            full
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The power-aware time-extended compatibility graph (`V1`).
+
+use pchls_cdfg::{Cdfg, NodeId, Reachability};
+use pchls_fulib::{ModuleId, ModuleLibrary};
+use pchls_sched::{Schedule, TimingMap};
+
+/// Weights combining area savings and interconnect savings into one merge
+/// gain, mirroring the "minimum area … using least interconnect"
+/// objective of the paper (and of Jou et al.'s partitioning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the functional-unit area saved by a merge.
+    pub area: f64,
+    /// Weight of each shared operand source / result consumer (a proxy
+    /// for multiplexer inputs saved).
+    pub interconnect: f64,
+    /// Penalty per cycle an operation is displaced past its earliest
+    /// feasible start by a sharing decision. Serializing two
+    /// dependence-ordered operations is free; serializing two concurrent
+    /// siblings consumes schedule slack that later (often more valuable)
+    /// merges may need. This term makes the greedy prefer free
+    /// serializations among otherwise equal-area merges.
+    pub displacement: f64,
+}
+
+impl Default for CostWeights {
+    /// Area dominates; interconnect breaks ties (one shared connection is
+    /// worth a tenth of an area unit). The displacement penalty defaults
+    /// to **off**: measured across the Figure 2 curves it helps some
+    /// points and hurts others (greedy trajectories are highly sensitive
+    /// to tie-breaks — see the ablation section of `EXPERIMENTS.md`), so
+    /// it is left as an experimentation knob.
+    fn default() -> Self {
+        CostWeights {
+            area: 1.0,
+            interconnect: 0.1,
+            displacement: 0.0,
+        }
+    }
+}
+
+/// The compatibility graph over the operations of one CDFG.
+///
+/// Two operations are *compatible* (may share a functional unit) when
+///
+/// 1. some library module implements both kinds with exactly the delay
+///    and power each operation is scheduled with, **and**
+/// 2. their executions can be serialized: they are dependence-ordered, or
+///    one's earliest possible finish (from `pasap`) is no later than the
+///    other's latest possible start (from `palap`).
+///
+/// Passing the same schedule as both `early` and `late` yields the
+/// classical fixed-schedule compatibility (disjoint execution intervals).
+#[derive(Debug, Clone)]
+pub struct CompatibilityGraph {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+    weights: Vec<f64>,
+}
+
+impl CompatibilityGraph {
+    /// Builds the compatibility graph. See the type-level documentation
+    /// for the compatibility rule; edge weights are
+    /// `weights.area × (area of the cheapest module covering both kinds)`
+    /// `+ weights.interconnect × (shared sources + shared sinks)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedules or timing do not cover the graph.
+    #[must_use]
+    pub fn build(
+        graph: &Cdfg,
+        library: &ModuleLibrary,
+        early: &Schedule,
+        late: &Schedule,
+        timing: &TimingMap,
+        reach: &Reachability,
+        weights: &CostWeights,
+    ) -> CompatibilityGraph {
+        let n = graph.len();
+        assert_eq!(early.len(), n, "early schedule covers the graph");
+        assert_eq!(late.len(), n, "late schedule covers the graph");
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        let mut wts = vec![0.0f64; n * n];
+
+        for i in 0..n {
+            let a = NodeId::new(i as u32);
+            for j in (i + 1)..n {
+                let b = NodeId::new(j as u32);
+                let Some(gain_area) = shared_module_area(graph, library, timing, a, b) else {
+                    continue;
+                };
+                let serializable = reach.ordered(a, b)
+                    || early.finish(a, timing) <= late.start(b)
+                    || early.finish(b, timing) <= late.start(a);
+                if !serializable {
+                    continue;
+                }
+                bits[i * words + j / 64] |= 1 << (j % 64);
+                bits[j * words + i / 64] |= 1 << (i % 64);
+                let shared = shared_connections(graph, a, b);
+                let w = weights.area * f64::from(gain_area) + weights.interconnect * shared as f64;
+                wts[i * n + j] = w;
+                wts[j * n + i] = w;
+            }
+        }
+        CompatibilityGraph {
+            n,
+            words,
+            bits,
+            weights: wts,
+        }
+    }
+
+    /// Number of operations covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph covers no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether `a` and `b` may share a functional unit.
+    #[must_use]
+    pub fn compatible(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (i, j) = (a.index(), b.index());
+        self.bits[i * self.words + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Merge gain of `a` and `b` (0 if incompatible).
+    #[must_use]
+    pub fn weight(&self, a: NodeId, b: NodeId) -> f64 {
+        self.weights[a.index() * self.n + b.index()]
+    }
+
+    /// Number of operations compatible with `a`.
+    #[must_use]
+    pub fn degree(&self, a: NodeId) -> usize {
+        let i = a.index();
+        self.bits[i * self.words..(i + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// All compatible pairs `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            let a = NodeId::new(i as u32);
+            ((i + 1)..self.n).filter_map(move |j| {
+                let b = NodeId::new(j as u32);
+                self.compatible(a, b).then_some((a, b))
+            })
+        })
+    }
+
+    /// Whether every pair in `ops` is mutually compatible.
+    #[must_use]
+    pub fn is_clique(&self, ops: &[NodeId]) -> bool {
+        ops.iter()
+            .enumerate()
+            .all(|(i, &a)| ops[i + 1..].iter().all(|&b| self.compatible(a, b)))
+    }
+}
+
+/// Area of the cheapest module that implements both operations' kinds
+/// *with their scheduled timing*, or `None` if no such module exists.
+pub(crate) fn shared_module_area(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    timing: &TimingMap,
+    a: NodeId,
+    b: NodeId,
+) -> Option<u32> {
+    cheapest_common_module(graph, library, timing, &[a, b]).map(|m| library.module(m).area())
+}
+
+/// The cheapest module implementing every op in `ops` with each op's
+/// scheduled delay and power.
+pub(crate) fn cheapest_common_module(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    timing: &TimingMap,
+    ops: &[NodeId],
+) -> Option<ModuleId> {
+    library
+        .ids()
+        .filter(|&mid| {
+            let m = library.module(mid);
+            ops.iter().all(|&op| {
+                let t = timing.of(op);
+                m.implements(graph.node(op).kind())
+                    && m.latency() == t.delay
+                    && (m.power() - t.power).abs() <= 1e-9
+            })
+        })
+        .min_by_key(|&mid| library.module(mid).area())
+}
+
+/// Shared operand producers plus shared result consumers — each saves a
+/// multiplexer input when the two operations share a unit.
+fn shared_connections(graph: &Cdfg, a: NodeId, b: NodeId) -> usize {
+    let count_common = |xs: &[NodeId], ys: &[NodeId]| xs.iter().filter(|x| ys.contains(x)).count();
+    count_common(graph.operands(a), graph.operands(b))
+        + count_common(graph.successors(a), graph.successors(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pchls_cdfg::benchmarks::hal;
+    use pchls_cdfg::{CdfgBuilder, OpKind};
+    use pchls_fulib::{paper_library, SelectionPolicy};
+    use pchls_sched::{alap, asap};
+
+    fn fixed_compat(g: &Cdfg) -> (CompatibilityGraph, TimingMap) {
+        let lib = paper_library();
+        let t = TimingMap::from_policy(g, &lib, SelectionPolicy::Fastest);
+        let s = asap(g, &t);
+        let r = Reachability::new(g);
+        let c = CompatibilityGraph::build(g, &lib, &s, &s, &t, &r, &CostWeights::default());
+        (c, t)
+    }
+
+    #[test]
+    fn dependence_ordered_same_kind_ops_are_compatible() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(a1, y);
+        b.output("o", a2);
+        let g = b.finish().unwrap();
+        let (c, _) = fixed_compat(&g);
+        assert!(c.compatible(a1, a2));
+        assert!(c.weight(a1, a2) > 0.0);
+    }
+
+    #[test]
+    fn concurrent_ops_with_fixed_schedule_are_incompatible() {
+        // Two independent adds, both scheduled at cycle 1 by asap.
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x);
+        b.output("o1", a1);
+        b.output("o2", a2);
+        let g = b.finish().unwrap();
+        let (c, _) = fixed_compat(&g);
+        assert!(!c.compatible(a1, a2));
+    }
+
+    #[test]
+    fn concurrent_ops_with_slack_windows_become_compatible() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x);
+        b.output("o1", a1);
+        b.output("o2", a2);
+        let g = b.finish().unwrap();
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let early = asap(&g, &t);
+        let late = alap(&g, &t, 6).unwrap(); // slack lets one slide past the other
+        let r = Reachability::new(&g);
+        let c = CompatibilityGraph::build(&g, &lib, &early, &late, &t, &r, &CostWeights::default());
+        assert!(c.compatible(a1, a2));
+    }
+
+    #[test]
+    fn different_uncombinable_kinds_are_incompatible() {
+        // No module implements both * and + in the paper library.
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        let m = b.mul(a, y);
+        b.output("o", m);
+        let g = b.finish().unwrap();
+        let (c, _) = fixed_compat(&g);
+        assert!(!c.compatible(a, m));
+    }
+
+    #[test]
+    fn alu_makes_add_and_sub_compatible() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        let s = b.sub(a, y);
+        b.output("o", s);
+        let g = b.finish().unwrap();
+        let (c, _) = fixed_compat(&g);
+        assert!(c.compatible(a, s));
+        // Gain reflects the ALU area (97), the cheapest {+,−} module.
+        assert!((c.weight(a, s) - (97.0 + 0.1 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_and_parallel_multiplications_cannot_share() {
+        // Ops scheduled with different multiplier timings must not merge.
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m1 = b.mul(x, y);
+        let m2 = b.mul(m1, y);
+        b.output("o", m2);
+        let g = b.finish().unwrap();
+        let lib = paper_library();
+        let mut t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        // m2 uses the serial multiplier instead.
+        t.set(
+            m2,
+            pchls_sched::OpTiming {
+                delay: 4,
+                power: 2.7,
+            },
+        );
+        let s = asap(&g, &t);
+        let r = Reachability::new(&g);
+        let c = CompatibilityGraph::build(&g, &lib, &s, &s, &t, &r, &CostWeights::default());
+        assert!(!c.compatible(m1, m2));
+    }
+
+    #[test]
+    fn clique_check_on_hal_multiplications() {
+        let g = hal();
+        let (c, _) = fixed_compat(&g);
+        // Chained multiplications form a clique; the four concurrent
+        // first-level ones do not.
+        let muls: Vec<NodeId> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == OpKind::Mul)
+            .map(|n| n.id())
+            .collect();
+        assert!(!c.is_clique(&muls));
+        // t2 -> t3 chain is a 2-clique.
+        assert!(c.is_clique(&[muls[1], muls[2]]));
+    }
+
+    #[test]
+    fn edges_and_degree_are_consistent() {
+        let g = hal();
+        let (c, _) = fixed_compat(&g);
+        let edge_count = c.edges().count();
+        let degree_sum: usize = g.node_ids().map(|id| c.degree(id)).sum();
+        assert_eq!(degree_sum, 2 * edge_count);
+        for (a, b) in c.edges() {
+            assert!(c.compatible(a, b));
+            assert!(c.compatible(b, a));
+        }
+    }
+}

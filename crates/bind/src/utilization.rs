@@ -1,0 +1,134 @@
+//! Functional-unit utilization reporting.
+
+use serde::{Deserialize, Serialize};
+
+use pchls_sched::{Schedule, TimingMap};
+
+use crate::binding::{Binding, InstanceId};
+
+/// How busy each functional-unit instance is over the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    busy_cycles: Vec<u32>,
+    latency: u32,
+}
+
+impl Utilization {
+    /// Computes per-instance busy cycles for `binding` under `schedule`.
+    #[must_use]
+    pub fn of(binding: &Binding, schedule: &Schedule, timing: &TimingMap) -> Utilization {
+        let busy_cycles = binding
+            .instances()
+            .iter()
+            .map(|inst| inst.ops().iter().map(|&op| timing.delay(op)).sum())
+            .collect();
+        Utilization {
+            busy_cycles,
+            latency: schedule.latency(timing),
+        }
+    }
+
+    /// Busy cycles of one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn busy_cycles(&self, id: InstanceId) -> u32 {
+        self.busy_cycles[id.index()]
+    }
+
+    /// Busy fraction of one instance in `[0, 1]` (0 for an empty
+    /// schedule).
+    #[must_use]
+    pub fn fraction(&self, id: InstanceId) -> f64 {
+        if self.latency == 0 {
+            0.0
+        } else {
+            f64::from(self.busy_cycles(id)) / f64::from(self.latency)
+        }
+    }
+
+    /// Mean busy fraction across all instances (0 when there are none).
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.busy_cycles.is_empty() || self.latency == 0 {
+            return 0.0;
+        }
+        let total: u32 = self.busy_cycles.iter().sum();
+        f64::from(total) / (f64::from(self.latency) * self.busy_cycles.len() as f64)
+    }
+
+    /// Number of instances covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.busy_cycles.len()
+    }
+
+    /// Whether no instances are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.busy_cycles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::CostWeights;
+    use crate::partition::bind_schedule;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::{paper_library, SelectionPolicy};
+    use pchls_sched::asap;
+
+    #[test]
+    fn fractions_are_bounded_and_consistent() {
+        let lib = paper_library();
+        let g = benchmarks::elliptic();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let s = asap(&g, &t);
+        let b = bind_schedule(&g, &lib, &s, &t, &CostWeights::default()).unwrap();
+        let u = Utilization::of(&b, &s, &t);
+        assert_eq!(u.len(), b.instances().len());
+        let mut total = 0.0;
+        for id in b.instance_ids() {
+            let f = u.fraction(id);
+            assert!((0.0..=1.0).contains(&f), "fraction {f}");
+            total += f;
+        }
+        assert!((u.average() - total / u.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_cycles_sum_op_delays() {
+        let lib = paper_library();
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let s = asap(&g, &t);
+        let b = bind_schedule(&g, &lib, &s, &t, &CostWeights::default()).unwrap();
+        let u = Utilization::of(&b, &s, &t);
+        let total_busy: u32 = b.instance_ids().map(|id| u.busy_cycles(id)).sum();
+        let total_delay: u32 = g.node_ids().map(|id| t.delay(id)).sum();
+        assert_eq!(total_busy, total_delay);
+    }
+
+    #[test]
+    fn sharing_raises_utilization() {
+        // A dedicated-unit binding has strictly lower average utilization
+        // than a shared one on the same schedule.
+        let lib = paper_library();
+        let g = benchmarks::elliptic();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let s = asap(&g, &t);
+        let shared = bind_schedule(&g, &lib, &s, &t, &CostWeights::default()).unwrap();
+        let mut dedicated = Binding::new(g.len());
+        for n in g.nodes() {
+            let m = lib.select(n.kind(), SelectionPolicy::Fastest).unwrap();
+            let inst = dedicated.new_instance(m);
+            dedicated.bind(n.id(), inst);
+        }
+        let u_shared = Utilization::of(&shared, &s, &t);
+        let u_dedicated = Utilization::of(&dedicated, &s, &t);
+        assert!(u_shared.average() > u_dedicated.average());
+    }
+}

@@ -1,0 +1,91 @@
+//! Graphviz DOT export.
+
+use std::fmt::Write as _;
+
+use crate::graph::Cdfg;
+use crate::op::OpKind;
+
+impl Cdfg {
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// Inputs are drawn as inverted houses, outputs as houses, and
+    /// computation nodes as circles labelled with their operator symbol.
+    ///
+    /// ```
+    /// use pchls_cdfg::benchmarks;
+    /// let dot = benchmarks::hal().to_dot();
+    /// assert!(dot.starts_with("digraph hal"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {} {{", sanitize(self.name()));
+        let _ = writeln!(s, "  rankdir=TB;");
+        for node in self.nodes() {
+            let (shape, label) = match node.kind() {
+                OpKind::Input => ("invhouse", node.label().to_owned()),
+                OpKind::Output => ("house", node.label().to_owned()),
+                k => ("circle", k.symbol().to_owned()),
+            };
+            let _ = writeln!(
+                s,
+                "  {} [shape={shape}, label=\"{}\"];",
+                node.id(),
+                escape(&label)
+            );
+        }
+        for e in self.edges() {
+            let _ = writeln!(s, "  {} -> {} [headlabel=\"{}\"];", e.from, e.to, e.port);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CdfgBuilder;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut b = CdfgBuilder::new("tiny graph");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        b.output("o", a);
+        let g = b.finish().unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph tiny_graph {"));
+        for node in g.nodes() {
+            assert!(dot.contains(&node.id().to_string()));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edges().len());
+    }
+
+    #[test]
+    fn names_starting_with_digits_are_sanitized() {
+        let mut b = CdfgBuilder::new("8dct");
+        let x = b.input("x");
+        b.output("o", x);
+        let g = b.finish().unwrap();
+        assert!(g.to_dot().starts_with("digraph g8dct"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for CDFG construction and parsing.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while building, validating or parsing a CDFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdfgError {
+    /// The graph contains a dependence cycle involving the given node.
+    Cycle(NodeId),
+    /// A node has the wrong number of operands for its kind.
+    Arity {
+        /// The offending node.
+        node: NodeId,
+        /// Operands the node's kind requires.
+        expected: usize,
+        /// Operands actually connected.
+        found: usize,
+    },
+    /// Two edges drive the same operand port of one node.
+    DuplicatePort {
+        /// The consumer node.
+        node: NodeId,
+        /// The port driven twice.
+        port: usize,
+    },
+    /// An edge sources its value from a node that produces none
+    /// (an `output` node).
+    SourceProducesNoValue(NodeId),
+    /// An edge refers to a node id outside the graph.
+    UnknownNode(NodeId),
+    /// An operation mnemonic was not recognized.
+    UnknownOp(String),
+    /// A textual-format line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Two nodes share a name that must be unique (inputs and outputs).
+    DuplicateName(String),
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::Cycle(n) => write!(f, "dependence cycle through node {n}"),
+            CdfgError::Arity {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node {node} expects {expected} operand(s) but has {found}"
+            ),
+            CdfgError::DuplicatePort { node, port } => {
+                write!(f, "operand port {port} of node {node} is driven twice")
+            }
+            CdfgError::SourceProducesNoValue(n) => {
+                write!(f, "node {n} produces no value but is used as an operand")
+            }
+            CdfgError::UnknownNode(n) => write!(f, "node {n} does not exist in the graph"),
+            CdfgError::UnknownOp(s) => write!(f, "unknown operation mnemonic `{s}`"),
+            CdfgError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            CdfgError::DuplicateName(name) => {
+                write!(f, "duplicate input/output name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CdfgError::Arity {
+            node: NodeId::new(3),
+            expected: 2,
+            found: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("n3"));
+        assert!(s.contains('2'));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CdfgError>();
+    }
+}

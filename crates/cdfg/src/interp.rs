@@ -1,0 +1,202 @@
+//! Reference interpreter for CDFGs.
+//!
+//! The interpreter computes each node's value in topological order using
+//! wrapping 64-bit integer arithmetic. Synthesized datapaths (see the
+//! `pchls-rtl` crate) are verified by comparing their cycle-accurate
+//! simulation output against this interpreter on random stimuli.
+
+use std::collections::BTreeMap;
+
+use crate::error::CdfgError;
+use crate::graph::{Cdfg, NodeId};
+use crate::op::OpKind;
+
+/// The value type flowing through a CDFG: a 64-bit two's-complement word.
+pub type Value = i64;
+
+/// A binding of primary-input names to values.
+pub type Stimulus = BTreeMap<String, Value>;
+
+/// Evaluates a [`Cdfg`] on concrete inputs.
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::{CdfgBuilder, Interpreter, Stimulus};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CdfgBuilder::new("g");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let s = b.add(x, y);
+/// b.output("sum", s);
+/// let g = b.finish()?;
+///
+/// let mut stim = Stimulus::new();
+/// stim.insert("x".into(), 2);
+/// stim.insert("y".into(), 40);
+/// let out = Interpreter::new(&g).run(&stim)?;
+/// assert_eq!(out["sum"], 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter<'g> {
+    graph: &'g Cdfg,
+}
+
+impl<'g> Interpreter<'g> {
+    /// Creates an interpreter for `graph`.
+    #[must_use]
+    pub fn new(graph: &'g Cdfg) -> Interpreter<'g> {
+        Interpreter { graph }
+    }
+
+    /// Runs the graph on `stimulus`, returning the value of every primary
+    /// output by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::UnknownOp`] if `stimulus` lacks a value for
+    /// some primary input (reported by input name).
+    pub fn run(&self, stimulus: &Stimulus) -> Result<BTreeMap<String, Value>, CdfgError> {
+        Ok(self
+            .run_all(stimulus)?
+            .into_iter()
+            .filter_map(|(id, v)| {
+                let n = self.graph.node(id);
+                (n.kind() == OpKind::Output).then(|| (n.label().to_owned(), v))
+            })
+            .collect())
+    }
+
+    /// Runs the graph and returns the value computed at *every* node.
+    ///
+    /// Output nodes carry the value they export. Useful for cross-checking
+    /// intermediate register contents in a simulated datapath.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interpreter::run`].
+    pub fn run_all(&self, stimulus: &Stimulus) -> Result<BTreeMap<NodeId, Value>, CdfgError> {
+        let mut values: Vec<Value> = vec![0; self.graph.len()];
+        for &id in self.graph.topological() {
+            let node = self.graph.node(id);
+            let v = match node.kind() {
+                OpKind::Input => *stimulus.get(node.label()).ok_or_else(|| {
+                    CdfgError::UnknownOp(format!("missing input {}", node.label()))
+                })?,
+                OpKind::Add => {
+                    let o = self.graph.operands(id);
+                    values[o[0].index()].wrapping_add(values[o[1].index()])
+                }
+                OpKind::Sub => {
+                    let o = self.graph.operands(id);
+                    values[o[0].index()].wrapping_sub(values[o[1].index()])
+                }
+                OpKind::Mul => {
+                    let o = self.graph.operands(id);
+                    values[o[0].index()].wrapping_mul(values[o[1].index()])
+                }
+                OpKind::Comp => {
+                    let o = self.graph.operands(id);
+                    Value::from(values[o[0].index()] > values[o[1].index()])
+                }
+                OpKind::Output => values[self.graph.operands(id)[0].index()],
+            };
+            values[id.index()] = v;
+        }
+        Ok(self
+            .graph
+            .node_ids()
+            .map(|id| (id, values[id.index()]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CdfgBuilder;
+
+    fn stim(pairs: &[(&str, Value)]) -> Stimulus {
+        pairs.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_kinds() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        let s = b.sub(x, y);
+        let m = b.mul(x, y);
+        let c = b.gt(x, y);
+        b.output("a", a);
+        b.output("s", s);
+        b.output("m", m);
+        b.output("c", c);
+        let g = b.finish().unwrap();
+        let out = Interpreter::new(&g)
+            .run(&stim(&[("x", 7), ("y", 3)]))
+            .unwrap();
+        assert_eq!(out["a"], 10);
+        assert_eq!(out["s"], 4);
+        assert_eq!(out["m"], 21);
+        assert_eq!(out["c"], 1);
+    }
+
+    #[test]
+    fn comparison_is_strict() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let c = b.gt(x, y);
+        b.output("c", c);
+        let g = b.finish().unwrap();
+        let it = Interpreter::new(&g);
+        assert_eq!(it.run(&stim(&[("x", 3), ("y", 3)])).unwrap()["c"], 0);
+        assert_eq!(it.run(&stim(&[("x", 4), ("y", 3)])).unwrap()["c"], 1);
+        assert_eq!(it.run(&stim(&[("x", 2), ("y", 3)])).unwrap()["c"], 0);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.mul(x, y);
+        b.output("m", m);
+        let g = b.finish().unwrap();
+        let out = Interpreter::new(&g)
+            .run(&stim(&[("x", i64::MAX), ("y", 2)]))
+            .unwrap();
+        assert_eq!(out["m"], i64::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        b.output("o", x);
+        let g = b.finish().unwrap();
+        let err = Interpreter::new(&g).run(&Stimulus::new()).unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn run_all_exposes_intermediates() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        let m = b.mul(a, a);
+        b.output("o", m);
+        let g = b.finish().unwrap();
+        let all = Interpreter::new(&g)
+            .run_all(&stim(&[("x", 2), ("y", 3)]))
+            .unwrap();
+        assert_eq!(all[&a], 5);
+        assert_eq!(all[&m], 25);
+    }
+}

@@ -1,0 +1,296 @@
+//! Semantics-preserving graph rewrites: common-subexpression
+//! elimination and dead-code elimination.
+//!
+//! These are front-end transforms a synthesis user applies *before*
+//! scheduling: fewer operations mean less area, less energy and a
+//! smaller power floor. They preserve the observable behaviour — every
+//! primary output computes the same function of the primary inputs —
+//! which the tests verify against the reference interpreter.
+
+use std::collections::HashMap;
+
+use crate::builder::CdfgBuilder;
+use crate::graph::{Cdfg, NodeId};
+use crate::op::OpKind;
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Operations removed because an identical computation already
+    /// existed (CSE).
+    pub merged: usize,
+    /// Operations removed because no output depends on them (DCE).
+    pub eliminated: usize,
+}
+
+/// Applies common-subexpression elimination followed by dead-code
+/// elimination, returning the rewritten graph and what was removed.
+///
+/// Two operations are *common* when they have the same kind and the same
+/// operands (same port order; commutative kinds also match with swapped
+/// operands). Inputs are common only if they read the same named port.
+/// The classic example is the paper's own `hal` benchmark, which
+/// computes `u·dx` twice:
+///
+/// ```
+/// use pchls_cdfg::{benchmarks, optimize};
+/// let (optimized, stats) = optimize(&benchmarks::hal());
+/// assert_eq!(stats.merged, 1); // the duplicated u*dx
+/// assert_eq!(optimized.len(), benchmarks::hal().len() - 1);
+/// ```
+#[must_use]
+pub fn optimize(graph: &Cdfg) -> (Cdfg, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+
+    // --- CSE: value-number every node in topological order. ---
+    // representative[v] = the node computing v's value in the new graph.
+    let mut representative: Vec<NodeId> = graph.node_ids().collect();
+    let mut table: HashMap<(OpKind, Vec<NodeId>), NodeId> = HashMap::new();
+    for &id in graph.topological() {
+        let node = graph.node(id);
+        if node.kind() == OpKind::Output {
+            continue; // outputs are observable, never merged
+        }
+        let mut key_operands: Vec<NodeId> = graph
+            .operands(id)
+            .iter()
+            .map(|&p| representative[p.index()])
+            .collect();
+        if node.kind().is_commutative() {
+            key_operands.sort_unstable();
+        }
+        let key = if node.kind() == OpKind::Input {
+            // Inputs are distinguished by name, encoded via their own id
+            // (names are unique, so no two input nodes ever merge unless
+            // they are the same node).
+            (node.kind(), vec![id])
+        } else {
+            (node.kind(), key_operands)
+        };
+        match table.get(&key) {
+            Some(&leader) => {
+                representative[id.index()] = leader;
+                stats.merged += 1;
+            }
+            None => {
+                table.insert(key, id);
+            }
+        }
+    }
+
+    // --- DCE: keep only ancestors of outputs (through representatives).
+    let mut live = vec![false; graph.len()];
+    let mut stack: Vec<NodeId> = graph
+        .outputs()
+        .map(|n| n.id())
+        .inspect(|&id| live[id.index()] = true)
+        .collect();
+    while let Some(id) = stack.pop() {
+        for &p in graph.operands(id) {
+            let rep = representative[p.index()];
+            if !live[rep.index()] {
+                live[rep.index()] = true;
+                stack.push(rep);
+            }
+        }
+    }
+    for id in graph.node_ids() {
+        if representative[id.index()] == id && !live[id.index()] {
+            stats.eliminated += 1;
+        }
+    }
+
+    // --- Rebuild: surviving representatives in *canonical* (smallest id
+    // first) topological order over the quotient (merged) dependence
+    // relation, so the pass is idempotent: a graph already in canonical
+    // form keeps its node numbering.
+    let mut b = CdfgBuilder::new(graph.name());
+    let mut new_id: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in canonical_quotient_topo(graph, &representative, &live) {
+        let node = graph.node(id);
+        let operands: Vec<NodeId> = graph
+            .operands(id)
+            .iter()
+            .map(|&p| new_id[&representative[p.index()]])
+            .collect();
+        let nid = match node.kind() {
+            OpKind::Input => b.input(node.label()),
+            OpKind::Output => b.output(node.label(), operands[0]),
+            k => b.op_named(k, node.label(), &operands),
+        };
+        new_id.insert(id, nid);
+    }
+    let optimized = b.finish().expect("rewrite preserves validity");
+    (optimized, stats)
+}
+
+/// Topological order of the surviving representatives under the merged
+/// dependence relation, choosing the smallest-id ready node first —
+/// unique for a given quotient, unlike the stack order of
+/// [`Cdfg::topological`].
+fn canonical_quotient_topo(graph: &Cdfg, representative: &[NodeId], live: &[bool]) -> Vec<NodeId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let survives = |id: NodeId| representative[id.index()] == id && live[id.index()];
+    // Quotient adjacency: rep -> reps of its operands.
+    let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+    let mut succs: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for id in graph.node_ids().filter(|&id| survives(id)) {
+        let deg = graph.operands(id).len();
+        indeg.insert(id, deg);
+        for &p in graph.operands(id) {
+            succs.entry(representative[p.index()]).or_default().push(id);
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<NodeId>> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&id, _)| Reverse(id))
+        .collect();
+    let mut order = Vec::with_capacity(indeg.len());
+    while let Some(Reverse(id)) = heap.pop() {
+        order.push(id);
+        for &s in succs.get(&id).map_or(&[][..], Vec::as_slice) {
+            let d = indeg.get_mut(&s).expect("successor survives");
+            *d -= 1;
+            if *d == 0 {
+                heap.push(Reverse(s));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::interp::{Interpreter, Stimulus};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn equivalent(a: &Cdfg, b: &Cdfg, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let stim: Stimulus = a
+                .inputs()
+                .map(|n| (n.label().to_owned(), rng.gen_range(-1000..1000)))
+                .collect();
+            let ra = Interpreter::new(a).run(&stim).unwrap();
+            let rb = Interpreter::new(b).run(&stim).unwrap();
+            assert_eq!(ra, rb, "{} diverged after optimization", a.name());
+        }
+    }
+
+    #[test]
+    fn hal_loses_its_duplicate_multiplication() {
+        let g = benchmarks::hal();
+        let (o, stats) = optimize(&g);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.eliminated, 0);
+        assert_eq!(
+            o.nodes().iter().filter(|n| n.kind() == OpKind::Mul).count(),
+            5
+        );
+        equivalent(&g, &o, 1);
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        for g in benchmarks::all() {
+            let (once, _) = optimize(&g);
+            let (twice, stats) = optimize(&once);
+            assert_eq!(stats, OptimizeStats::default(), "{}", g.name());
+            assert_eq!(once, twice, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_stay_equivalent() {
+        for (i, g) in benchmarks::all().into_iter().enumerate() {
+            let (o, _) = optimize(&g);
+            equivalent(&g, &o, i as u64);
+        }
+    }
+
+    #[test]
+    fn commutative_duplicates_merge_across_operand_order() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m1 = b.mul(x, y);
+        let m2 = b.mul(y, x); // same product, swapped operands
+        let s = b.add(m1, m2);
+        b.output("o", s);
+        let g = b.finish().unwrap();
+        let (o, stats) = optimize(&g);
+        assert_eq!(stats.merged, 1);
+        equivalent(&g, &o, 7);
+    }
+
+    #[test]
+    fn non_commutative_orders_do_not_merge() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s1 = b.sub(x, y);
+        let s2 = b.sub(y, x); // different value!
+        let a = b.add(s1, s2);
+        b.output("o", a);
+        let g = b.finish().unwrap();
+        let (_, stats) = optimize(&g);
+        assert_eq!(stats.merged, 0);
+    }
+
+    #[test]
+    fn dead_code_is_removed() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let used = b.add(x, y);
+        let dead1 = b.mul(x, y);
+        let _dead2 = b.mul(dead1, y); // chain of dead ops
+        b.output("o", used);
+        let g = b.finish().unwrap();
+        let (o, stats) = optimize(&g);
+        assert_eq!(stats.eliminated, 2);
+        assert_eq!(o.len(), 4); // x, y, add, output
+        equivalent(&g, &o, 3);
+    }
+
+    #[test]
+    fn transitive_cse_collapses_whole_chains() {
+        // Two identical chains must fold into one, not just their heads.
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(x, y);
+        let m1 = b.mul(a1, x);
+        let m2 = b.mul(a2, x);
+        let s = b.add(m1, m2); // = 2·m1, but CSE only merges, not folds
+        b.output("o", s);
+        let g = b.finish().unwrap();
+        let (o, stats) = optimize(&g);
+        assert_eq!(stats.merged, 2, "both the adds and the muls merge");
+        equivalent(&g, &o, 9);
+        assert_eq!(o.len(), 6); // x, y, add, mul, add(m,m), out
+    }
+
+    #[test]
+    fn chained_outputs_observe_merged_values() {
+        // Two outputs exporting the same expression keep both ports.
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(x, y);
+        b.output("o1", a1);
+        b.output("o2", a2);
+        let g = b.finish().unwrap();
+        let (o, stats) = optimize(&g);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(o.outputs().count(), 2);
+        equivalent(&g, &o, 11);
+    }
+}

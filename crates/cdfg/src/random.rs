@@ -1,0 +1,175 @@
+//! Seeded random DAG generation for property-based tests and scaling
+//! benchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::CdfgBuilder;
+use crate::graph::{Cdfg, NodeId};
+use crate::op::OpKind;
+
+/// Parameters for [`random_dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDagConfig {
+    /// Number of computation (non-I/O) operations.
+    pub ops: usize,
+    /// Number of primary inputs (at least 1).
+    pub inputs: usize,
+    /// Number of primary outputs (at least 1).
+    pub outputs: usize,
+    /// Per-mille probability that a computation op is a multiplication;
+    /// the remainder splits evenly between add, sub and comp.
+    pub mul_permille: u32,
+    /// Bias toward recent producers, creating deeper graphs. `0` picks
+    /// operands uniformly (wide, shallow graphs); larger values
+    /// re-sample closer to the most recent producer (narrow, deep graphs).
+    pub depth_bias: u32,
+    /// RNG seed; equal configs with equal seeds produce equal graphs.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            ops: 20,
+            inputs: 4,
+            outputs: 2,
+            mul_permille: 300,
+            depth_bias: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a pseudo-random, valid CDFG.
+///
+/// The generator is fully deterministic in the configuration (including
+/// `seed`), making failures reproducible in property tests.
+///
+/// # Panics
+///
+/// Panics if `inputs` or `outputs` is zero.
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::{random_dag, RandomDagConfig};
+/// let cfg = RandomDagConfig { ops: 30, seed: 7, ..Default::default() };
+/// let a = random_dag(&cfg);
+/// let b = random_dag(&cfg);
+/// assert_eq!(a, b); // deterministic
+/// assert_eq!(a.len(), 30 + cfg.inputs + cfg.outputs);
+/// ```
+#[must_use]
+pub fn random_dag(config: &RandomDagConfig) -> Cdfg {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.outputs > 0, "need at least one output");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = CdfgBuilder::new(format!("rand{}", config.seed));
+
+    let mut producers: Vec<NodeId> = (0..config.inputs)
+        .map(|i| b.input(format!("in{i}")))
+        .collect();
+
+    let mut consumed = std::collections::HashSet::new();
+    for _ in 0..config.ops {
+        let kind = if rng.gen_range(0..1000) < config.mul_permille {
+            OpKind::Mul
+        } else {
+            *[OpKind::Add, OpKind::Sub, OpKind::Comp]
+                .choose(&mut rng)
+                .expect("non-empty slice")
+        };
+        let a = pick(&mut rng, &producers, config.depth_bias);
+        let c = pick(&mut rng, &producers, config.depth_bias);
+        consumed.insert(a);
+        consumed.insert(c);
+        producers.push(b.op(kind, &[a, c]));
+    }
+
+    // Outputs prefer sinks (producers nobody consumed yet) so the graph has
+    // no dangling computations; fall back to random producers.
+    let mut sinks: Vec<NodeId> = producers
+        .iter()
+        .copied()
+        .filter(|p| !consumed.contains(p))
+        .collect();
+    for i in 0..config.outputs {
+        let src = sinks.pop().unwrap_or_else(|| pick(&mut rng, &producers, 0));
+        b.output(format!("out{i}"), src);
+    }
+
+    b.finish().expect("generator produces valid graphs")
+}
+
+/// Picks a producer, optionally biased toward the most recently created.
+fn pick(rng: &mut StdRng, producers: &[NodeId], depth_bias: u32) -> NodeId {
+    let mut idx = rng.gen_range(0..producers.len());
+    for _ in 0..depth_bias {
+        let other = rng.gen_range(0..producers.len());
+        if other > idx {
+            idx = other;
+        }
+    }
+    producers[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDagConfig::default();
+        assert_eq!(random_dag(&cfg), random_dag(&cfg));
+        let other = RandomDagConfig { seed: 1, ..cfg };
+        assert_ne!(random_dag(&cfg), random_dag(&other));
+    }
+
+    #[test]
+    fn node_count_matches_config() {
+        let cfg = RandomDagConfig {
+            ops: 50,
+            inputs: 3,
+            outputs: 5,
+            ..Default::default()
+        };
+        let g = random_dag(&cfg);
+        assert_eq!(g.len(), 58);
+        assert_eq!(g.inputs().count(), 3);
+        assert_eq!(g.outputs().count(), 5);
+    }
+
+    #[test]
+    fn all_mul_mix() {
+        let cfg = RandomDagConfig {
+            mul_permille: 1000,
+            ops: 10,
+            ..Default::default()
+        };
+        let g = random_dag(&cfg);
+        assert_eq!(
+            g.nodes().iter().filter(|n| n.kind() == OpKind::Mul).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn depth_bias_deepens_graph() {
+        let shallow = random_dag(&RandomDagConfig {
+            ops: 120,
+            depth_bias: 0,
+            seed: 42,
+            ..Default::default()
+        });
+        let deep = random_dag(&RandomDagConfig {
+            ops: 120,
+            depth_bias: 8,
+            seed: 42,
+            ..Default::default()
+        });
+        let depth = |g: &Cdfg| crate::CriticalPath::new(g, |_| 1).length();
+        assert!(depth(&deep) > depth(&shallow));
+    }
+}

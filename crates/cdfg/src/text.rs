@@ -1,0 +1,188 @@
+//! A line-oriented textual CDFG exchange format.
+//!
+//! ```text
+//! # comment
+//! cdfg hal
+//! n0 input x
+//! n1 input dx
+//! n2 add n0 n1
+//! n3 output xl n2
+//! ```
+//!
+//! The first non-comment line names the graph; each following line declares
+//! node `nK` (ids must be dense and in order). Inputs and outputs carry a
+//! port name; computation nodes list their operand node ids in port order.
+
+use std::fmt::Write as _;
+
+use crate::error::CdfgError;
+use crate::graph::{Cdfg, Edge, NodeId};
+use crate::op::OpKind;
+
+/// Serializes a graph to the textual format parsed by [`parse_cdfg`].
+#[must_use]
+pub fn write_cdfg(graph: &Cdfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "cdfg {}", graph.name());
+    for node in graph.nodes() {
+        let _ = write!(s, "{} {}", node.id(), node.kind().mnemonic());
+        if node.kind().is_io() {
+            let _ = write!(s, " {}", node.label());
+        }
+        for &src in graph.operands(node.id()) {
+            let _ = write!(s, " {src}");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses the textual format produced by [`write_cdfg`].
+///
+/// # Errors
+///
+/// Returns [`CdfgError::Parse`] for malformed lines and the usual
+/// validation errors (arity, cycles, duplicate names) for structurally
+/// invalid graphs.
+///
+/// # Example
+///
+/// ```
+/// let text = "cdfg t\nn0 input x\nn1 output o n0\n";
+/// let g = pchls_cdfg::parse_cdfg(text)?;
+/// assert_eq!(g.name(), "t");
+/// assert_eq!(pchls_cdfg::write_cdfg(&g), text);
+/// # Ok::<(), pchls_cdfg::CdfgError>(())
+/// ```
+pub fn parse_cdfg(text: &str) -> Result<Cdfg, CdfgError> {
+    let mut name: Option<String> = None;
+    let mut nodes: Vec<(OpKind, String)> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let head = tok.next().expect("non-empty line has a token");
+
+        if name.is_none() {
+            if head != "cdfg" {
+                return Err(parse_err(lineno, "expected `cdfg <name>` header"));
+            }
+            let n = tok
+                .next()
+                .ok_or_else(|| parse_err(lineno, "missing graph name"))?;
+            name = Some(n.to_owned());
+            continue;
+        }
+
+        let id = parse_node_id(head, lineno)?;
+        if id.index() != nodes.len() {
+            return Err(parse_err(
+                lineno,
+                format!("expected node n{}, found {head}", nodes.len()),
+            ));
+        }
+        let kind: OpKind = tok
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing operation"))?
+            .parse()
+            .map_err(|e: CdfgError| parse_err(lineno, e.to_string()))?;
+
+        let label = if kind.is_io() {
+            tok.next()
+                .ok_or_else(|| parse_err(lineno, "input/output node needs a name"))?
+                .to_owned()
+        } else {
+            format!("{}{}", kind.mnemonic(), nodes.len())
+        };
+
+        let operands: Vec<NodeId> = tok
+            .map(|t| parse_node_id(t, lineno))
+            .collect::<Result<_, _>>()?;
+        for (port, &src) in operands.iter().enumerate() {
+            edges.push(Edge {
+                from: src,
+                to: id,
+                port,
+            });
+        }
+        nodes.push((kind, label));
+    }
+
+    let name = name.ok_or_else(|| parse_err(0, "empty document"))?;
+    Cdfg::from_parts(name, nodes, edges)
+}
+
+fn parse_node_id(tok: &str, lineno: usize) -> Result<NodeId, CdfgError> {
+    tok.strip_prefix('n')
+        .and_then(|d| d.parse::<u32>().ok())
+        .map(NodeId::new)
+        .ok_or_else(|| parse_err(lineno, format!("expected node id like `n3`, found `{tok}`")))
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> CdfgError {
+    CdfgError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn round_trip_benchmarks() {
+        for g in [
+            benchmarks::hal(),
+            benchmarks::cosine(),
+            benchmarks::elliptic(),
+        ] {
+            let text = write_cdfg(&g);
+            let back = parse_cdfg(&text).unwrap();
+            assert_eq!(back, g, "{} round trip", g.name());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\ncdfg t\n# body\nn0 input x\n\nn1 output o n0\n";
+        let g = parse_cdfg(text).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_reported() {
+        let err = parse_cdfg("n0 input x\n").unwrap_err();
+        assert!(matches!(err, CdfgError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn out_of_order_ids_rejected() {
+        let err = parse_cdfg("cdfg t\nn1 input x\n").unwrap_err();
+        assert!(matches!(err, CdfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_operand_token_rejected() {
+        let err = parse_cdfg("cdfg t\nn0 input x\nn1 output o q7\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("q7"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let err = parse_cdfg("cdfg t\nn0 frobnicate x\n").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(parse_cdfg("# nothing\n").is_err());
+    }
+}

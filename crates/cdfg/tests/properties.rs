@@ -1,0 +1,146 @@
+//! Property-based tests over the CDFG substrate.
+
+use proptest::prelude::*;
+
+use pchls_cdfg::{
+    parse_cdfg, random_dag, write_cdfg, CriticalPath, Interpreter, OpKind, RandomDagConfig,
+    Reachability, Stimulus,
+};
+
+prop_compose! {
+    fn config()(
+        ops in 1usize..60,
+        inputs in 1usize..6,
+        outputs in 1usize..4,
+        mul_permille in 0u32..1000,
+        depth_bias in 0u32..6,
+        seed in any::<u64>(),
+    ) -> RandomDagConfig {
+        RandomDagConfig { ops, inputs, outputs, mul_permille, depth_bias, seed }
+    }
+}
+
+proptest! {
+    /// Every generated DAG is valid and survives a textual round trip.
+    #[test]
+    fn text_format_round_trips(cfg in config()) {
+        let g = random_dag(&cfg);
+        let text = write_cdfg(&g);
+        let back = parse_cdfg(&text).expect("serialized graph parses");
+        prop_assert_eq!(back, g);
+    }
+
+    /// Topological order is consistent with every edge.
+    #[test]
+    fn topological_order_is_valid(cfg in config()) {
+        let g = random_dag(&cfg);
+        let pos: std::collections::HashMap<_, _> =
+            g.topological().iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for e in g.edges() {
+            prop_assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    /// Reachability is transitive and edge-consistent.
+    #[test]
+    fn reachability_is_transitive(cfg in config()) {
+        let g = random_dag(&cfg);
+        let r = Reachability::new(&g);
+        for e in g.edges() {
+            prop_assert!(r.reaches(e.from, e.to));
+            // Everything the head reaches, the tail reaches too.
+            for id in g.node_ids() {
+                if r.reaches(e.to, id) {
+                    prop_assert!(r.reaches(e.from, id));
+                }
+            }
+        }
+    }
+
+    /// The critical path bounds every node's earliest start + delay.
+    #[test]
+    fn critical_path_is_an_upper_bound(cfg in config()) {
+        let g = random_dag(&cfg);
+        let delay = |id: pchls_cdfg::NodeId| match g.node(id).kind() {
+            OpKind::Mul => 2,
+            _ => 1,
+        };
+        let cp = CriticalPath::new(&g, delay);
+        for id in g.node_ids() {
+            prop_assert!(cp.earliest_start(id) + delay(id) <= cp.length());
+            // Earliest start respects operands.
+            for &p in g.operands(id) {
+                prop_assert!(cp.earliest_start(id) >= cp.earliest_start(p) + delay(p));
+            }
+        }
+    }
+
+    /// Interpretation is deterministic and total on generated graphs.
+    #[test]
+    fn interpreter_is_deterministic(cfg in config(), vals in proptest::collection::vec(any::<i64>(), 6)) {
+        let g = random_dag(&cfg);
+        let stim: Stimulus = g
+            .inputs()
+            .enumerate()
+            .map(|(i, n)| (n.label().to_owned(), vals[i % vals.len()]))
+            .collect();
+        let a = Interpreter::new(&g).run(&stim).expect("total");
+        let b = Interpreter::new(&g).run(&stim).expect("total");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), g.outputs().count());
+    }
+
+    /// Comparison outputs are always 0 or 1.
+    #[test]
+    fn comparisons_are_boolean(cfg in config(), vals in proptest::collection::vec(any::<i64>(), 6)) {
+        let g = random_dag(&cfg);
+        let stim: Stimulus = g
+            .inputs()
+            .enumerate()
+            .map(|(i, n)| (n.label().to_owned(), vals[i % vals.len()]))
+            .collect();
+        let all = Interpreter::new(&g).run_all(&stim).expect("total");
+        for id in g.node_ids() {
+            if g.node(id).kind() == OpKind::Comp {
+                prop_assert!(all[&id] == 0 || all[&id] == 1);
+            }
+        }
+    }
+}
+
+mod optimize_props {
+    use super::*;
+    use pchls_cdfg::optimize;
+
+    proptest! {
+        /// Optimization preserves semantics on arbitrary random DAGs.
+        #[test]
+        fn optimize_preserves_semantics(
+            cfg in config(),
+            vals in proptest::collection::vec(any::<i64>(), 6),
+        ) {
+            let g = random_dag(&cfg);
+            let (o, stats) = optimize(&g);
+            prop_assert_eq!(o.len() + stats.merged + stats.eliminated, g.len());
+            let stim: Stimulus = g
+                .inputs()
+                .enumerate()
+                .map(|(i, n)| (n.label().to_owned(), vals[i % vals.len()]))
+                .collect();
+            let before = Interpreter::new(&g).run(&stim).expect("total");
+            let after = Interpreter::new(&o).run(&stim).expect("total");
+            prop_assert_eq!(before, after);
+        }
+
+        /// Optimization is idempotent on arbitrary random DAGs.
+        #[test]
+        fn optimize_is_idempotent(cfg in config()) {
+            let g = random_dag(&cfg);
+            let (once, _) = optimize(&g);
+            let (twice, stats) = optimize(&once);
+            prop_assert_eq!(stats.merged, 0);
+            prop_assert_eq!(stats.eliminated, 0);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

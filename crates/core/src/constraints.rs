@@ -1,0 +1,73 @@
+//! Synthesis constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// The two constraints of the paper: a latency bound `T` (clock cycles)
+/// and a maximum power per clock cycle `P<`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisConstraints {
+    /// Latency bound in clock cycles: every operation must finish by this
+    /// cycle.
+    pub latency: u32,
+    /// Maximum power drawn in any single clock cycle (the paper's `P<`).
+    /// `f64::INFINITY` disables the power constraint.
+    pub max_power: f64,
+}
+
+impl SynthesisConstraints {
+    /// Creates a constraint pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero or `max_power` is NaN or negative.
+    #[must_use]
+    pub fn new(latency: u32, max_power: f64) -> SynthesisConstraints {
+        assert!(latency > 0, "latency bound must be positive");
+        assert!(
+            !max_power.is_nan() && max_power >= 0.0,
+            "power bound must be non-negative"
+        );
+        SynthesisConstraints { latency, max_power }
+    }
+
+    /// A latency-only constraint (`P< = ∞`).
+    #[must_use]
+    pub fn latency_only(latency: u32) -> SynthesisConstraints {
+        SynthesisConstraints::new(latency, f64::INFINITY)
+    }
+
+    /// Whether the power constraint is actually binding.
+    #[must_use]
+    pub fn has_power_bound(&self) -> bool {
+        self.max_power.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_has_no_power_bound() {
+        let c = SynthesisConstraints::latency_only(10);
+        assert!(!c.has_power_bound());
+        assert_eq!(c.latency, 10);
+    }
+
+    #[test]
+    fn finite_power_is_binding() {
+        assert!(SynthesisConstraints::new(10, 25.0).has_power_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = SynthesisConstraints::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn nan_power_rejected() {
+        let _ = SynthesisConstraints::new(1, f64::NAN);
+    }
+}

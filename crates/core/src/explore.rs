@@ -1,0 +1,300 @@
+//! Design-space exploration: the sweeps behind Figure 2.
+
+use serde::{Deserialize, Serialize};
+
+use pchls_cdfg::Cdfg;
+use pchls_fulib::{ModuleLibrary, SelectionPolicy};
+use pchls_sched::{asap, PowerProfile, TimingMap};
+
+use crate::constraints::SynthesisConstraints;
+use crate::options::SynthesisOptions;
+use crate::synthesis::synthesize;
+
+/// One point of a constraint sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Latency constraint `T`.
+    pub latency_bound: u32,
+    /// Power constraint `P<`.
+    pub power_bound: f64,
+    /// Synthesized functional-unit area, if the point was feasible.
+    pub area: Option<u64>,
+    /// Achieved latency, if feasible.
+    pub latency: Option<u32>,
+    /// Achieved peak power, if feasible.
+    pub peak_power: Option<f64>,
+    /// Number of functional-unit instances, if feasible.
+    pub units: Option<usize>,
+}
+
+impl SweepPoint {
+    /// Whether synthesis succeeded at this point.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.area.is_some()
+    }
+}
+
+/// Synthesizes `graph` at a fixed latency for every power bound in
+/// `powers`, producing one curve of Figure 2.
+///
+/// Any design feasible under a tight power bound remains feasible under
+/// every looser one, so each point reports the best design found at any
+/// bound `≤ P` — the monotone envelope of the greedy's raw output. (A
+/// greedy heuristic can otherwise produce occasional upward blips where
+/// *less* pressure sends it down a worse path; the envelope is what a
+/// designer sweeping the constraint would actually keep.)
+#[must_use]
+pub fn power_sweep(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    latency: u32,
+    powers: &[f64],
+    options: &SynthesisOptions,
+) -> Vec<SweepPoint> {
+    // Visit bounds in ascending order, carrying the best design so far.
+    let mut order: Vec<usize> = (0..powers.len()).collect();
+    order.sort_by(|&a, &b| powers[a].partial_cmp(&powers[b]).expect("finite bounds"));
+    let mut points = vec![None; powers.len()];
+    let mut best: Option<SweepPoint> = None;
+    for i in order {
+        let p = powers[i];
+        let mut point = run_point(
+            graph,
+            library,
+            SynthesisConstraints::new(latency, p),
+            options,
+        );
+        if let Some(b) = &best {
+            if b.area.expect("best is feasible") < point.area.unwrap_or(u64::MAX) {
+                point = SweepPoint {
+                    power_bound: p,
+                    ..b.clone()
+                };
+            }
+        }
+        if point.is_feasible() {
+            best = Some(point.clone());
+        }
+        points[i] = Some(point);
+    }
+    points.into_iter().map(|p| p.expect("all filled")).collect()
+}
+
+/// Synthesizes `graph` at a fixed power bound for every latency in
+/// `latencies` (the orthogonal cut through the constraint space).
+///
+/// As with [`power_sweep`], each point reports the best design found at
+/// any latency `≤ T` — a design meeting a tighter deadline meets every
+/// looser one.
+#[must_use]
+pub fn latency_sweep(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    power: f64,
+    latencies: &[u32],
+    options: &SynthesisOptions,
+) -> Vec<SweepPoint> {
+    let mut order: Vec<usize> = (0..latencies.len()).collect();
+    order.sort_by_key(|&i| latencies[i]);
+    let mut points = vec![None; latencies.len()];
+    let mut best: Option<SweepPoint> = None;
+    for i in order {
+        let t = latencies[i];
+        let mut point = run_point(graph, library, SynthesisConstraints::new(t, power), options);
+        if let Some(b) = &best {
+            if b.area.expect("best is feasible") < point.area.unwrap_or(u64::MAX) {
+                point = SweepPoint {
+                    latency_bound: t,
+                    ..b.clone()
+                };
+            }
+        }
+        if point.is_feasible() {
+            best = Some(point.clone());
+        }
+        points[i] = Some(point);
+    }
+    points.into_iter().map(|p| p.expect("all filled")).collect()
+}
+
+/// Filters sweep points down to the pareto front over
+/// `(power bound, latency bound, area)`: points for which no other
+/// feasible point is at least as good on all three axes and strictly
+/// better on one. Infeasible points never appear.
+#[must_use]
+pub fn pareto_front(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    let feasible: Vec<&SweepPoint> = points.iter().filter(|p| p.is_feasible()).collect();
+    feasible
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !feasible.iter().enumerate().any(|(j, b)| {
+                if i == j {
+                    return false;
+                }
+                let no_worse = b.power_bound <= a.power_bound
+                    && b.latency_bound <= a.latency_bound
+                    && b.area <= a.area;
+                let better = b.power_bound < a.power_bound
+                    || b.latency_bound < a.latency_bound
+                    || b.area < a.area;
+                no_worse && better
+            })
+        })
+        .map(|(_, p)| (*p).clone())
+        .collect()
+}
+
+fn run_point(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    constraints: SynthesisConstraints,
+    options: &SynthesisOptions,
+) -> SweepPoint {
+    match synthesize(graph, library, constraints, options) {
+        Ok(d) => SweepPoint {
+            benchmark: graph.name().to_owned(),
+            latency_bound: constraints.latency,
+            power_bound: constraints.max_power,
+            area: Some(d.area),
+            latency: Some(d.latency),
+            peak_power: Some(d.peak_power),
+            units: Some(d.binding.instances().len()),
+        },
+        Err(_) => SweepPoint {
+            benchmark: graph.name().to_owned(),
+            latency_bound: constraints.latency,
+            power_bound: constraints.max_power,
+            area: None,
+            latency: None,
+            peak_power: None,
+            units: None,
+        },
+    }
+}
+
+/// A sensible power grid for sweeping `graph`: `steps` evenly spaced
+/// bounds from just under the cheapest single operation's power up to
+/// the peak of the power-oblivious ASAP design (beyond which the
+/// constraint stops binding) plus one step of headroom.
+#[must_use]
+pub fn auto_power_grid(graph: &Cdfg, library: &ModuleLibrary, steps: usize) -> Vec<f64> {
+    let timing = TimingMap::from_policy(graph, library, SelectionPolicy::Fastest);
+    let peak = PowerProfile::of(&asap(graph, &timing), &timing).peak();
+    let lo = timing.max_single_op_power();
+    let hi = peak * 1.1;
+    let steps = steps.max(2);
+    (0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::paper_library;
+
+    #[test]
+    fn power_sweep_area_is_monotone_nonincreasing_on_hal() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let grid = auto_power_grid(&g, &lib, 8);
+        let points = power_sweep(&g, &lib, 17, &grid, &SynthesisOptions::default());
+        let areas: Vec<u64> = points.iter().filter_map(|p| p.area).collect();
+        assert!(areas.len() >= 4, "most of the grid is feasible");
+        for w in areas.windows(2) {
+            assert!(w[1] <= w[0], "area must not grow with power: {areas:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_marked() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let points = power_sweep(&g, &lib, 10, &[0.5, 1e6], &SynthesisOptions::default());
+        assert!(!points[0].is_feasible());
+        assert!(points[1].is_feasible());
+    }
+
+    #[test]
+    fn tighter_latency_curve_dominates() {
+        // Figure 2: the T=10 hal curve lies above the T=17 curve.
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let grid = [30.0, 60.0, 120.0];
+        let tight = power_sweep(&g, &lib, 10, &grid, &SynthesisOptions::default());
+        let loose = power_sweep(&g, &lib, 17, &grid, &SynthesisOptions::default());
+        for (a, b) in tight.iter().zip(&loose) {
+            if let (Some(at), Some(bt)) = (a.area, b.area) {
+                assert!(at >= bt, "T=10 area {at} < T=17 area {bt}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grid_brackets_the_interesting_region() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let grid = auto_power_grid(&g, &lib, 10);
+        assert_eq!(grid.len(), 10);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!((grid[0] - 8.1).abs() < 1e-9, "starts at mult_par power");
+    }
+
+    #[test]
+    fn latency_sweep_runs_and_is_monotone() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let pts = latency_sweep(
+            &g,
+            &lib,
+            25.0,
+            &[8, 12, 17, 25],
+            &SynthesisOptions::default(),
+        );
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().skip(1).all(SweepPoint::is_feasible));
+        let areas: Vec<u64> = pts.iter().filter_map(|p| p.area).collect();
+        for w in areas.windows(2) {
+            assert!(w[1] <= w[0], "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let mut all = Vec::new();
+        for t in [10, 17] {
+            all.extend(power_sweep(
+                &g,
+                &lib,
+                t,
+                &[10.0, 20.0, 40.0],
+                &SynthesisOptions::default(),
+            ));
+        }
+        let front = pareto_front(&all);
+        assert!(!front.is_empty());
+        assert!(front.len() <= all.iter().filter(|p| p.is_feasible()).count());
+        // No point on the front dominates another front point.
+        for a in &front {
+            for b in &front {
+                if a == b {
+                    continue;
+                }
+                let dominates = b.power_bound <= a.power_bound
+                    && b.latency_bound <= a.latency_bound
+                    && b.area <= a.area
+                    && (b.power_bound < a.power_bound
+                        || b.latency_bound < a.latency_bound
+                        || b.area < a.area);
+                assert!(!dominates, "{b:?} dominates {a:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's contribution: simultaneous power- and time-constrained
+//! scheduling, allocation and binding minimizing datapath area.
+//!
+//! [`synthesize`] implements the heuristic of Nielsen & Madsen (DATE
+//! 2003): a greedy partial-clique-partitioning loop over the power-aware
+//! time-extended compatibility structure. Each iteration recomputes the
+//! power-constrained `pasap`/`palap` windows, evaluates every feasible
+//! *decision* — bind an operation onto an existing functional-unit
+//! instance, or open a new instance with some library module — commits
+//! the best one (most area saved, then least interconnect), and verifies
+//! that a power-feasible schedule still exists. When a commitment makes
+//! the remaining operations unschedulable, the algorithm **backtracks one
+//! step and locks all unscheduled operations to the last valid `pasap`
+//! schedule**, exactly as prescribed in the paper.
+//!
+//! The module-selection dimension of the design space (serial vs.
+//! parallel multiplier, ALU vs. dedicated units) is explored through the
+//! candidate decisions, and an adaptive bootstrap upgrades estimated
+//! modules along infeasible critical paths so tight latencies force fast
+//! units only where needed.
+//!
+//! # Example
+//!
+//! ```
+//! use pchls_cdfg::benchmarks::hal;
+//! use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+//! use pchls_fulib::paper_library;
+//!
+//! # fn main() -> Result<(), pchls_core::SynthesisError> {
+//! let design = synthesize(
+//!     &hal(),
+//!     &paper_library(),
+//!     SynthesisConstraints::new(17, 25.0),
+//!     &SynthesisOptions::default(),
+//! )?;
+//! assert!(design.latency <= 17);
+//! assert!(design.peak_power <= 25.0 + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod baseline;
+mod constraints;
+mod design;
+mod error;
+mod explore;
+mod options;
+mod refine;
+mod synthesis;
+
+pub use area::{area_breakdown, AreaBreakdown, AreaModel};
+pub use baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, BaselineDesign};
+pub use constraints::SynthesisConstraints;
+pub use design::{SynthesisStats, SynthesizedDesign};
+pub use error::SynthesisError;
+pub use explore::{auto_power_grid, latency_sweep, pareto_front, power_sweep, SweepPoint};
+pub use options::SynthesisOptions;
+pub use refine::{synthesize_portfolio, synthesize_refined};
+pub use synthesis::synthesize;

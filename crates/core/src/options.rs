@@ -1,0 +1,58 @@
+//! Tunable knobs of the synthesis heuristic (including ablation switches).
+
+use pchls_bind::CostWeights;
+
+/// Options controlling the greedy synthesis loop.
+///
+/// The defaults reproduce the paper's algorithm; the boolean switches
+/// exist for the ablation studies in `EXPERIMENTS.md` (what each
+/// ingredient of the heuristic buys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisOptions {
+    /// Relative weight of area vs. interconnect in decision scoring.
+    pub weights: CostWeights,
+    /// Paper's backtracking rule: on infeasibility, undo the last
+    /// decision and lock all unscheduled operations to the last valid
+    /// `pasap` schedule. With `false`, a failing decision is simply
+    /// skipped in favour of the next-best candidate (ablation).
+    pub backtracking: bool,
+    /// Explore module selection (e.g. serial vs. parallel multiplier) in
+    /// the candidate decisions. With `false`, every operation uses the
+    /// module of the bootstrap estimate only (ablation).
+    pub module_selection: bool,
+    /// Also credit shared operand sources / result consumers when scoring
+    /// a binding onto an existing instance (the "least interconnect"
+    /// tie-break). With `false`, scoring is by area only (ablation).
+    pub interconnect_scoring: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            weights: CostWeights::default(),
+            backtracking: true,
+            module_selection: true,
+            interconnect_scoring: true,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// The paper's configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> SynthesisOptions {
+        SynthesisOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let o = SynthesisOptions::default();
+        assert!(o.backtracking && o.module_selection && o.interconnect_scoring);
+        assert_eq!(o, SynthesisOptions::paper());
+    }
+}

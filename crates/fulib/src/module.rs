@@ -1,0 +1,204 @@
+//! Module descriptors.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pchls_cdfg::OpKind;
+
+/// One functional-unit module type: a hardware component that can execute
+/// a set of operations.
+///
+/// `power` is the draw **per clock cycle while the module is executing an
+/// operation**, in the paper's (unit-less) power units; an idle module
+/// draws nothing in this model, matching the paper's per-cycle power
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    name: String,
+    ops: BTreeSet<OpKind>,
+    area: u32,
+    latency: u32,
+    power: f64,
+    #[serde(default)]
+    idle_power: f64,
+}
+
+impl ModuleSpec {
+    /// Creates a module descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty, `latency` is zero, or `power` is negative
+    /// or non-finite — such a module could never appear in a real library
+    /// and would corrupt scheduling arithmetic.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        ops: impl IntoIterator<Item = OpKind>,
+        area: u32,
+        latency: u32,
+        power: f64,
+    ) -> ModuleSpec {
+        let ops: BTreeSet<OpKind> = ops.into_iter().collect();
+        assert!(!ops.is_empty(), "module must implement at least one op");
+        assert!(latency > 0, "module latency must be at least one cycle");
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "module power must be finite and non-negative"
+        );
+        ModuleSpec {
+            name: name.into(),
+            ops,
+            area,
+            latency,
+            power,
+            idle_power: 0.0,
+        }
+    }
+
+    /// Returns the module with a static (idle) power draw — consumed in
+    /// every cycle the unit exists but executes nothing. The paper's
+    /// model is idle-free (Table 1 has no idle column); this supports the
+    /// leakage-aware extension experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_power` is negative or non-finite.
+    #[must_use]
+    pub fn with_idle_power(mut self, idle_power: f64) -> ModuleSpec {
+        assert!(
+            idle_power.is_finite() && idle_power >= 0.0,
+            "idle power must be finite and non-negative"
+        );
+        self.idle_power = idle_power;
+        self
+    }
+
+    /// Power drawn in each cycle the module is instantiated but idle
+    /// (0 in the paper's model).
+    #[must_use]
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power
+    }
+
+    /// The module's name, unique within a library (e.g. `"mult_ser"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operations this module can execute.
+    #[must_use]
+    pub fn ops(&self) -> &BTreeSet<OpKind> {
+        &self.ops
+    }
+
+    /// Whether the module can execute `kind`.
+    #[must_use]
+    pub fn implements(&self, kind: OpKind) -> bool {
+        self.ops.contains(&kind)
+    }
+
+    /// Whether the module can execute every kind in `kinds`.
+    pub fn implements_all(&self, kinds: impl IntoIterator<Item = OpKind>) -> bool {
+        kinds.into_iter().all(|k| self.implements(k))
+    }
+
+    /// Silicon area in the paper's (unit-less) area units.
+    #[must_use]
+    pub fn area(&self) -> u32 {
+        self.area
+    }
+
+    /// Execution latency in clock cycles.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Power drawn in each clock cycle the module executes.
+    #[must_use]
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Total energy of one execution (`power × latency`).
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.power * f64::from(self.latency)
+    }
+}
+
+impl fmt::Display for ModuleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<&str> = self.ops.iter().map(|k| k.symbol()).collect();
+        write!(
+            f,
+            "{} {{{}}} area={} cycles={} power={}",
+            self.name,
+            ops.join(","),
+            self.area,
+            self.latency,
+            self.power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_defaults_to_zero_and_is_settable() {
+        let m = ModuleSpec::new("m", [OpKind::Add], 87, 1, 2.5);
+        assert_eq!(m.idle_power(), 0.0);
+        let m = m.with_idle_power(0.3);
+        assert!((m.idle_power() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle power")]
+    fn negative_idle_power_rejected() {
+        let _ = ModuleSpec::new("m", [OpKind::Add], 87, 1, 2.5).with_idle_power(-1.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_latency() {
+        let m = ModuleSpec::new("m", [OpKind::Mul], 103, 4, 2.7);
+        assert!((m.energy() - 10.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implements_all_requires_every_kind() {
+        let alu = ModuleSpec::new("alu", [OpKind::Add, OpKind::Sub, OpKind::Comp], 97, 1, 2.5);
+        assert!(alu.implements_all([OpKind::Add, OpKind::Comp]));
+        assert!(!alu.implements_all([OpKind::Add, OpKind::Mul]));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = ModuleSpec::new("m", [OpKind::Add], 1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_ops_rejected() {
+        let _ = ModuleSpec::new("m", [], 1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn negative_power_rejected() {
+        let _ = ModuleSpec::new("m", [OpKind::Add], 1, 1, -0.5);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let m = ModuleSpec::new("alu", [OpKind::Add, OpKind::Sub], 97, 1, 2.5);
+        let s = m.to_string();
+        assert!(s.contains("alu") && s.contains("97") && s.contains("2.5"));
+    }
+}

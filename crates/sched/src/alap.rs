@@ -1,0 +1,117 @@
+//! Classical as-late-as-possible scheduling.
+
+use pchls_cdfg::Cdfg;
+
+use crate::error::ScheduleError;
+use crate::schedule::Schedule;
+use crate::timing::TimingMap;
+
+/// Computes the ALAP schedule for a latency bound of `latency` cycles:
+/// every operation starts as late as data dependences allow while the
+/// whole graph still finishes by `latency`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyExceeded`] if the critical path is
+/// longer than `latency`, in which case no schedule can meet the bound.
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::benchmarks::hal;
+/// use pchls_fulib::{paper_library, SelectionPolicy};
+/// use pchls_sched::{alap, asap, TimingMap};
+///
+/// # fn main() -> Result<(), pchls_sched::ScheduleError> {
+/// let g = hal();
+/// let timing = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+/// let late = alap(&g, &timing, 10)?;
+/// let early = asap(&g, &timing);
+/// for id in g.node_ids() {
+///     assert!(early.start(id) <= late.start(id)); // mobility is non-negative
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn alap(graph: &Cdfg, timing: &TimingMap, latency: u32) -> Result<Schedule, ScheduleError> {
+    let mut starts = vec![0u32; graph.len()];
+    for &id in graph.topological().iter().rev() {
+        let delay = timing.delay(id);
+        let latest_finish = graph
+            .successors(id)
+            .iter()
+            .map(|&s| starts[s.index()])
+            .min()
+            .unwrap_or(latency);
+        let start = latest_finish.checked_sub(delay).ok_or_else(|| {
+            let cp = pchls_cdfg::CriticalPath::new(graph, |n| timing.delay(n));
+            ScheduleError::LatencyExceeded {
+                latency: cp.length(),
+                bound: latency,
+            }
+        })?;
+        starts[id.index()] = start;
+    }
+    Ok(Schedule::new(starts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asap::asap;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::{paper_library, SelectionPolicy};
+
+    #[test]
+    fn alap_is_valid_and_meets_latency() {
+        let lib = paper_library();
+        for g in benchmarks::all() {
+            let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+            let cp = asap(&g, &t).latency(&t);
+            for slack in [0, 3, 10] {
+                let s = alap(&g, &t, cp + slack).unwrap();
+                s.validate(&g, &t, Some(cp + slack), None)
+                    .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn alap_at_critical_path_pins_critical_ops_to_asap() {
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+        let early = asap(&g, &t);
+        let cp = early.latency(&t);
+        let late = alap(&g, &t, cp).unwrap();
+        // At the tight bound, at least one op has zero mobility.
+        assert!(g.node_ids().any(|id| early.start(id) == late.start(id)));
+        // And mobility is never negative.
+        for id in g.node_ids() {
+            assert!(early.start(id) <= late.start(id));
+        }
+    }
+
+    #[test]
+    fn infeasible_latency_is_an_error() {
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+        let err = alap(&g, &t, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::LatencyExceeded {
+                latency: 8,
+                bound: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn sinks_finish_exactly_at_the_bound() {
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+        let s = alap(&g, &t, 12).unwrap();
+        for n in g.outputs() {
+            assert_eq!(s.finish(n.id(), &t), 12);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Classical as-soon-as-possible scheduling.
+
+use pchls_cdfg::Cdfg;
+
+use crate::schedule::Schedule;
+use crate::timing::TimingMap;
+
+/// Computes the ASAP schedule: every operation starts the cycle all its
+/// operands have finished. Resources and power are unconstrained.
+///
+/// This is the schedule the paper's `pasap` "stretches" to fit the power
+/// budget; with an infinite budget the two coincide.
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::benchmarks::hal;
+/// use pchls_fulib::{paper_library, SelectionPolicy};
+/// use pchls_sched::{asap, TimingMap};
+///
+/// let g = hal();
+/// let timing = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+/// let s = asap(&g, &timing);
+/// assert_eq!(s.latency(&timing), 8); // hal critical path, fastest modules
+/// ```
+#[must_use]
+pub fn asap(graph: &Cdfg, timing: &TimingMap) -> Schedule {
+    let mut starts = vec![0u32; graph.len()];
+    for &id in graph.topological() {
+        starts[id.index()] = graph
+            .operands(id)
+            .iter()
+            .map(|&p| starts[p.index()] + timing.delay(p))
+            .max()
+            .unwrap_or(0);
+    }
+    Schedule::new(starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::{paper_library, SelectionPolicy};
+
+    #[test]
+    fn asap_is_always_valid() {
+        let lib = paper_library();
+        for g in benchmarks::all() {
+            for policy in [SelectionPolicy::Fastest, SelectionPolicy::MinArea] {
+                let t = TimingMap::from_policy(&g, &lib, policy);
+                let s = asap(&g, &t);
+                s.validate(&g, &t, None, None)
+                    .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn asap_latency_equals_critical_path() {
+        let lib = paper_library();
+        for g in benchmarks::all() {
+            let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+            let s = asap(&g, &t);
+            let cp = pchls_cdfg::CriticalPath::new(&g, |id| t.delay(id));
+            assert_eq!(s.latency(&t), cp.length(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn inputs_start_at_zero() {
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+        let s = asap(&g, &t);
+        for n in g.inputs() {
+            assert_eq!(s.start(n.id()), 0);
+        }
+    }
+}

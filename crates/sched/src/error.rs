@@ -1,0 +1,121 @@
+//! Scheduling error type.
+
+use std::fmt;
+
+use pchls_cdfg::NodeId;
+
+/// Errors raised by scheduling algorithms and schedule validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No feasible start time exists for `node` within the horizon under
+    /// the given power constraint.
+    Infeasible {
+        /// The operation that could not be placed.
+        node: NodeId,
+        /// The horizon (in cycles) that was searched.
+        horizon: u32,
+        /// The per-cycle power bound in force.
+        max_power: f64,
+    },
+    /// A single operation needs more power per cycle than the bound
+    /// allows, so no schedule can ever satisfy it.
+    OpExceedsBudget {
+        /// The operation in question.
+        node: NodeId,
+        /// Its per-cycle power.
+        power: f64,
+        /// The bound it exceeds.
+        max_power: f64,
+    },
+    /// A consumer starts before one of its producers finishes.
+    PrecedenceViolated {
+        /// The producing operation.
+        producer: NodeId,
+        /// The consuming operation scheduled too early.
+        consumer: NodeId,
+    },
+    /// The schedule's latency exceeds the bound.
+    LatencyExceeded {
+        /// Actual latency in cycles.
+        latency: u32,
+        /// The bound that was violated.
+        bound: u32,
+    },
+    /// Some cycle draws more power than the bound.
+    PowerExceeded {
+        /// The violating cycle.
+        cycle: u32,
+        /// Power drawn in that cycle.
+        power: f64,
+        /// The bound that was violated.
+        bound: f64,
+    },
+    /// A resource-constrained algorithm was given no instance of a module
+    /// required by some operation.
+    MissingResource {
+        /// The operation that has no unit to run on.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible {
+                node,
+                horizon,
+                max_power,
+            } => write!(
+                f,
+                "no feasible start for {node} within {horizon} cycles under power bound {max_power}"
+            ),
+            ScheduleError::OpExceedsBudget {
+                node,
+                power,
+                max_power,
+            } => write!(
+                f,
+                "operation {node} draws {power} per cycle, above the bound {max_power}"
+            ),
+            ScheduleError::PrecedenceViolated { producer, consumer } => write!(
+                f,
+                "operation {consumer} starts before its operand {producer} finishes"
+            ),
+            ScheduleError::LatencyExceeded { latency, bound } => {
+                write!(f, "latency {latency} exceeds the bound {bound}")
+            }
+            ScheduleError::PowerExceeded {
+                cycle,
+                power,
+                bound,
+            } => write!(f, "cycle {cycle} draws {power}, above the bound {bound}"),
+            ScheduleError::MissingResource { node } => {
+                write!(f, "no functional unit instance can execute {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScheduleError>();
+    }
+
+    #[test]
+    fn display_names_the_node() {
+        let e = ScheduleError::Infeasible {
+            node: NodeId::new(4),
+            horizon: 10,
+            max_power: 5.0,
+        };
+        assert!(e.to_string().contains("n4"));
+    }
+}

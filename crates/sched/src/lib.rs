@@ -1,0 +1,73 @@
+//! Time- and power-constrained scheduling for high-level synthesis.
+//!
+//! This crate implements the scheduling layer of the paper:
+//!
+//! * [`asap`] / [`alap`] — the classical unconstrained-resource schedules.
+//! * [`pasap`] / [`palap`] — the paper's **power-constrained** variants
+//!   (§2): operations are scheduled as early (late) as possible *but only
+//!   if power is available* over their whole execution interval,
+//!   otherwise they are delayed cycle by cycle ("stretching" the
+//!   schedule to fit under the per-cycle power budget).
+//! * [`list_schedule`] — resource-constrained list scheduling (baseline).
+//! * [`force_directed`] — Paulin/Knight force-directed scheduling
+//!   (baseline).
+//! * [`two_step`] — the two-phase schedule-then-flatten approach the
+//!   paper contrasts itself with (refs [1, 2]): first a purely
+//!   time-constrained schedule, then a mobility-based reordering pass
+//!   that pushes operations out of power-peak cycles.
+//!
+//! All algorithms consume a [`TimingMap`]: the per-operation execution
+//! delay and per-cycle power implied by a module selection. Power is
+//! accounted per clock cycle via [`PowerProfile`] and [`PowerLedger`],
+//! matching the paper's "maximum power per clock-cycle" constraint.
+//!
+//! # Example: stretching HAL under a power cap
+//!
+//! ```
+//! use pchls_cdfg::benchmarks::hal;
+//! use pchls_fulib::{paper_library, SelectionPolicy};
+//! use pchls_sched::{asap, pasap, PowerProfile, TimingMap};
+//!
+//! # fn main() -> Result<(), pchls_sched::ScheduleError> {
+//! let g = hal();
+//! let lib = paper_library();
+//! let timing = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+//!
+//! let unconstrained = asap(&g, &timing);
+//! let peak = PowerProfile::of(&unconstrained, &timing).peak();
+//!
+//! let capped = pasap(&g, &timing, peak / 2.0, 100)?;
+//! let capped_peak = PowerProfile::of(&capped, &timing).peak();
+//! assert!(capped_peak <= peak / 2.0 + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alap;
+mod asap;
+mod error;
+mod exact;
+mod fds;
+mod list;
+mod mobility;
+mod pasap;
+mod power;
+mod schedule;
+mod timing;
+mod twostep;
+
+pub use alap::alap;
+pub use asap::asap;
+pub use error::ScheduleError;
+pub use exact::{minimal_latency_exact, ExactLimits};
+pub use fds::force_directed;
+pub use list::{latency_lower_bound, list_schedule, Allocation};
+pub use mobility::Mobility;
+pub use pasap::{palap, palap_locked, pasap, pasap_locked, LockedStarts};
+pub use power::{PowerLedger, PowerProfile};
+pub use schedule::Schedule;
+pub use timing::{OpTiming, TimingMap};
+pub use twostep::{two_step, TwoStepOutcome};

@@ -1,0 +1,540 @@
+//! The paper's power-constrained ASAP/ALAP schedulers (`pasap`, `palap`).
+//!
+//! `pasap` heuristically "stretches" the classical ASAP schedule to fit a
+//! per-cycle power budget: processing operations in dependence order,
+//! each is placed at its data-ready time plus the smallest offset whose
+//! whole execution interval has power available (§2 of the paper, steps
+//! 1–4). `palap` is the time-reversed dual, giving the latest
+//! power-feasible start times under a latency bound.
+//!
+//! Both support *locked* operations — start times already committed by
+//! the synthesis loop — which participate in power accounting and
+//! precedence but are never moved. This is the mechanism behind the
+//! paper's backtracking rule: on infeasibility, the synthesizer locks all
+//! unscheduled operations to the last valid `pasap` schedule and
+//! continues.
+
+use pchls_cdfg::{Cdfg, NodeId};
+
+use crate::error::ScheduleError;
+use crate::power::PowerLedger;
+use crate::schedule::Schedule;
+use crate::timing::TimingMap;
+
+/// Start times fixed in advance for a subset of operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LockedStarts {
+    starts: Vec<Option<u32>>,
+}
+
+impl LockedStarts {
+    /// No locks over a graph of `len` nodes.
+    #[must_use]
+    pub fn none(len: usize) -> LockedStarts {
+        LockedStarts {
+            starts: vec![None; len],
+        }
+    }
+
+    /// Locks `id` to start at `start`, replacing any previous lock.
+    pub fn lock(&mut self, id: NodeId, start: u32) {
+        self.starts[id.index()] = Some(start);
+    }
+
+    /// Removes the lock on `id`, if any.
+    pub fn unlock(&mut self, id: NodeId) {
+        self.starts[id.index()] = None;
+    }
+
+    /// The locked start of `id`, if locked.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<u32> {
+        self.starts[id.index()]
+    }
+
+    /// Whether `id` is locked.
+    #[must_use]
+    pub fn is_locked(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of locked operations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.starts.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of nodes covered (locked or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the map covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+/// Power-constrained ASAP without any locked operations.
+///
+/// Operations are considered in dependence order and placed at the
+/// earliest start `≥` their data-ready time whose execution interval fits
+/// under `max_power` in every cycle, searching up to `horizon`.
+///
+/// # Errors
+///
+/// * [`ScheduleError::OpExceedsBudget`] if one operation alone exceeds
+///   `max_power` (no schedule can exist).
+/// * [`ScheduleError::Infeasible`] if some operation cannot be placed
+///   within `horizon`.
+pub fn pasap(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    max_power: f64,
+    horizon: u32,
+) -> Result<Schedule, ScheduleError> {
+    pasap_locked(
+        graph,
+        timing,
+        max_power,
+        horizon,
+        &LockedStarts::none(graph.len()),
+    )
+}
+
+/// Power-constrained ASAP honouring locked start times.
+///
+/// Locked operations reserve their power up front and are never moved;
+/// unlocked operations are placed at their earliest power-feasible start.
+/// The returned schedule is fully validated against precedence, so a lock
+/// combination that forces a violation (e.g. a locked consumer whose
+/// producer cannot finish in time) is reported as an error — this is the
+/// infeasibility signal that triggers the synthesizer's backtracking.
+///
+/// # Errors
+///
+/// As [`pasap`], plus [`ScheduleError::PrecedenceViolated`] when locked
+/// starts are inconsistent with the dependences, and
+/// [`ScheduleError::PowerExceeded`] when the locked operations alone
+/// overflow the budget.
+pub fn pasap_locked(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    max_power: f64,
+    horizon: u32,
+    locked: &LockedStarts,
+) -> Result<Schedule, ScheduleError> {
+    let starts = schedule_directed(
+        |id| graph.operands(id),
+        |id| graph.successors(id),
+        graph.topological().iter().copied(),
+        graph.len(),
+        timing,
+        max_power,
+        horizon,
+        |id| locked.get(id),
+    )?;
+    let schedule = Schedule::new(starts);
+    schedule.validate(graph, timing, None, None)?;
+    Ok(schedule)
+}
+
+/// Power-constrained ALAP without locked operations: the latest
+/// power-feasible start times such that the graph finishes by `latency`.
+///
+/// # Errors
+///
+/// As [`pasap`]; infeasibility means no power-feasible schedule fits in
+/// `latency` cycles under this (reversed-greedy) heuristic.
+pub fn palap(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    max_power: f64,
+    latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    palap_locked(
+        graph,
+        timing,
+        max_power,
+        latency,
+        &LockedStarts::none(graph.len()),
+    )
+}
+
+/// Power-constrained ALAP honouring locked start times.
+///
+/// Implemented by running the `pasap` placement on the time-reversed
+/// graph: a forward interval `[s, s+d)` corresponds to the reversed
+/// interval `[latency-s-d, latency-s)`, so locks and power reservations
+/// mirror exactly.
+///
+/// # Errors
+///
+/// As [`pasap_locked`].
+pub fn palap_locked(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    max_power: f64,
+    latency: u32,
+    locked: &LockedStarts,
+) -> Result<Schedule, ScheduleError> {
+    // A forward start `s` with delay `d` maps to the reversed start
+    // `latency - s - d`; a lock outside `[0, latency - d]` can never fit.
+    for i in 0..graph.len() {
+        let id = NodeId::new(i as u32);
+        if let Some(s) = locked.get(id) {
+            if s + timing.delay(id) > latency {
+                return Err(ScheduleError::Infeasible {
+                    node: id,
+                    horizon: latency,
+                    max_power,
+                });
+            }
+        }
+    }
+    let rev = graph.reversed();
+    let flip = |start: u32, delay: u32| -> Option<u32> { (latency - start).checked_sub(delay) };
+    let rev_starts = schedule_directed(
+        |id| rev.preds(id),
+        |id| rev.succs(id),
+        rev.topological(),
+        graph.len(),
+        timing,
+        max_power,
+        latency,
+        |id| {
+            locked
+                .get(id)
+                .map(|s| flip(s, timing.delay(id)).expect("lock range checked above"))
+        },
+    )?;
+    let starts: Vec<u32> = rev_starts
+        .iter()
+        .enumerate()
+        .map(|(i, &rs)| {
+            let id = NodeId::new(i as u32);
+            flip(rs, timing.delay(id)).ok_or(ScheduleError::Infeasible {
+                node: id,
+                horizon: latency,
+                max_power,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let schedule = Schedule::new(starts);
+    schedule.validate(graph, timing, Some(latency), None)?;
+    Ok(schedule)
+}
+
+/// Shared placement loop over an arbitrary orientation of the graph.
+///
+/// `preds`, `succs` and `order` describe the DAG being scheduled (forward
+/// for `pasap`, reversed for `palap`); `locked` yields fixed starts in
+/// the *oriented* time axis.
+///
+/// The paper's step 1 ("pick an unscheduled operator") leaves the pick
+/// order open; we pick, among data-ready operations, the one with the
+/// longest delay-weighted path to a sink. Critical chains therefore claim
+/// power slots first and non-critical operations absorb the stretching,
+/// which is both the sensible reading and necessary for tight latency
+/// bounds to remain feasible.
+#[allow(clippy::too_many_arguments)]
+fn schedule_directed<'a>(
+    preds: impl Fn(NodeId) -> &'a [NodeId],
+    succs: impl Fn(NodeId) -> &'a [NodeId],
+    order: impl Iterator<Item = NodeId>,
+    len: usize,
+    timing: &TimingMap,
+    max_power: f64,
+    horizon: u32,
+    locked: impl Fn(NodeId) -> Option<u32>,
+) -> Result<Vec<u32>, ScheduleError> {
+    let mut ledger = PowerLedger::new(horizon, max_power);
+    let mut starts = vec![0u32; len];
+    let order: Vec<NodeId> = order.collect();
+
+    // Locked operations reserve power first, whatever their order.
+    for i in 0..len {
+        let id = NodeId::new(i as u32);
+        if let Some(s) = locked(id) {
+            let t = timing.of(id);
+            if s + t.delay > horizon {
+                return Err(ScheduleError::Infeasible {
+                    node: id,
+                    horizon,
+                    max_power,
+                });
+            }
+            if !ledger.fits(s, t.delay, t.power) {
+                return Err(ScheduleError::PowerExceeded {
+                    cycle: s,
+                    power: ledger.used(s) + t.power,
+                    bound: max_power,
+                });
+            }
+            ledger.reserve(s, t.delay, t.power);
+            starts[id.index()] = s;
+        }
+    }
+
+    // Criticality: longest delay-weighted path to a sink (in this
+    // orientation), computed over the reverse topological order.
+    let mut priority = vec![0u64; len];
+    for &id in order.iter().rev() {
+        let down = succs(id)
+            .iter()
+            .map(|&s| priority[s.index()])
+            .max()
+            .unwrap_or(0);
+        priority[id.index()] = down + u64::from(timing.delay(id));
+    }
+
+    // Ready queue: (priority, id) max-heap; ids break ties low-first for
+    // determinism.
+    let mut remaining: Vec<usize> = (0..len)
+        .map(|i| preds(NodeId::new(i as u32)).len())
+        .collect();
+    let mut heap: std::collections::BinaryHeap<(u64, std::cmp::Reverse<NodeId>)> = (0..len)
+        .map(|i| NodeId::new(i as u32))
+        .filter(|id| remaining[id.index()] == 0)
+        .map(|id| (priority[id.index()], std::cmp::Reverse(id)))
+        .collect();
+
+    let mut scheduled = 0usize;
+    while let Some((_, std::cmp::Reverse(id))) = heap.pop() {
+        scheduled += 1;
+        if locked(id).is_none() {
+            let t = timing.of(id);
+            if t.power > max_power + crate::power::POWER_EPS {
+                return Err(ScheduleError::OpExceedsBudget {
+                    node: id,
+                    power: t.power,
+                    max_power,
+                });
+            }
+            // Data-ready time: all predecessors (in this orientation) done.
+            let ready = preds(id)
+                .iter()
+                .map(|&p| starts[p.index()] + timing.delay(p))
+                .max()
+                .unwrap_or(0);
+            let start =
+                ledger
+                    .earliest_fit(ready, t.delay, t.power)
+                    .ok_or(ScheduleError::Infeasible {
+                        node: id,
+                        horizon,
+                        max_power,
+                    })?;
+            ledger.reserve(start, t.delay, t.power);
+            starts[id.index()] = start;
+        }
+        for &s in succs(id) {
+            remaining[s.index()] -= 1;
+            if remaining[s.index()] == 0 {
+                heap.push((priority[s.index()], std::cmp::Reverse(s)));
+            }
+        }
+    }
+    debug_assert_eq!(scheduled, len, "every op is scheduled exactly once");
+    Ok(starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asap::asap;
+    use crate::power::PowerProfile;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::{paper_library, SelectionPolicy};
+
+    fn hal_timing() -> (Cdfg, TimingMap) {
+        let g = benchmarks::hal();
+        let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+        (g, t)
+    }
+
+    #[test]
+    fn infinite_budget_reproduces_asap() {
+        for g in benchmarks::all() {
+            let t = TimingMap::from_policy(&g, &paper_library(), SelectionPolicy::Fastest);
+            let baseline = asap(&g, &t);
+            let p = pasap(&g, &t, f64::INFINITY, 1000).unwrap();
+            assert_eq!(p, baseline, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn pasap_meets_the_power_bound() {
+        let (g, t) = hal_timing();
+        let unbounded_peak = PowerProfile::of(&asap(&g, &t), &t).peak();
+        for frac in [0.9, 0.6, 0.4] {
+            let bound = unbounded_peak * frac;
+            if bound < t.max_single_op_power() {
+                continue;
+            }
+            let s = pasap(&g, &t, bound, 500).unwrap();
+            s.validate(&g, &t, None, Some(bound)).unwrap();
+        }
+    }
+
+    #[test]
+    fn tighter_power_never_shortens_latency() {
+        let (g, t) = hal_timing();
+        let mut last = 0;
+        for bound in [100.0, 40.0, 20.0, 12.0, 9.0] {
+            let s = pasap(&g, &t, bound, 500).unwrap();
+            let lat = s.latency(&t);
+            assert!(lat >= last, "bound {bound}: latency {lat} < {last}");
+            last = lat;
+        }
+    }
+
+    #[test]
+    fn sub_single_op_budget_is_hopeless() {
+        let (g, t) = hal_timing();
+        let err = pasap(&g, &t, 5.0, 500).unwrap_err(); // mult_par needs 8.1
+        assert!(matches!(err, ScheduleError::OpExceedsBudget { .. }));
+    }
+
+    #[test]
+    fn tiny_horizon_is_infeasible() {
+        let (g, t) = hal_timing();
+        let err = pasap(&g, &t, 9.0, 6).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn palap_respects_latency_and_power() {
+        let (g, t) = hal_timing();
+        for (bound, latency) in [(f64::INFINITY, 8), (12.0, 16), (9.0, 20)] {
+            let s = palap(&g, &t, bound, latency).unwrap();
+            s.validate(&g, &t, Some(latency), Some(bound)).unwrap();
+        }
+    }
+
+    #[test]
+    fn window_is_well_formed_with_infinite_power() {
+        // With no power bound, pasap = asap and palap = alap, so every
+        // op's window [pasap, palap] is non-empty. Under a *finite* bound
+        // both ends are independent greedy heuristics and the window can
+        // invert for individual ops (the synthesis loop treats the palap
+        // end as soft for exactly this reason).
+        let (g, t) = hal_timing();
+        let latency = 16;
+        let early = pasap(&g, &t, f64::INFINITY, latency).unwrap();
+        let late = palap(&g, &t, f64::INFINITY, latency).unwrap();
+        for id in g.node_ids() {
+            assert!(
+                early.start(id) <= late.start(id),
+                "{id}: pasap {} > palap {}",
+                early.start(id),
+                late.start(id)
+            );
+        }
+    }
+
+    #[test]
+    fn palap_with_infinite_power_matches_alap() {
+        let (g, t) = hal_timing();
+        let latency = 12;
+        let p = palap(&g, &t, f64::INFINITY, latency).unwrap();
+        let a = crate::alap::alap(&g, &t, latency).unwrap();
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn locked_ops_stay_put() {
+        let (g, t) = hal_timing();
+        let victim = g.topological()[5];
+        let base = pasap(&g, &t, 12.0, 100).unwrap();
+        let shifted = base.start(victim) + 3;
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(victim, shifted);
+        let s = pasap_locked(&g, &t, 12.0, 100, &locked).unwrap();
+        assert_eq!(s.start(victim), shifted);
+        s.validate(&g, &t, None, Some(12.0)).unwrap();
+    }
+
+    #[test]
+    fn impossible_lock_reports_precedence_violation() {
+        let (g, t) = hal_timing();
+        // Lock an output to cycle 0: its producers cannot finish by then.
+        let out = g.outputs().next().unwrap().id();
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(out, 0);
+        let err = pasap_locked(&g, &t, f64::INFINITY, 100, &locked).unwrap_err();
+        assert!(matches!(err, ScheduleError::PrecedenceViolated { .. }));
+    }
+
+    #[test]
+    fn conflicting_locks_overflow_the_budget() {
+        let (g, t) = hal_timing();
+        // Lock two parallel multipliers (8.1 each) into the same cycles
+        // under a 10.0 budget.
+        let muls: Vec<NodeId> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == pchls_cdfg::OpKind::Mul)
+            .map(|n| n.id())
+            .collect();
+        // Two independent first-level multiplications.
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(muls[0], 1);
+        locked.lock(muls[1], 1);
+        let err = pasap_locked(&g, &t, 10.0, 100, &locked).unwrap_err();
+        assert!(matches!(err, ScheduleError::PowerExceeded { .. }));
+    }
+
+    #[test]
+    fn locked_starts_bookkeeping() {
+        let mut l = LockedStarts::none(4);
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.len(), 4);
+        l.lock(NodeId::new(2), 7);
+        assert!(l.is_locked(NodeId::new(2)));
+        assert_eq!(l.get(NodeId::new(2)), Some(7));
+        assert_eq!(l.count(), 1);
+        l.unlock(NodeId::new(2));
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn palap_locked_identity_lock_is_preserved() {
+        let (g, t) = hal_timing();
+        let latency = 16;
+        let base = palap(&g, &t, 12.0, latency).unwrap();
+        let victim = g.topological()[4];
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(victim, base.start(victim));
+        let s = palap_locked(&g, &t, 12.0, latency, &locked).unwrap();
+        assert_eq!(s.start(victim), base.start(victim));
+        s.validate(&g, &t, Some(latency), Some(12.0)).unwrap();
+    }
+
+    #[test]
+    fn palap_locked_accepts_earlier_slot_with_infinite_power() {
+        let (g, t) = hal_timing();
+        let latency = 12; // critical path is 8, so inputs have mobility
+        let victim = g.inputs().next().unwrap().id();
+        let base = palap(&g, &t, f64::INFINITY, latency).unwrap();
+        assert!(base.start(victim) >= 1, "victim has mobility");
+        let target = base.start(victim) - 1;
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(victim, target);
+        let s = palap_locked(&g, &t, f64::INFINITY, latency, &locked).unwrap();
+        assert_eq!(s.start(victim), target);
+        s.validate(&g, &t, Some(latency), None).unwrap();
+    }
+
+    #[test]
+    fn palap_locked_rejects_lock_past_the_deadline() {
+        let (g, t) = hal_timing();
+        let victim = g.outputs().next().unwrap().id();
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(victim, 100);
+        let err = palap_locked(&g, &t, f64::INFINITY, 12, &locked).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+}

@@ -1,0 +1,311 @@
+//! Per-cycle power accounting: profiles and incremental ledgers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::Schedule;
+use crate::timing::TimingMap;
+
+use pchls_cdfg::NodeId;
+
+/// Tolerance used when comparing accumulated floating-point power sums to
+/// a bound, so that summation order cannot flip a feasibility decision.
+pub(crate) const POWER_EPS: f64 = 1e-9;
+
+/// The power drawn in every clock cycle of a schedule.
+///
+/// This is the quantity Figure 1 of the paper plots: the per-cycle profile
+/// whose spikes shorten battery life.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    per_cycle: Vec<f64>,
+}
+
+impl PowerProfile {
+    /// Computes the profile of `schedule` under `timing`.
+    #[must_use]
+    pub fn of(schedule: &Schedule, timing: &TimingMap) -> PowerProfile {
+        let mut per_cycle = vec![0.0; schedule.latency(timing) as usize];
+        for (i, &s) in schedule.starts().iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let t = timing.of(id);
+            for c in s..s + t.delay {
+                per_cycle[c as usize] += t.power;
+            }
+        }
+        PowerProfile { per_cycle }
+    }
+
+    /// Wraps a raw per-cycle vector (e.g. from a datapath simulation).
+    #[must_use]
+    pub fn from_cycles(per_cycle: Vec<f64>) -> PowerProfile {
+        PowerProfile { per_cycle }
+    }
+
+    /// Power drawn in each cycle, indexed from cycle 0.
+    #[must_use]
+    pub fn per_cycle(&self) -> &[f64] {
+        &self.per_cycle
+    }
+
+    /// Number of cycles covered (the schedule latency).
+    #[must_use]
+    pub fn cycles(&self) -> u32 {
+        self.per_cycle.len() as u32
+    }
+
+    /// The maximum power drawn in any single cycle.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.per_cycle.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean power over the whole schedule (0 for an empty profile).
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.per_cycle.is_empty() {
+            0.0
+        } else {
+            self.energy() / self.per_cycle.len() as f64
+        }
+    }
+
+    /// Total energy: the sum of per-cycle powers.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.per_cycle.iter().sum()
+    }
+
+    /// Peak-to-average ratio, the "spikiness" the paper's Figure 1
+    /// illustrates. Returns 0 for an empty profile.
+    #[must_use]
+    pub fn peak_to_average(&self) -> f64 {
+        let avg = self.average();
+        if avg == 0.0 {
+            0.0
+        } else {
+            self.peak() / avg
+        }
+    }
+
+    /// The first cycle whose power exceeds `bound` (with tolerance), if
+    /// any, together with the power drawn there.
+    #[must_use]
+    pub fn first_violation(&self, bound: f64) -> Option<(u32, f64)> {
+        self.per_cycle
+            .iter()
+            .enumerate()
+            .find(|&(_, &p)| p > bound + POWER_EPS)
+            .map(|(c, &p)| (c as u32, p))
+    }
+
+    /// Renders the profile as a rows-of-`#` ASCII bar chart, one line per
+    /// cycle — handy for eyeballing Figure 1-style comparisons.
+    #[must_use]
+    pub fn to_ascii(&self, width: usize) -> String {
+        let peak = self.peak();
+        let mut out = String::new();
+        for (c, &p) in self.per_cycle.iter().enumerate() {
+            let bars = if peak > 0.0 {
+                ((p / peak) * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!("{c:>4} |{} {p:.1}\n", "#".repeat(bars)));
+        }
+        out
+    }
+}
+
+/// An incremental per-cycle power ledger with a fixed budget, used by the
+/// power-constrained schedulers and the synthesis loop to reserve and
+/// release execution intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLedger {
+    used: Vec<f64>,
+    max_power: f64,
+}
+
+impl PowerLedger {
+    /// Creates an empty ledger over `horizon` cycles with budget
+    /// `max_power` per cycle (may be `f64::INFINITY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_power` is NaN or negative.
+    #[must_use]
+    pub fn new(horizon: u32, max_power: f64) -> PowerLedger {
+        assert!(!max_power.is_nan() && max_power >= 0.0, "invalid budget");
+        PowerLedger {
+            used: vec![0.0; horizon as usize],
+            max_power,
+        }
+    }
+
+    /// The per-cycle budget.
+    #[must_use]
+    pub fn max_power(&self) -> f64 {
+        self.max_power
+    }
+
+    /// The scheduling horizon in cycles.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.used.len() as u32
+    }
+
+    /// Power already reserved in `cycle` (0 beyond the horizon).
+    #[must_use]
+    pub fn used(&self, cycle: u32) -> f64 {
+        self.used.get(cycle as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Whether an operation drawing `power` per cycle can execute during
+    /// `[start, start + delay)` without the budget overflowing, entirely
+    /// within the horizon.
+    #[must_use]
+    pub fn fits(&self, start: u32, delay: u32, power: f64) -> bool {
+        let end = start as usize + delay as usize;
+        if end > self.used.len() {
+            return false;
+        }
+        self.used[start as usize..end]
+            .iter()
+            .all(|&u| u + power <= self.max_power + POWER_EPS)
+    }
+
+    /// Reserves `power` in every cycle of `[start, start + delay)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval does not fit (callers must check
+    /// [`PowerLedger::fits`] first); reserving blindly would corrupt the
+    /// budget accounting.
+    pub fn reserve(&mut self, start: u32, delay: u32, power: f64) {
+        assert!(
+            self.fits(start, delay, power),
+            "reserve([{start}, {}), {power}) violates the budget",
+            start + delay
+        );
+        for c in start..start + delay {
+            self.used[c as usize] += power;
+        }
+    }
+
+    /// Releases a previous reservation.
+    pub fn release(&mut self, start: u32, delay: u32, power: f64) {
+        for c in start..start + delay {
+            let u = &mut self.used[c as usize];
+            *u = (*u - power).max(0.0);
+        }
+    }
+
+    /// The earliest start `s ≥ min_start` such that `[s, s+delay)` fits,
+    /// or `None` if no such start exists within the horizon.
+    ///
+    /// This is exactly the paper's offset search: "if there is power
+    /// available in the execution time interval … schedule, otherwise
+    /// increase the offset by one".
+    #[must_use]
+    pub fn earliest_fit(&self, min_start: u32, delay: u32, power: f64) -> Option<u32> {
+        if power > self.max_power + POWER_EPS {
+            return None;
+        }
+        let horizon = self.horizon();
+        let mut s = min_start;
+        while s + delay <= horizon {
+            if self.fits(s, delay, power) {
+                return Some(s);
+            }
+            s += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::OpTiming;
+
+    #[test]
+    fn ledger_reserve_release_round_trip() {
+        let mut l = PowerLedger::new(10, 5.0);
+        assert!(l.fits(2, 3, 4.0));
+        l.reserve(2, 3, 4.0);
+        assert!(!l.fits(3, 1, 2.0));
+        assert!(l.fits(3, 1, 1.0));
+        l.release(2, 3, 4.0);
+        assert!(l.fits(3, 1, 5.0));
+    }
+
+    #[test]
+    fn earliest_fit_skips_busy_cycles() {
+        let mut l = PowerLedger::new(10, 5.0);
+        l.reserve(0, 4, 3.0);
+        // 3 power/cycle for 2 cycles cannot fit until cycle 4.
+        assert_eq!(l.earliest_fit(0, 2, 3.0), Some(4));
+        // 2 power/cycle fits immediately.
+        assert_eq!(l.earliest_fit(0, 2, 2.0), Some(0));
+    }
+
+    #[test]
+    fn earliest_fit_rejects_oversized_ops() {
+        let l = PowerLedger::new(10, 5.0);
+        assert_eq!(l.earliest_fit(0, 1, 6.0), None);
+    }
+
+    #[test]
+    fn earliest_fit_respects_horizon() {
+        let l = PowerLedger::new(4, 5.0);
+        assert_eq!(l.earliest_fit(3, 2, 1.0), None);
+        assert_eq!(l.earliest_fit(3, 1, 1.0), Some(3));
+    }
+
+    #[test]
+    fn infinite_budget_always_fits() {
+        let l = PowerLedger::new(4, f64::INFINITY);
+        assert!(l.fits(0, 4, 1e18));
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let s = Schedule::new(vec![0, 0, 1]);
+        let t = TimingMap::from_entries(vec![
+            OpTiming {
+                delay: 1,
+                power: 2.0,
+            },
+            OpTiming {
+                delay: 2,
+                power: 3.0,
+            },
+            OpTiming {
+                delay: 1,
+                power: 1.0,
+            },
+        ]);
+        let p = PowerProfile::of(&s, &t);
+        assert_eq!(p.per_cycle(), &[5.0, 4.0]);
+        assert_eq!(p.cycles(), 2);
+        assert!((p.peak() - 5.0).abs() < 1e-12);
+        assert!((p.energy() - 9.0).abs() < 1e-12);
+        assert!((p.average() - 4.5).abs() < 1e-12);
+        assert!((p.peak_to_average() - 5.0 / 4.5).abs() < 1e-12);
+        assert_eq!(p.first_violation(4.5), Some((0, 5.0)));
+        assert_eq!(p.first_violation(5.0), None);
+    }
+
+    #[test]
+    fn ascii_chart_has_one_line_per_cycle() {
+        let p = PowerProfile::from_cycles(vec![1.0, 2.0, 0.5]);
+        let chart = p.to_ascii(20);
+        assert_eq!(chart.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the budget")]
+    fn blind_reserve_panics() {
+        let mut l = PowerLedger::new(4, 1.0);
+        l.reserve(0, 1, 2.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests over the scheduling algorithms on random DAGs.
+
+use proptest::prelude::*;
+
+use pchls_cdfg::{random_dag, RandomDagConfig};
+use pchls_fulib::{paper_library, SelectionPolicy};
+use pchls_sched::{
+    alap, asap, force_directed, list_schedule, palap, pasap, two_step, Allocation, PowerProfile,
+    TimingMap,
+};
+
+prop_compose! {
+    fn config()(
+        ops in 2usize..50,
+        inputs in 1usize..5,
+        outputs in 1usize..3,
+        mul_permille in 0u32..800,
+        depth_bias in 0u32..5,
+        seed in any::<u64>(),
+    ) -> RandomDagConfig {
+        RandomDagConfig { ops, inputs, outputs, mul_permille, depth_bias, seed }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// pasap always respects the power bound and dependences, and with an
+    /// infinite bound equals asap.
+    #[test]
+    fn pasap_respects_bound_and_degenerates_to_asap(cfg in config(), frac in 0.3f64..1.0) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let base = asap(&g, &t);
+        prop_assert_eq!(&pasap(&g, &t, f64::INFINITY, 10_000).unwrap(), &base);
+
+        let peak = PowerProfile::of(&base, &t).peak();
+        let bound = (peak * frac).max(t.max_single_op_power());
+        let s = pasap(&g, &t, bound, 10_000).unwrap();
+        s.validate(&g, &t, None, Some(bound)).unwrap();
+    }
+
+    /// palap respects the latency it is given and the power bound.
+    #[test]
+    fn palap_respects_latency_and_bound(cfg in config(), slack in 0u32..20) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let base = asap(&g, &t);
+        let peak = PowerProfile::of(&base, &t).peak();
+        // Start from a latency pasap itself achieves, plus slack.
+        let lat = pasap(&g, &t, peak, 10_000).unwrap().latency(&t) + slack;
+        let s = palap(&g, &t, peak, lat).unwrap();
+        s.validate(&g, &t, Some(lat), Some(peak)).unwrap();
+    }
+
+    /// alap mobility windows are well-formed: asap <= alap pointwise.
+    #[test]
+    fn asap_alap_windows_are_ordered(cfg in config(), slack in 0u32..16) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::MinArea);
+        let early = asap(&g, &t);
+        let lat = early.latency(&t) + slack;
+        let late = alap(&g, &t, lat).unwrap();
+        for id in g.node_ids() {
+            prop_assert!(early.start(id) <= late.start(id));
+        }
+    }
+
+    /// List scheduling respects resource limits and is dependence-valid.
+    #[test]
+    fn list_schedule_is_valid(cfg in config(), units in 1usize..4) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let modules: Vec<_> = g
+            .nodes()
+            .iter()
+            .map(|n| lib.select(n.kind(), SelectionPolicy::Fastest).unwrap())
+            .collect();
+        let alloc = Allocation::from_pairs(lib.ids().map(|m| (m, units)));
+        let s = list_schedule(&g, &lib, &modules, &alloc, f64::INFINITY).unwrap();
+        let t = TimingMap::from_modules(&g, &lib, &modules);
+        s.validate(&g, &t, None, None).unwrap();
+        // Resource check: concurrency per module never exceeds the count.
+        let latency = s.latency(&t);
+        for m in lib.ids() {
+            for c in 0..latency {
+                let busy = g
+                    .node_ids()
+                    .filter(|&id| modules[id.index()] == m)
+                    .filter(|&id| s.start(id) <= c && c < s.finish(id, &t))
+                    .count();
+                prop_assert!(busy <= units, "module {m} uses {busy} units at cycle {c}");
+            }
+        }
+    }
+
+    /// Force-directed scheduling meets its latency bound on random DAGs.
+    #[test]
+    fn force_directed_is_valid(cfg in config(), slack in 0u32..8) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let modules: Vec<_> = g
+            .nodes()
+            .iter()
+            .map(|n| lib.select(n.kind(), SelectionPolicy::Fastest).unwrap())
+            .collect();
+        let t = TimingMap::from_modules(&g, &lib, &modules);
+        let lat = asap(&g, &t).latency(&t) + slack;
+        let s = force_directed(&g, &lib, &modules, lat).unwrap();
+        s.validate(&g, &t, Some(lat), None).unwrap();
+    }
+
+    /// The two-step baseline never violates dependences or latency, and
+    /// when it claims to meet power, it actually does.
+    #[test]
+    fn two_step_claims_are_honest(cfg in config(), frac in 0.2f64..1.2, slack in 0u32..12) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let base = asap(&g, &t);
+        let peak = PowerProfile::of(&base, &t).peak();
+        let bound = peak * frac;
+        let lat = base.latency(&t) + slack;
+        let out = two_step(&g, &t, lat, bound).unwrap();
+        out.schedule.validate(&g, &t, Some(lat), None).unwrap();
+        if out.met_power {
+            out.schedule.validate(&g, &t, Some(lat), Some(bound)).unwrap();
+        }
+    }
+}
+
+mod locked_props {
+    use super::*;
+    use pchls_sched::{pasap_locked, LockedStarts};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Locking a subset of operations to their positions in a valid
+        /// pasap schedule keeps the problem feasible, preserves the
+        /// locked starts, and still meets the power bound.
+        #[test]
+        fn relocking_a_valid_schedule_is_feasible(
+            cfg in config(),
+            frac in 0.4f64..1.0,
+            lock_mask in any::<u64>(),
+        ) {
+            let g = random_dag(&cfg);
+            let lib = paper_library();
+            let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+            let peak = PowerProfile::of(&asap(&g, &t), &t).peak();
+            let bound = (peak * frac).max(t.max_single_op_power());
+            let horizon = 10_000;
+            let base = pasap(&g, &t, bound, horizon).unwrap();
+
+            let mut locked = LockedStarts::none(g.len());
+            for id in g.node_ids() {
+                if lock_mask >> (id.index() % 64) & 1 == 1 {
+                    locked.lock(id, base.start(id));
+                }
+            }
+            let s = pasap_locked(&g, &t, bound, horizon, &locked)
+                .expect("relocking a valid schedule stays feasible");
+            for id in g.node_ids() {
+                if let Some(fixed) = locked.get(id) {
+                    prop_assert_eq!(s.start(id), fixed);
+                }
+            }
+            s.validate(&g, &t, None, Some(bound)).unwrap();
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Pareto exploration across both constraints: sweep (T, P<) over a
+//! grid, compute the pareto-optimal design points, and show where the
+//! portfolio synthesizer beats the plain paper algorithm.
+//!
+//! Run with `cargo run --release --example pareto`.
+
+use pchls::cdfg::benchmarks::cosine;
+use pchls::core::{
+    pareto_front, power_sweep, synthesize_portfolio, SweepPoint, SynthesisConstraints,
+    SynthesisOptions,
+};
+use pchls::fulib::paper_library;
+
+fn main() {
+    let graph = cosine();
+    let library = paper_library();
+    let opts = SynthesisOptions::default();
+
+    let grid: Vec<f64> = (1..=6).map(|i| f64::from(i) * 10.0).collect();
+    let mut all: Vec<SweepPoint> = Vec::new();
+    for t in [12u32, 15, 19, 25] {
+        all.extend(power_sweep(&graph, &library, t, &grid, &opts));
+    }
+    let front = pareto_front(&all);
+
+    println!("pareto front over (T, P<, area) for `{}`:", graph.name());
+    println!("{:>4} {:>7} {:>7}", "T", "P<", "area");
+    let mut sorted = front.clone();
+    sorted.sort_by(|a, b| {
+        a.latency_bound
+            .cmp(&b.latency_bound)
+            .then(a.power_bound.partial_cmp(&b.power_bound).unwrap())
+    });
+    for p in &sorted {
+        println!(
+            "{:>4} {:>7.1} {:>7}",
+            p.latency_bound,
+            p.power_bound,
+            p.area.expect("front points are feasible")
+        );
+    }
+
+    println!("\nportfolio vs. paper algorithm on the front's corners:");
+    for p in sorted.iter().take(3) {
+        let c = SynthesisConstraints::new(p.latency_bound, p.power_bound);
+        if let Ok(d) = synthesize_portfolio(&graph, &library, c, &opts) {
+            println!(
+                "  T={:<3} P<={:<5.1} paper {:>5} -> portfolio {:>5}",
+                p.latency_bound,
+                p.power_bound,
+                p.area.expect("feasible"),
+                d.area
+            );
+        }
+    }
+}

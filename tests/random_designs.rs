@@ -1,0 +1,89 @@
+//! Property-based end-to-end tests: random DAGs through the full
+//! synthesis + datapath-verification pipeline.
+
+use proptest::prelude::*;
+
+use pchls::cdfg::{random_dag, Cdfg, Interpreter, RandomDagConfig, Stimulus};
+use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::fulib::{paper_library, SelectionPolicy};
+use pchls::rtl::{simulate, Datapath};
+use pchls::sched::{asap, PowerProfile, TimingMap};
+
+prop_compose! {
+    fn config()(
+        ops in 4usize..40,
+        inputs in 1usize..5,
+        outputs in 1usize..3,
+        mul_permille in 0u32..600,
+        depth_bias in 0u32..4,
+        seed in any::<u64>(),
+    ) -> RandomDagConfig {
+        RandomDagConfig { ops, inputs, outputs, mul_permille, depth_bias, seed }
+    }
+}
+
+/// Generous constraints that are always feasible: twice the serial-module
+/// critical path, power at the unconstrained fastest peak.
+fn generous(graph: &Cdfg) -> SynthesisConstraints {
+    let lib = paper_library();
+    let slow = TimingMap::from_policy(graph, &lib, SelectionPolicy::MinArea);
+    let latency = asap(graph, &slow).latency(&slow) * 2;
+    let fast = TimingMap::from_policy(graph, &lib, SelectionPolicy::Fastest);
+    let peak = PowerProfile::of(&asap(graph, &fast), &fast).peak();
+    SynthesisConstraints::new(latency, peak.max(8.2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random DAG synthesizes under generous constraints and the
+    /// result passes full validation.
+    #[test]
+    fn random_dags_synthesize_and_validate(cfg in config()) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let c = generous(&g);
+        let d = synthesize(&g, &lib, c, &SynthesisOptions::default())
+            .expect("generous constraints are feasible");
+        d.validate(&g, &lib).expect("invariants hold");
+        prop_assert!(d.binding.is_complete());
+        prop_assert!(d.latency <= c.latency);
+    }
+
+    /// The synthesized datapath computes exactly what the CDFG means.
+    #[test]
+    fn random_datapaths_match_the_interpreter(
+        cfg in config(),
+        vals in proptest::collection::vec(any::<i64>(), 8),
+    ) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let d = synthesize(&g, &lib, generous(&g), &SynthesisOptions::default())
+            .expect("feasible");
+        let dp = Datapath::build(&g, &d, &lib);
+        let stim: Stimulus = g
+            .inputs()
+            .enumerate()
+            .map(|(i, n)| (n.label().to_owned(), vals[i % vals.len()]))
+            .collect();
+        let run = simulate(&g, &dp, &stim).expect("simulation is total");
+        let reference = Interpreter::new(&g).run(&stim).expect("interpretable");
+        prop_assert_eq!(run.outputs, reference);
+    }
+
+    /// Tightening power around the achieved peak stays feasible and never
+    /// reports a violating design.
+    #[test]
+    fn retightening_power_is_self_consistent(cfg in config()) {
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let c = generous(&g);
+        let d = synthesize(&g, &lib, c, &SynthesisOptions::default()).expect("feasible");
+        // The achieved peak is itself a feasible bound.
+        let c2 = SynthesisConstraints::new(c.latency, d.peak_power);
+        let d2 = synthesize(&g, &lib, c2, &SynthesisOptions::default())
+            .expect("achieved peak is feasible");
+        prop_assert!(d2.peak_power <= d.peak_power + 1e-9);
+        d2.validate(&g, &lib).expect("invariants hold");
+    }
+}

@@ -1,0 +1,84 @@
+//! Serialization round trips for the result-pipeline types: experiment
+//! data written by the harness must be reloadable bit-for-bit.
+
+use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg};
+use pchls::core::{
+    power_sweep, synthesize, SweepPoint, SynthesisConstraints, SynthesisOptions, SynthesizedDesign,
+};
+use pchls::fulib::{paper_library, parse_library, write_library};
+
+#[test]
+fn sweep_points_round_trip_through_json() {
+    let g = benchmarks::hal();
+    let lib = paper_library();
+    let points = power_sweep(
+        &g,
+        &lib,
+        17,
+        &[5.0, 12.0, 40.0],
+        &SynthesisOptions::default(),
+    );
+    let json = serde_json::to_string_pretty(&points).unwrap();
+    let back: Vec<SweepPoint> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, points);
+    // Infeasible points serialize as explicit nulls, not omissions.
+    assert!(json.contains("null"));
+}
+
+#[test]
+fn designs_round_trip_through_json() {
+    let g = benchmarks::hal();
+    let lib = paper_library();
+    let d = synthesize(
+        &g,
+        &lib,
+        SynthesisConstraints::new(17, 25.0),
+        &SynthesisOptions::default(),
+    )
+    .unwrap();
+    let json = serde_json::to_string(&d).unwrap();
+    let back: SynthesizedDesign = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, d);
+    // The deserialized design still validates.
+    back.validate(&g, &lib).unwrap();
+}
+
+#[test]
+fn graphs_round_trip_through_both_formats() {
+    for g in benchmarks::all() {
+        // Textual format.
+        let text = write_cdfg(&g);
+        assert_eq!(parse_cdfg(&text).unwrap(), g);
+        // JSON.
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Cdfg = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}
+
+#[test]
+fn libraries_round_trip_through_both_formats() {
+    let lib = paper_library();
+    assert_eq!(parse_library(&write_library(&lib)).unwrap(), lib);
+    let json = serde_json::to_string(&lib).unwrap();
+    let back: pchls::fulib::ModuleLibrary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, lib);
+}
+
+#[test]
+fn figure2_json_artifact_is_loadable() {
+    // The exact pipeline the harness uses for results/figure2.json.
+    let g = benchmarks::elliptic();
+    let lib = paper_library();
+    let points = power_sweep(
+        &g,
+        &lib,
+        22,
+        &[10.0, 20.0, 40.0],
+        &SynthesisOptions::default(),
+    );
+    let json = serde_json::to_vec(&points).unwrap();
+    let back: Vec<SweepPoint> = serde_json::from_slice(&json).unwrap();
+    assert_eq!(back.len(), 3);
+    assert!(back.iter().any(|p| p.is_feasible()));
+}

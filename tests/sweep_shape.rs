@@ -1,0 +1,111 @@
+//! Shape assertions for the Figure 2 reproduction: monotone curves,
+//! latency-curve dominance, and feasibility-threshold ordering.
+
+use pchls::cdfg::benchmarks;
+use pchls::core::{power_sweep, SweepPoint, SynthesisOptions};
+use pchls::fulib::paper_library;
+
+fn grid() -> Vec<f64> {
+    (1..=30).map(|i| f64::from(i) * 5.0).collect()
+}
+
+fn curve(graph: &pchls::cdfg::Cdfg, latency: u32) -> Vec<SweepPoint> {
+    power_sweep(
+        graph,
+        &paper_library(),
+        latency,
+        &grid(),
+        &SynthesisOptions::default(),
+    )
+}
+
+/// Index of the first feasible point, i.e. the curve's power threshold.
+fn threshold(points: &[SweepPoint]) -> usize {
+    points
+        .iter()
+        .position(SweepPoint::is_feasible)
+        .expect("some point is feasible")
+}
+
+#[test]
+fn every_curve_is_monotone_nonincreasing() {
+    for (g, t) in [
+        (benchmarks::hal(), 10),
+        (benchmarks::hal(), 17),
+        (benchmarks::cosine(), 12),
+        (benchmarks::cosine(), 19),
+        (benchmarks::elliptic(), 22),
+    ] {
+        let pts = curve(&g, t);
+        let areas: Vec<u64> = pts.iter().filter_map(|p| p.area).collect();
+        assert!(!areas.is_empty(), "{} T={t} never feasible", g.name());
+        for w in areas.windows(2) {
+            assert!(w[1] <= w[0], "{} T={t}: {areas:?}", g.name(), t = t);
+        }
+    }
+}
+
+#[test]
+fn tighter_latency_needs_more_power_to_become_feasible() {
+    let tight = curve(&benchmarks::hal(), 10);
+    let loose = curve(&benchmarks::hal(), 17);
+    assert!(
+        threshold(&tight) >= threshold(&loose),
+        "T=10 threshold {} < T=17 threshold {}",
+        threshold(&tight),
+        threshold(&loose)
+    );
+}
+
+#[test]
+fn tighter_latency_curves_dominate_looser_ones() {
+    let tight = curve(&benchmarks::hal(), 10);
+    let loose = curve(&benchmarks::hal(), 17);
+    for (a, b) in tight.iter().zip(&loose) {
+        if let (Some(at), Some(bt)) = (a.area, b.area) {
+            assert!(
+                at >= bt,
+                "P={}: T=10 area {at} < T=17 area {bt}",
+                a.power_bound
+            );
+        }
+    }
+    // Same ordering across the cosine family.
+    let c12 = curve(&benchmarks::cosine(), 12);
+    let c19 = curve(&benchmarks::cosine(), 19);
+    for (a, b) in c12.iter().zip(&c19) {
+        if let (Some(at), Some(bt)) = (a.area, b.area) {
+            assert!(
+                at >= bt,
+                "P={}: T=12 area {at} < T=19 area {bt}",
+                a.power_bound
+            );
+        }
+    }
+}
+
+#[test]
+fn curves_flatten_once_power_stops_binding() {
+    // Beyond the unconstrained peak, the constraint is inactive: the
+    // last two grid points must coincide.
+    for (g, t) in [(benchmarks::hal(), 17), (benchmarks::elliptic(), 22)] {
+        let pts = curve(&g, t);
+        let last = &pts[pts.len() - 1];
+        let prev = &pts[pts.len() - 2];
+        assert_eq!(last.area, prev.area, "{} T={t}", g.name());
+    }
+}
+
+#[test]
+fn feasible_region_is_upward_closed_in_power() {
+    // Once feasible, a curve never becomes infeasible at higher power.
+    for (g, t) in [(benchmarks::hal(), 10), (benchmarks::cosine(), 12)] {
+        let pts = curve(&g, t);
+        let first = threshold(&pts);
+        assert!(
+            pts[first..].iter().all(SweepPoint::is_feasible),
+            "{} T={t} has a feasibility hole",
+            g.name()
+        );
+    }
+}
