@@ -20,7 +20,9 @@ use std::fs;
 use std::path::Path;
 
 use pchls_cdfg::Cdfg;
-use pchls_core::{power_sweep, SweepPoint, SynthesisOptions};
+use pchls_core::{
+    power_sweep, power_sweep_serial, sweep_many, SweepPoint, SweepRequest, SynthesisOptions,
+};
 use pchls_fulib::ModuleLibrary;
 
 /// The `(benchmark, latency)` curves of Figure 2, in the paper's legend
@@ -46,7 +48,7 @@ pub fn figure2_power_grid() -> Vec<f64> {
     (1..=60).map(|i| f64::from(i) * 2.5).collect()
 }
 
-/// Runs one Figure 2 curve.
+/// Runs one Figure 2 curve (grid points in parallel).
 #[must_use]
 pub fn run_curve(graph: &Cdfg, library: &ModuleLibrary, latency: u32) -> Vec<SweepPoint> {
     power_sweep(
@@ -56,6 +58,38 @@ pub fn run_curve(graph: &Cdfg, library: &ModuleLibrary, latency: u32) -> Vec<Swe
         &figure2_power_grid(),
         &SynthesisOptions::default(),
     )
+}
+
+/// Runs one Figure 2 curve serially — the baseline [`run_curve`] must
+/// match byte-for-byte and beat on wall clock.
+#[must_use]
+pub fn run_curve_serial(graph: &Cdfg, library: &ModuleLibrary, latency: u32) -> Vec<SweepPoint> {
+    power_sweep_serial(
+        graph,
+        library,
+        latency,
+        &figure2_power_grid(),
+        &SynthesisOptions::default(),
+    )
+}
+
+/// Regenerates **all** Figure 2 curves at once, fanning every grid point
+/// of every curve across the worker pool via
+/// [`sweep_many`](pchls_core::sweep_many). Returns one point vector per
+/// curve, in [`figure2_curves`] order.
+#[must_use]
+pub fn run_figure2(library: &ModuleLibrary) -> Vec<Vec<SweepPoint>> {
+    let curves = figure2_curves();
+    let grid = figure2_power_grid();
+    let requests: Vec<SweepRequest<'_>> = curves
+        .iter()
+        .map(|(graph, latency)| SweepRequest {
+            graph,
+            latency: *latency,
+            powers: &grid,
+        })
+        .collect();
+    sweep_many(&requests, library, &SynthesisOptions::default())
 }
 
 /// Serializes sweep points as JSON into `results/<name>.json`.

@@ -1,0 +1,58 @@
+//! The tentpole guarantee of the parallel exploration layer: fanning
+//! grid points across cores must not change a single byte of the output.
+//! Every Figure 2 curve is swept both ways (whole-figure `sweep_many`
+//! fan-out vs. the serial reference) over a thinned power grid and
+//! compared for exact equality.
+
+use pchls_bench::{figure2_curves, figure2_power_grid};
+use pchls_core::{power_sweep, power_sweep_serial, sweep_many, SweepRequest, SynthesisOptions};
+use pchls_fulib::paper_library;
+
+/// Every 5th point of the Figure 2 grid: spans the whole axis (including
+/// the infeasible low-power edge and the flat high-power tail) at a cost
+/// debug-mode CI can afford.
+fn thinned_grid() -> Vec<f64> {
+    figure2_power_grid().into_iter().step_by(5).collect()
+}
+
+#[test]
+fn sweep_many_equals_serial_on_all_figure2_curves() {
+    let lib = paper_library();
+    let curves = figure2_curves();
+    let grid = thinned_grid();
+    let requests: Vec<SweepRequest<'_>> = curves
+        .iter()
+        .map(|(graph, latency)| SweepRequest {
+            graph,
+            latency: *latency,
+            powers: &grid,
+        })
+        .collect();
+    let parallel = sweep_many(&requests, &lib, &SynthesisOptions::default());
+    assert_eq!(parallel.len(), curves.len());
+    for ((graph, latency), curve) in curves.iter().zip(&parallel) {
+        let serial = power_sweep_serial(graph, &lib, *latency, &grid, &SynthesisOptions::default());
+        assert_eq!(curve, &serial, "{} T={latency} diverged", graph.name());
+    }
+}
+
+#[test]
+fn per_curve_parallel_sweep_equals_serial_on_all_figure2_curves() {
+    let lib = paper_library();
+    let grid = thinned_grid();
+    for (graph, latency) in figure2_curves() {
+        let parallel = power_sweep(&graph, &lib, latency, &grid, &SynthesisOptions::default());
+        let serial = power_sweep_serial(&graph, &lib, latency, &grid, &SynthesisOptions::default());
+        assert_eq!(parallel, serial, "{} T={latency} diverged", graph.name());
+    }
+}
+
+#[test]
+fn parallel_sweeps_are_reproducible_across_runs() {
+    let lib = paper_library();
+    let g = pchls_cdfg::benchmarks::elliptic();
+    let grid = thinned_grid();
+    let a = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
+    let b = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
+    assert_eq!(a, b);
+}

@@ -22,6 +22,11 @@ pub struct SynthesisStats {
     /// Candidate decisions rejected by the per-decision feasibility
     /// check before commitment.
     pub rejected_candidates: usize,
+    /// Commits whose feasibility was proven without re-running the
+    /// scheduler (the decision locked operations exactly at their
+    /// provisional starts with unchanged timing).
+    #[serde(default)]
+    pub fast_commits: usize,
 }
 
 /// A complete synthesized datapath: schedule, module timing, binding and

@@ -37,6 +37,15 @@ impl SweepPoint {
     }
 }
 
+/// Which constraint axis a sweep varies (and therefore which field the
+/// monotone-envelope pass rewrites when it carries a better design
+/// forward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepAxis {
+    Power,
+    Latency,
+}
+
 /// Synthesizes `graph` at a fixed latency for every power bound in
 /// `powers`, producing one curve of Figure 2.
 ///
@@ -46,6 +55,13 @@ impl SweepPoint {
 /// greedy heuristic can otherwise produce occasional upward blips where
 /// *less* pressure sends it down a worse path; the envelope is what a
 /// designer sweeping the constraint would actually keep.)
+///
+/// Every grid point is an independent synthesis run, so the raw-points
+/// phase executes in parallel across all cores ([`pchls_par::par_map`]);
+/// the envelope pass then runs sequentially in ascending-bound order,
+/// making the output **byte-identical** to a serial sweep
+/// ([`power_sweep_serial`]). Set `PCHLS_THREADS=1` to force serial
+/// execution.
 #[must_use]
 pub fn power_sweep(
     graph: &Cdfg,
@@ -54,33 +70,40 @@ pub fn power_sweep(
     powers: &[f64],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
-    // Visit bounds in ascending order, carrying the best design so far.
-    let mut order: Vec<usize> = (0..powers.len()).collect();
-    order.sort_by(|&a, &b| powers[a].partial_cmp(&powers[b]).expect("finite bounds"));
-    let mut points = vec![None; powers.len()];
-    let mut best: Option<SweepPoint> = None;
-    for i in order {
-        let p = powers[i];
-        let mut point = run_point(
+    let raw = pchls_par::par_map(powers, |&p| {
+        run_point(
             graph,
             library,
             SynthesisConstraints::new(latency, p),
             options,
-        );
-        if let Some(b) = &best {
-            if b.area.expect("best is feasible") < point.area.unwrap_or(u64::MAX) {
-                point = SweepPoint {
-                    power_bound: p,
-                    ..b.clone()
-                };
-            }
-        }
-        if point.is_feasible() {
-            best = Some(point.clone());
-        }
-        points[i] = Some(point);
-    }
-    points.into_iter().map(|p| p.expect("all filled")).collect()
+        )
+    });
+    envelope(raw, &power_order(powers), SweepAxis::Power)
+}
+
+/// Reference serial implementation of [`power_sweep`]: identical output,
+/// one synthesis at a time. Kept as the baseline the determinism tests
+/// and the perf suite compare against.
+#[must_use]
+pub fn power_sweep_serial(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    latency: u32,
+    powers: &[f64],
+    options: &SynthesisOptions,
+) -> Vec<SweepPoint> {
+    let raw = powers
+        .iter()
+        .map(|&p| {
+            run_point(
+                graph,
+                library,
+                SynthesisConstraints::new(latency, p),
+                options,
+            )
+        })
+        .collect();
+    envelope(raw, &power_order(powers), SweepAxis::Power)
 }
 
 /// Synthesizes `graph` at a fixed power bound for every latency in
@@ -88,7 +111,8 @@ pub fn power_sweep(
 ///
 /// As with [`power_sweep`], each point reports the best design found at
 /// any latency `≤ T` — a design meeting a tighter deadline meets every
-/// looser one.
+/// looser one. Raw points run in parallel; the envelope is sequential,
+/// so the output equals [`latency_sweep_serial`] exactly.
 #[must_use]
 pub fn latency_sweep(
     graph: &Cdfg,
@@ -97,27 +121,120 @@ pub fn latency_sweep(
     latencies: &[u32],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
+    let raw = pchls_par::par_map(latencies, |&t| {
+        run_point(graph, library, SynthesisConstraints::new(t, power), options)
+    });
+    envelope(raw, &latency_order(latencies), SweepAxis::Latency)
+}
+
+/// Reference serial implementation of [`latency_sweep`].
+#[must_use]
+pub fn latency_sweep_serial(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    power: f64,
+    latencies: &[u32],
+    options: &SynthesisOptions,
+) -> Vec<SweepPoint> {
+    let raw = latencies
+        .iter()
+        .map(|&t| run_point(graph, library, SynthesisConstraints::new(t, power), options))
+        .collect();
+    envelope(raw, &latency_order(latencies), SweepAxis::Latency)
+}
+
+/// One whole-curve request for [`sweep_many`]: a graph swept over
+/// `powers` at a fixed `latency`.
+#[derive(Debug, Clone)]
+pub struct SweepRequest<'a> {
+    /// The benchmark graph.
+    pub graph: &'a Cdfg,
+    /// Latency constraint `T` for the whole curve.
+    pub latency: u32,
+    /// Power bounds of the curve's grid.
+    pub powers: &'a [f64],
+}
+
+/// Runs many power-sweep curves at once, fanning **all grid points of
+/// all curves** out across the worker pool.
+///
+/// This is the entry point for whole-figure regeneration (all six
+/// Figure 2 curves at once): flattening the `curves × grid` rectangle
+/// into one job list keeps every core busy even while the last few
+/// expensive points of one curve are still running, which a
+/// curve-at-a-time loop over [`power_sweep`] cannot do. Each returned
+/// curve is byte-identical to [`power_sweep_serial`] on the same inputs.
+#[must_use]
+pub fn sweep_many(
+    requests: &[SweepRequest<'_>],
+    library: &ModuleLibrary,
+    options: &SynthesisOptions,
+) -> Vec<Vec<SweepPoint>> {
+    let jobs: Vec<(usize, usize)> = requests
+        .iter()
+        .enumerate()
+        .flat_map(|(c, r)| (0..r.powers.len()).map(move |p| (c, p)))
+        .collect();
+    let mut raw = pchls_par::par_map(&jobs, |&(c, p)| {
+        let r = &requests[c];
+        run_point(
+            r.graph,
+            library,
+            SynthesisConstraints::new(r.latency, r.powers[p]),
+            options,
+        )
+    });
+    // Un-flatten (jobs are in curve-major order) and run each curve's
+    // sequential envelope pass.
+    requests
+        .iter()
+        .map(|r| {
+            let rest = raw.split_off(r.powers.len());
+            let curve = std::mem::replace(&mut raw, rest);
+            envelope(curve, &power_order(r.powers), SweepAxis::Power)
+        })
+        .collect()
+}
+
+/// Ascending visit order over a float grid.
+fn power_order(powers: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..powers.len()).collect();
+    order.sort_by(|&a, &b| powers[a].partial_cmp(&powers[b]).expect("finite bounds"));
+    order
+}
+
+/// Ascending visit order over a latency grid.
+fn latency_order(latencies: &[u32]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..latencies.len()).collect();
     order.sort_by_key(|&i| latencies[i]);
-    let mut points = vec![None; latencies.len()];
-    let mut best: Option<SweepPoint> = None;
-    for i in order {
-        let t = latencies[i];
-        let mut point = run_point(graph, library, SynthesisConstraints::new(t, power), options);
-        if let Some(b) = &best {
-            if b.area.expect("best is feasible") < point.area.unwrap_or(u64::MAX) {
-                point = SweepPoint {
-                    latency_bound: t,
-                    ..b.clone()
-                };
+    order
+}
+
+/// The sequential monotone-envelope pass: visiting raw points in
+/// ascending-constraint `order`, replaces any point worse than the best
+/// seen so far with that best design (re-labelled to the point's own
+/// bound). Points are moved, not cloned; only an actual carry copies the
+/// best design into the slot.
+fn envelope(raw: Vec<SweepPoint>, order: &[usize], axis: SweepAxis) -> Vec<SweepPoint> {
+    let mut points = raw;
+    let mut best: Option<usize> = None;
+    for &i in order {
+        if let Some(b) = best {
+            let best_area = points[b].area.expect("best is feasible");
+            if best_area < points[i].area.unwrap_or(u64::MAX) {
+                let mut carried = points[b].clone();
+                match axis {
+                    SweepAxis::Power => carried.power_bound = points[i].power_bound,
+                    SweepAxis::Latency => carried.latency_bound = points[i].latency_bound,
+                }
+                points[i] = carried;
             }
         }
-        if point.is_feasible() {
-            best = Some(point.clone());
+        if points[i].is_feasible() {
+            best = Some(i);
         }
-        points[i] = Some(point);
     }
-    points.into_iter().map(|p| p.expect("all filled")).collect()
+    points
 }
 
 /// Filters sweep points down to the pareto front over
@@ -126,25 +243,32 @@ pub fn latency_sweep(
 /// better on one. Infeasible points never appear.
 #[must_use]
 pub fn pareto_front(points: &[SweepPoint]) -> Vec<SweepPoint> {
-    let feasible: Vec<&SweepPoint> = points.iter().filter(|p| p.is_feasible()).collect();
-    feasible
+    // Index-based dominance: the O(n²) comparison loop touches only
+    // borrowed points; the single clone per point happens for survivors
+    // at collection time.
+    let feasible: Vec<usize> = points
         .iter()
         .enumerate()
-        .filter(|&(i, a)| {
-            !feasible.iter().enumerate().any(|(j, b)| {
-                if i == j {
-                    return false;
-                }
-                let no_worse = b.power_bound <= a.power_bound
-                    && b.latency_bound <= a.latency_bound
-                    && b.area <= a.area;
-                let better = b.power_bound < a.power_bound
-                    || b.latency_bound < a.latency_bound
-                    || b.area < a.area;
-                no_worse && better
-            })
+        .filter(|(_, p)| p.is_feasible())
+        .map(|(i, _)| i)
+        .collect();
+    let dominates = |b: &SweepPoint, a: &SweepPoint| {
+        let (b_area, a_area) = (b.area.expect("feasible"), a.area.expect("feasible"));
+        let no_worse = b.power_bound <= a.power_bound
+            && b.latency_bound <= a.latency_bound
+            && b_area <= a_area;
+        let better =
+            b.power_bound < a.power_bound || b.latency_bound < a.latency_bound || b_area < a_area;
+        no_worse && better
+    };
+    feasible
+        .iter()
+        .filter(|&&i| {
+            !feasible
+                .iter()
+                .any(|&j| j != i && dominates(&points[j], &points[i]))
         })
-        .map(|(_, p)| (*p).clone())
+        .map(|&i| points[i].clone())
         .collect()
 }
 
@@ -262,6 +386,53 @@ mod tests {
         for w in areas.windows(2) {
             assert!(w[1] <= w[0], "{areas:?}");
         }
+    }
+
+    #[test]
+    fn parallel_power_sweep_equals_serial() {
+        let g = benchmarks::hal();
+        let lib = paper_library();
+        let grid = auto_power_grid(&g, &lib, 12);
+        for t in [10, 17] {
+            let par = power_sweep(&g, &lib, t, &grid, &SynthesisOptions::default());
+            let ser = power_sweep_serial(&g, &lib, t, &grid, &SynthesisOptions::default());
+            assert_eq!(par, ser, "T={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_latency_sweep_equals_serial() {
+        let g = benchmarks::cosine();
+        let lib = paper_library();
+        let lats = [10, 12, 15, 19, 25];
+        let par = latency_sweep(&g, &lib, 30.0, &lats, &SynthesisOptions::default());
+        let ser = latency_sweep_serial(&g, &lib, 30.0, &lats, &SynthesisOptions::default());
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn sweep_many_matches_per_curve_sweeps() {
+        let hal = benchmarks::hal();
+        let cosine = benchmarks::cosine();
+        let grid = [10.0, 20.0, 40.0, 80.0];
+        let opts = SynthesisOptions::default();
+        let lib = paper_library();
+        let requests = [
+            SweepRequest {
+                graph: &hal,
+                latency: 17,
+                powers: &grid,
+            },
+            SweepRequest {
+                graph: &cosine,
+                latency: 15,
+                powers: &grid,
+            },
+        ];
+        let many = sweep_many(&requests, &lib, &opts);
+        assert_eq!(many.len(), 2);
+        assert_eq!(many[0], power_sweep_serial(&hal, &lib, 17, &grid, &opts));
+        assert_eq!(many[1], power_sweep_serial(&cosine, &lib, 15, &grid, &opts));
     }
 
     #[test]

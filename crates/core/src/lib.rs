@@ -57,7 +57,10 @@ pub use baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, B
 pub use constraints::SynthesisConstraints;
 pub use design::{SynthesisStats, SynthesizedDesign};
 pub use error::SynthesisError;
-pub use explore::{auto_power_grid, latency_sweep, pareto_front, power_sweep, SweepPoint};
+pub use explore::{
+    auto_power_grid, latency_sweep, latency_sweep_serial, pareto_front, power_sweep,
+    power_sweep_serial, sweep_many, SweepPoint, SweepRequest,
+};
 pub use options::SynthesisOptions;
 pub use refine::{synthesize_portfolio, synthesize_refined};
 pub use synthesis::synthesize;

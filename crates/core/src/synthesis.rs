@@ -1,9 +1,10 @@
 //! The combined power-constrained scheduling/allocation/binding loop.
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pchls_bind::{Binding, InstanceId};
-use pchls_cdfg::{Cdfg, NodeId, Reachability};
+use pchls_cdfg::{Cdfg, NodeId, OpKind, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary, SelectionPolicy};
 use pchls_sched::{
     palap_locked, pasap_locked, LockedStarts, OpTiming, PowerLedger, Schedule, ScheduleError,
@@ -61,22 +62,58 @@ pub fn synthesize(
     let n = graph.len();
     let reach = Reachability::new(graph);
     let (mut timing, est_modules) = bootstrap(graph, library, constraints, &reach)?;
+    // Per-kind module candidate lists, computed once: the library is
+    // immutable, so re-collecting them per candidate (the old behaviour)
+    // only burned allocations.
+    let kind_modules: BTreeMap<OpKind, Vec<ModuleId>> = OpKind::ALL
+        .iter()
+        .map(|&k| (k, library.candidates(k).collect()))
+        .collect();
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
     let mut unbound: BTreeSet<NodeId> = graph.node_ids().collect();
     let mut stats = SynthesisStats::default();
 
+    // The per-cycle power reserved by locked operations, maintained
+    // incrementally: candidate attempts reserve on apply and restore a
+    // bit-exact snapshot on undo, instead of rebuilding the ledger from
+    // the whole locked set every iteration.
+    let mut ledger = PowerLedger::new(constraints.latency, constraints.max_power);
+
+    // Power-feasible early starts under the current commitments. A
+    // commitment that locks operations exactly at their provisional
+    // starts with unchanged timing leaves `pasap_locked`'s greedy output
+    // unchanged (locked reservations are placed where the greedy itself
+    // put them, and placement order is timing-determined), so the
+    // schedule is only recomputed when a commit actually displaced an
+    // operation or changed its module timing — the "dirty" commits.
+    let mut provisional = pasap_locked(
+        graph,
+        &timing,
+        constraints.max_power,
+        constraints.latency,
+        &locked,
+    )
+    .map_err(|cause| SynthesisError::Infeasible { cause })?;
+    let mut dirty = false;
+
     while !unbound.is_empty() {
-        // Power-feasible windows under the current commitments.
-        let provisional = pasap_locked(
-            graph,
-            &timing,
-            constraints.max_power,
-            constraints.latency,
-            &locked,
-        )
-        .map_err(|cause| SynthesisError::Infeasible { cause })?;
+        if dirty {
+            provisional = pasap_locked(
+                graph,
+                &timing,
+                constraints.max_power,
+                constraints.latency,
+                &locked,
+            )
+            .map_err(|cause| SynthesisError::Infeasible { cause })?;
+            dirty = false;
+        }
+        // The soft deadlines must track every lock, so the reversed
+        // heuristic is recomputed each iteration. It can fail where the
+        // forward one succeeded; fall back to zero mobility (late =
+        // early), which is always safe.
         let late = palap_locked(
             graph,
             &timing,
@@ -84,11 +121,8 @@ pub fn synthesize(
             constraints.latency,
             &locked,
         )
-        // The reversed heuristic can fail where the forward one succeeded;
-        // fall back to zero mobility (late = early), which is always safe.
         .unwrap_or_else(|_| provisional.clone());
 
-        let ledger = locked_ledger(graph, &timing, &locked, constraints)?;
         let busy = instance_busy(&binding, &locked, &timing);
         let ctx = Context {
             graph,
@@ -97,6 +131,7 @@ pub fn synthesize(
             reach: &reach,
             timing: &timing,
             est_modules: &est_modules,
+            kind_modules: &kind_modules,
             binding: &binding,
             locked: &locked,
             ledger: &ledger,
@@ -104,6 +139,8 @@ pub fn synthesize(
             provisional: &provisional,
             late: &late,
             constraints,
+            avoided_cache: RefCell::new(vec![None; n]),
+            start0_cache: RefCell::new(vec![None; n * library.len()]),
         };
         let mut candidates = enumerate_candidates(&ctx, &unbound);
         // Deterministic order: best score first, then earlier start, then
@@ -124,16 +161,30 @@ pub fn synthesize(
         const MAX_ATTEMPTS: usize = 64;
         let mut committed = false;
         for cand in candidates.iter().take(MAX_ATTEMPTS) {
-            let saved = saved_state(cand, &timing);
-            apply(cand, library, &mut binding, &mut locked, &mut timing);
-            let feasible = pasap_locked(
-                graph,
-                &timing,
-                constraints.max_power,
-                constraints.latency,
-                &locked,
-            )
-            .is_ok();
+            let saved = saved_state(cand, library, &timing, &locked, &ledger);
+            apply(
+                cand,
+                library,
+                &mut binding,
+                &mut locked,
+                &mut timing,
+                &mut ledger,
+                &saved,
+            );
+            // A candidate that locks its operation(s) exactly at their
+            // provisional starts with unchanged timing cannot invalidate
+            // the provisional schedule — it is feasible by construction
+            // and the expensive re-schedule is skipped.
+            let clean = is_clean(cand, &saved, &provisional);
+            let feasible = clean
+                || pasap_locked(
+                    graph,
+                    &timing,
+                    constraints.max_power,
+                    constraints.latency,
+                    &locked,
+                )
+                .is_ok();
             if feasible {
                 unbound.remove(&cand.op);
                 stats.decisions += 1;
@@ -141,10 +192,22 @@ pub fn synthesize(
                     unbound.remove(&partner);
                     stats.decisions += 1;
                 }
+                if clean {
+                    stats.fast_commits += 1;
+                } else {
+                    dirty = true;
+                }
                 committed = true;
                 break;
             }
-            undo(cand, &mut binding, &mut locked, &mut timing, &saved);
+            undo(
+                cand,
+                &mut binding,
+                &mut locked,
+                &mut timing,
+                &mut ledger,
+                &saved,
+            );
             stats.rejected_candidates += 1;
         }
         if !committed {
@@ -152,7 +215,8 @@ pub fn synthesize(
             // paper's repair: backtrack (all failed decisions are already
             // undone) and lock every unscheduled operation to the last
             // valid pasap schedule, then continue with binding-only
-            // decisions.
+            // decisions. Locks land exactly at provisional starts, so the
+            // provisional schedule remains valid (not dirty).
             if !options.backtracking {
                 return Err(SynthesisError::Infeasible {
                     cause: ScheduleError::Infeasible {
@@ -165,19 +229,26 @@ pub fn synthesize(
             for &v in &unbound {
                 locked.lock(v, provisional.start(v));
             }
+            // Rebuild the ledger from the full locked set (the newly
+            // locked operations were not reserved incrementally).
+            ledger = locked_ledger(graph, &timing, &locked, constraints)?;
             stats.backtracks += 1;
         }
     }
 
     // All operations bound and locked: the locked schedule is final.
-    let final_schedule = pasap_locked(
-        graph,
-        &timing,
-        constraints.max_power,
-        constraints.latency,
-        &locked,
-    )
-    .map_err(SynthesisError::Schedule)?;
+    let final_schedule = if dirty {
+        pasap_locked(
+            graph,
+            &timing,
+            constraints.max_power,
+            constraints.latency,
+            &locked,
+        )
+        .map_err(SynthesisError::Schedule)?
+    } else {
+        provisional
+    };
     binding.prune_empty();
     let mut design =
         SynthesizedDesign::assemble(final_schedule, timing, binding, library, constraints);
@@ -186,7 +257,34 @@ pub fn synthesize(
     Ok(design)
 }
 
-/// Read-only state shared by the candidate enumeration helpers.
+/// Whether a just-applied decision is guaranteed not to invalidate the
+/// provisional schedule: every operation it locked sits exactly at its
+/// provisional start with its timing unchanged.
+fn is_clean(cand: &Decision, saved: &Saved, provisional: &Schedule) -> bool {
+    let unchanged = |op: NodeId, start: u32, before: OpTiming, after: OpTiming| {
+        start == provisional.start(op) && before.delay == after.delay && before.power == after.power
+    };
+    let op_clean = unchanged(cand.op, cand.start, saved.op_timing, saved.applied_timing);
+    match cand.target {
+        Target::FreshPair {
+            partner,
+            partner_start,
+        } => {
+            op_clean
+                && saved
+                    .partner_timing
+                    .map(|(_, before)| {
+                        unchanged(partner, partner_start, before, saved.applied_timing)
+                    })
+                    .unwrap_or(false)
+        }
+        _ => op_clean,
+    }
+}
+
+/// Read-only state shared by the candidate enumeration helpers, plus
+/// per-iteration memo tables (every cached quantity depends only on
+/// state that is fixed for the whole enumeration pass).
 struct Context<'a> {
     graph: &'a Cdfg,
     library: &'a ModuleLibrary,
@@ -194,6 +292,7 @@ struct Context<'a> {
     reach: &'a Reachability,
     timing: &'a TimingMap,
     est_modules: &'a [ModuleId],
+    kind_modules: &'a BTreeMap<OpKind, Vec<ModuleId>>,
     binding: &'a Binding,
     locked: &'a LockedStarts,
     ledger: &'a PowerLedger,
@@ -201,6 +300,12 @@ struct Context<'a> {
     provisional: &'a Schedule,
     late: &'a Schedule,
     constraints: SynthesisConstraints,
+    /// Memoized [`Context::avoided_area`] per operation: the pair-merge
+    /// loop queries it O(n²·modules) times for only n distinct answers.
+    avoided_cache: RefCell<Vec<Option<f64>>>,
+    /// Memoized `candidate_start(op, m, 0)`, flattened as
+    /// `op.index() * library.len() + m.index()`.
+    start0_cache: RefCell<Vec<Option<Option<u32>>>>,
 }
 
 /// The per-cycle power already reserved by locked operations.
@@ -256,21 +361,39 @@ impl Context<'_> {
     /// serial multiplier out for an operation, merging it onto a parallel
     /// multiplier avoids a 339-area unit, not a 103-area one.
     fn avoided_area(&self, op: NodeId) -> f64 {
-        self.library
-            .candidates(self.graph.node(op).kind())
-            .filter(|&m| self.candidate_start(op, m, 0).is_some())
-            .map(|m| self.library.module(m).area())
+        if let Some(v) = self.avoided_cache.borrow()[op.index()] {
+            return v;
+        }
+        let kind_list = &self.kind_modules[&self.graph.node(op).kind()];
+        let v = kind_list
+            .iter()
+            .filter(|&&m| self.candidate_start0(op, m).is_some())
+            .map(|&m| self.library.module(m).area())
             .min()
             .or_else(|| {
                 // Nothing currently fits (rare, mid-backtrack): fall back
                 // to the global cheapest so scoring stays total.
-                self.library
-                    .candidates(self.graph.node(op).kind())
-                    .map(|m| self.library.module(m).area())
+                kind_list
+                    .iter()
+                    .map(|&m| self.library.module(m).area())
                     .min()
             })
             .map(f64::from)
-            .expect("library coverage checked at bootstrap")
+            .expect("library coverage checked at bootstrap");
+        self.avoided_cache.borrow_mut()[op.index()] = Some(v);
+        v
+    }
+
+    /// Memoized `candidate_start(op, m, 0)` — the form every scoring path
+    /// asks for repeatedly.
+    fn candidate_start0(&self, op: NodeId, m: ModuleId) -> Option<u32> {
+        let idx = op.index() * self.library.len() + m.index();
+        if let Some(v) = self.start0_cache.borrow()[idx] {
+            return v;
+        }
+        let v = self.candidate_start(op, m, 0);
+        self.start0_cache.borrow_mut()[idx] = Some(v);
+        v
     }
 
     /// The earliest feasible start for `op` executed on module `m`, no
@@ -346,14 +469,13 @@ impl Context<'_> {
         shared as f64 * self.options.weights.interconnect
     }
 
-    /// Modules allowed for `op` under the ablation switches.
-    fn modules_for(&self, op: NodeId) -> Vec<ModuleId> {
+    /// Modules allowed for `op` under the ablation switches (borrowed —
+    /// no per-query allocation).
+    fn modules_for(&self, op: NodeId) -> &[ModuleId] {
         if self.options.module_selection {
-            self.library
-                .candidates(self.graph.node(op).kind())
-                .collect()
+            &self.kind_modules[&self.graph.node(op).kind()]
         } else {
-            vec![self.est_modules[op.index()]]
+            std::slice::from_ref(&self.est_modules[op.index()])
         }
     }
 }
@@ -364,14 +486,14 @@ fn enumerate_candidates(ctx: &Context<'_>, unbound: &BTreeSet<NodeId>) -> Vec<De
     let unbound_vec: Vec<NodeId> = unbound.iter().copied().collect();
 
     for &u in &unbound_vec {
-        for m in ctx.modules_for(u) {
+        for &m in ctx.modules_for(u) {
             let spec = ctx.library.module(m);
             let area = f64::from(spec.area());
             // (1) Merge onto an existing instance: earliest start at which
             // the instance is free and power fits. Starting later than the
             // op's free earliest start consumes schedule slack and is
             // penalized (see `CostWeights::displacement`).
-            let free_start = ctx.candidate_start(u, m, 0);
+            let free_start = ctx.candidate_start0(u, m);
             for iid in ctx.binding.instance_ids() {
                 let inst = ctx.binding.instance(iid);
                 if inst.module() != m {
@@ -397,7 +519,7 @@ fn enumerate_candidates(ctx: &Context<'_>, unbound: &BTreeSet<NodeId>) -> Vec<De
                 }
             }
             // (3) Dedicated instance (fallback).
-            if let Some(s) = ctx.candidate_start(u, m, 0) {
+            if let Some(s) = ctx.candidate_start0(u, m) {
                 out.push(Decision {
                     op: u,
                     module: m,
@@ -418,7 +540,7 @@ fn enumerate_candidates(ctx: &Context<'_>, unbound: &BTreeSet<NodeId>) -> Vec<De
             } else {
                 (u, v)
             };
-            for m in ctx.modules_for(first) {
+            for &m in ctx.modules_for(first) {
                 let spec = ctx.library.module(m);
                 if !spec.implements(ctx.graph.node(second).kind()) {
                     continue;
@@ -428,10 +550,10 @@ fn enumerate_candidates(ctx: &Context<'_>, unbound: &BTreeSet<NodeId>) -> Vec<De
                 if gain <= 0.0 {
                     continue; // two dedicated cheapest units are no worse
                 }
-                let Some(s1) = ctx.candidate_start(first, m, 0) else {
+                let Some(s1) = ctx.candidate_start0(first, m) else {
                     continue;
                 };
-                let Some(s2_free) = ctx.candidate_start(second, m, 0) else {
+                let Some(s2_free) = ctx.candidate_start0(second, m) else {
                     continue;
                 };
                 let Some(s2) = ctx.candidate_start(second, m, s1 + spec.latency()) else {
@@ -468,7 +590,7 @@ fn earliest_instance_fit(
 ) -> Option<u32> {
     let delay = ctx.library.module(m).latency();
     let busy = &ctx.busy[iid.index()];
-    let mut s = ctx.candidate_start(u, m, 0)?;
+    let mut s = ctx.candidate_start0(u, m)?;
     loop {
         // First busy interval overlapping [s, s+delay), if any.
         match busy
@@ -486,19 +608,67 @@ fn earliest_instance_fit(
     }
 }
 
-/// State saved for undoing a decision.
+/// State saved for undoing a decision: previous timing entries, previous
+/// lock state, and bit-exact ledger snapshots of the touched cycles.
 struct Saved {
     op_timing: OpTiming,
+    /// Timing written by `apply` (the module spec's delay/power).
+    applied_timing: OpTiming,
+    /// Whether the op was already locked (then its power is already in
+    /// the ledger and must be neither re-reserved nor released).
+    op_was_locked: bool,
     partner_timing: Option<(NodeId, OpTiming)>,
+    partner_was_locked: bool,
+    /// `(start, previous ledger values)` for every interval reserved by
+    /// `apply`, restored verbatim on undo.
+    ledger_rows: Vec<(u32, Vec<f64>)>,
 }
 
-fn saved_state(cand: &Decision, timing: &TimingMap) -> Saved {
+fn saved_state(
+    cand: &Decision,
+    library: &ModuleLibrary,
+    timing: &TimingMap,
+    locked: &LockedStarts,
+    ledger: &PowerLedger,
+) -> Saved {
+    let spec = library.module(cand.module);
+    // The timing `apply` will write — snapshots must cover the interval
+    // that gets reserved, which uses the *new* module's latency.
+    let applied_timing = OpTiming {
+        delay: spec.latency(),
+        power: spec.power(),
+    };
+    let mut ledger_rows = Vec::with_capacity(2);
+    let op_was_locked = locked.is_locked(cand.op);
+    if !op_was_locked {
+        ledger_rows.push((
+            cand.start,
+            ledger.snapshot(cand.start, applied_timing.delay),
+        ));
+    }
+    let (partner_timing, partner_was_locked) = match cand.target {
+        Target::FreshPair {
+            partner,
+            partner_start,
+        } => {
+            let was = locked.is_locked(partner);
+            if !was {
+                ledger_rows.push((
+                    partner_start,
+                    ledger.snapshot(partner_start, applied_timing.delay),
+                ));
+            }
+            (Some((partner, timing.of(partner))), was)
+        }
+        _ => (None, false),
+    };
     Saved {
         op_timing: timing.of(cand.op),
-        partner_timing: match cand.target {
-            Target::FreshPair { partner, .. } => Some((partner, timing.of(partner))),
-            _ => None,
-        },
+        applied_timing,
+        op_was_locked,
+        partner_timing,
+        partner_was_locked,
+        ledger_rows,
     }
 }
 
@@ -508,6 +678,8 @@ fn apply(
     binding: &mut Binding,
     locked: &mut LockedStarts,
     timing: &mut TimingMap,
+    ledger: &mut PowerLedger,
+    saved: &Saved,
 ) {
     let spec = library.module(cand.module);
     let t = OpTiming {
@@ -516,6 +688,9 @@ fn apply(
     };
     timing.set(cand.op, t);
     locked.lock(cand.op, cand.start);
+    if !saved.op_was_locked {
+        ledger.reserve(cand.start, t.delay, t.power);
+    }
     match cand.target {
         Target::Existing(i) => binding.bind(cand.op, i),
         Target::Fresh => {
@@ -530,6 +705,9 @@ fn apply(
             binding.bind(cand.op, i);
             timing.set(partner, t);
             locked.lock(partner, partner_start);
+            if !saved.partner_was_locked {
+                ledger.reserve(partner_start, t.delay, t.power);
+            }
             binding.bind(partner, i);
         }
     }
@@ -540,15 +718,23 @@ fn undo(
     binding: &mut Binding,
     locked: &mut LockedStarts,
     timing: &mut TimingMap,
+    ledger: &mut PowerLedger,
     saved: &Saved,
 ) {
     binding.unbind(cand.op);
-    locked.unlock(cand.op);
+    if !saved.op_was_locked {
+        locked.unlock(cand.op);
+    }
     timing.set(cand.op, saved.op_timing);
     if let Some((partner, t)) = saved.partner_timing {
         binding.unbind(partner);
-        locked.unlock(partner);
+        if !saved.partner_was_locked {
+            locked.unlock(partner);
+        }
         timing.set(partner, t);
+    }
+    for (start, values) in &saved.ledger_rows {
+        ledger.restore(*start, values);
     }
     // A fresh instance allocated for this decision stays empty and is
     // pruned at the end; ids of other instances are unaffected.
@@ -766,10 +952,33 @@ mod tests {
 
     #[test]
     fn synthesis_is_deterministic() {
-        let g = benchmarks::cosine();
-        let a = synth(&g, 15, 40.0).unwrap();
-        let b = synth(&g, 15, 40.0).unwrap();
-        assert_eq!(a, b);
+        // Repeated runs of the incremental kernel must agree exactly —
+        // including the effort counters, which would diverge if the
+        // fast-commit/dirty tracking were at all order-dependent.
+        for (g, t, p) in [
+            (benchmarks::cosine(), 15, 40.0),
+            (benchmarks::hal(), 10, 20.0),
+            (benchmarks::elliptic(), 22, 30.0),
+        ] {
+            let a = synth(&g, t, p).unwrap();
+            let b = synth(&g, t, p).unwrap();
+            assert_eq!(a, b, "{} T={t} P={p}", g.name());
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn incremental_kernel_skips_redundant_feasibility_checks() {
+        // Most commits land operations exactly at their provisional
+        // starts; the incremental kernel must prove those feasible
+        // without re-running the scheduler.
+        let g = benchmarks::hal();
+        let d = synth(&g, 17, 25.0).unwrap();
+        assert!(
+            d.stats.fast_commits > 0,
+            "no commit used the fast path: {:?}",
+            d.stats
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Minimal data-parallel runtime for the pchls workspace.
+//!
+//! The design-space sweeps behind Figure 2 are embarrassingly parallel:
+//! every grid point is an independent `synthesize` call. The container
+//! this workspace builds in has no network access, so instead of `rayon`
+//! this crate provides the one primitive the exploration layer needs —
+//! an **order-preserving indexed parallel map** over `std::thread::scope`
+//! with an atomic work-stealing cursor — plus a thread-count control.
+//!
+//! Determinism: [`par_map`] returns results in input order regardless of
+//! which worker computed which item, so callers that post-process
+//! sequentially (e.g. the monotone-envelope pass of a power sweep) are
+//! byte-identical to a serial run.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = pchls_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads [`par_map`] uses.
+///
+/// Defaults to [`std::thread::available_parallelism`], clamped to the
+/// item count; the `PCHLS_THREADS` environment variable overrides it
+/// (`PCHLS_THREADS=1` forces serial execution, handy for profiling and
+/// for A/B-testing parallel speedups).
+#[must_use]
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("PCHLS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item in parallel, returning results in input
+/// order.
+///
+/// Work is distributed by an atomic cursor (dynamic scheduling), so
+/// uneven per-item cost — the norm for synthesis points, where tight
+/// constraints backtrack and loose ones finish instantly — balances
+/// automatically. Falls back to a plain serial map for a single worker
+/// or a single item.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let computed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break local;
+                        };
+                        local.push((i, f(item)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in computed {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// [`par_map`] over an index range: `par_map_indices(n, f)` computes
+/// `f(0), ..., f(n-1)` in parallel, in order.
+pub fn par_map_indices<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different cost still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn indices_variant_matches() {
+        assert_eq!(par_map_indices(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+}

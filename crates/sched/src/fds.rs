@@ -41,11 +41,14 @@ pub fn force_directed(
 
     let mut fixed: Vec<Option<u32>> = vec![None; n];
     let (mut early, mut late) = windows(graph, &timing, latency, &fixed)?;
+    // Distribution graphs per module type under the current windows,
+    // maintained incrementally: fixing one operation only shrinks the
+    // windows of its own ancestors/descendants, so each iteration
+    // subtracts the old window contribution of exactly those operations
+    // and adds the new one, instead of rebuilding every row from scratch.
+    let mut dg = distribution(graph, &timing, modules, latency, &early, &late);
 
     for _ in 0..n {
-        // Distribution graphs per module type under the current windows.
-        let dg = distribution(graph, &timing, modules, latency, &early, &late);
-
         // Candidate with minimal total force.
         let mut best: Option<(f64, NodeId, u32)> = None;
         for id in graph.node_ids() {
@@ -65,9 +68,9 @@ pub fn force_directed(
         }
         let Some((_, id, s)) = best else { break };
         fixed[id.index()] = Some(s);
-        let (e2, l2) = windows(graph, &timing, latency, &fixed)?;
-        early = e2;
-        late = l2;
+        refit_windows(
+            graph, &timing, latency, &fixed, &mut early, &mut late, modules, &mut dg, id,
+        )?;
     }
 
     let starts = fixed
@@ -77,6 +80,124 @@ pub fn force_directed(
     let schedule = Schedule::new(starts);
     schedule.validate(graph, &timing, Some(latency), None)?;
     Ok(schedule)
+}
+
+/// Incrementally updates the scheduling windows and distribution graphs
+/// after `fixed_op` was pinned.
+///
+/// Only the fixed operation's reachability cone can change: its
+/// descendants' early starts (forward pass restricted to nodes reachable
+/// from it) and its ancestors' late starts (backward pass restricted to
+/// nodes reaching it). Every operation whose window actually moved has
+/// its old probability mass subtracted from its module's distribution
+/// row and the new mass added — identical (up to float associativity) to
+/// the full rebuild the serial implementation performed each iteration.
+#[allow(clippy::too_many_arguments)]
+fn refit_windows(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    latency: u32,
+    fixed: &[Option<u32>],
+    early: &mut [u32],
+    late: &mut [u32],
+    modules: &[ModuleId],
+    dg: &mut BTreeMap<ModuleId, Vec<f64>>,
+    fixed_op: NodeId,
+) -> Result<(), ScheduleError> {
+    let n = graph.len();
+    // Downward cone (descendants incl. the op itself) over successors.
+    let mut down = vec![false; n];
+    down[fixed_op.index()] = true;
+    for &id in graph.topological() {
+        if down[id.index()] {
+            for &s in graph.successors(id) {
+                down[s.index()] = true;
+            }
+        }
+    }
+    // Upward cone over operands.
+    let mut up = vec![false; n];
+    up[fixed_op.index()] = true;
+    for &id in graph.topological().iter().rev() {
+        if up[id.index()] {
+            for &p in graph.operands(id) {
+                up[p.index()] = true;
+            }
+        }
+    }
+
+    // First-touch snapshot of each changed op's old window.
+    let mut old_window: Vec<Option<(u32, u32)>> = vec![None; n];
+    // Forward pass over the downward cone.
+    for &id in graph.topological() {
+        if !down[id.index()] {
+            continue;
+        }
+        let ready = graph
+            .operands(id)
+            .iter()
+            .map(|&p| early[p.index()] + timing.delay(p))
+            .max()
+            .unwrap_or(0);
+        let new_e = fixed[id.index()].unwrap_or(ready);
+        if new_e != early[id.index()] {
+            old_window[id.index()].get_or_insert((early[id.index()], late[id.index()]));
+            early[id.index()] = new_e;
+        }
+    }
+    // Backward pass over the upward cone.
+    for &id in graph.topological().iter().rev() {
+        if !up[id.index()] {
+            continue;
+        }
+        let deadline = graph
+            .successors(id)
+            .iter()
+            .map(|&s| late[s.index()])
+            .min()
+            .unwrap_or(latency);
+        let new_l =
+            match fixed[id.index()] {
+                Some(s) => s,
+                None => deadline.checked_sub(timing.delay(id)).ok_or(
+                    ScheduleError::LatencyExceeded {
+                        latency: early[id.index()] + timing.delay(id),
+                        bound: latency,
+                    },
+                )?,
+            };
+        if new_l != late[id.index()] {
+            old_window[id.index()].get_or_insert((early[id.index()], late[id.index()]));
+            late[id.index()] = new_l;
+        }
+    }
+    // Feasibility of every touched window.
+    for id in graph.node_ids() {
+        if (down[id.index()] || up[id.index()]) && early[id.index()] > late[id.index()] {
+            return Err(ScheduleError::LatencyExceeded {
+                latency: early[id.index()] + timing.delay(id),
+                bound: latency,
+            });
+        }
+    }
+    // Move each changed op's probability mass.
+    for id in graph.node_ids() {
+        let Some((old_e, old_l)) = old_window[id.index()] else {
+            continue;
+        };
+        let row = dg
+            .entry(modules[id.index()])
+            .or_insert_with(|| vec![0.0; latency as usize]);
+        accumulate(row, old_e, old_l, timing.delay(id), -1.0);
+        accumulate(
+            row,
+            early[id.index()],
+            late[id.index()],
+            timing.delay(id),
+            1.0,
+        );
+    }
+    Ok(())
 }
 
 /// Constrained ASAP/ALAP windows with some operations pinned.

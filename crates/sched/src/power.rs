@@ -192,11 +192,32 @@ impl PowerLedger {
     }
 
     /// Releases a previous reservation.
+    ///
+    /// Floating-point subtraction can leave ~1 ulp of residue; callers
+    /// that need bit-exact rollback (the synthesis loop's candidate
+    /// attempts) should pair [`PowerLedger::snapshot`] /
+    /// [`PowerLedger::restore`] instead.
     pub fn release(&mut self, start: u32, delay: u32, power: f64) {
         for c in start..start + delay {
             let u = &mut self.used[c as usize];
             *u = (*u - power).max(0.0);
         }
+    }
+
+    /// The exact per-cycle reservations over `[start, start + delay)`
+    /// (clipped to the horizon), for later [`PowerLedger::restore`].
+    #[must_use]
+    pub fn snapshot(&self, start: u32, delay: u32) -> Vec<f64> {
+        let end = (start as usize + delay as usize).min(self.used.len());
+        self.used[(start as usize).min(end)..end].to_vec()
+    }
+
+    /// Writes back a [`PowerLedger::snapshot`], undoing every reservation
+    /// and release on those cycles since the snapshot was taken —
+    /// bit-exact, unlike arithmetic [`PowerLedger::release`].
+    pub fn restore(&mut self, start: u32, values: &[f64]) {
+        let s = start as usize;
+        self.used[s..s + values.len()].copy_from_slice(values);
     }
 
     /// The earliest start `s ≥ min_start` such that `[s, s+delay)` fits,

@@ -1,0 +1,267 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the macro surface this workspace's property tests use —
+//! `proptest!`, `prop_compose!`, `prop_assert!`, `prop_assert_eq!`,
+//! `any`, range strategies, `ProptestConfig::with_cases`,
+//! `proptest::collection::vec` — running each test as a fixed number of
+//! deterministic pseudo-random cases. There is no shrinking: a failing
+//! case reports its index and seed, which together with the deterministic
+//! generator makes it exactly reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SampleUniform, SeedableRng};
+
+/// Execution configuration for one `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic case generator passed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the generator for one test case.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator: the core abstraction of this mini-proptest.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.start..self.end)
+    }
+}
+
+/// A strategy built from a sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(pub F);
+
+impl<F: Fn(&mut TestRng) -> T, T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.rng().gen::<u64>()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.rng().gen::<i64>()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen::<bool>()
+    }
+}
+
+/// Strategy for a whole type domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+
+    /// Strategy for fixed-length vectors of `inner`-generated elements.
+    pub struct VecStrategy<S> {
+        inner: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut super::TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.inner.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of exactly `len` elements drawn from `inner`.
+    #[must_use]
+    pub fn vec<S: Strategy>(inner: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { inner, len }
+    }
+}
+
+/// Error type carried by `prop_assert!` failures.
+pub type TestCaseError = String;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_compose, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case with
+/// location information instead of panicking the whole harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed at {}:{}: {} == {}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Defines a named strategy-producing function from component strategies,
+/// mirroring proptest's `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()( $($arg:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Runs each contained test function over many deterministic random
+/// cases, mirroring proptest's `proptest!` block syntax.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // A fixed per-test seed stream: deterministic across
+                    // runs, distinct across cases.
+                    let seed = 0x5EED_0000_0000_0000u64 ^ u64::from(case);
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(message) = outcome {
+                        panic!("property failed on case {case} (seed {seed:#x}): {message}");
+                    }
+                }
+            }
+        )+
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,240 @@
+//! Offline vendored stand-in for `rand`.
+//!
+//! Provides the subset this workspace uses: `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over primitive integer/float ranges, `Rng::gen`, and
+//! `SliceRandom::choose`. The generator is a fixed splitmix64-seeded
+//! xoshiro256++ — deterministic per seed and stable across builds, which
+//! is all the property tests and benchmarks need (the exact stream does
+//! not have to match upstream `rand`).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly over a half-open range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng(), range)
+    }
+
+    /// Samples a value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::generate(self.as_std_rng())
+    }
+}
+
+/// Helper trait tying the object-safe [`Rng`] surface to the concrete
+/// generator (this vendored crate has exactly one).
+pub trait AsStdRng {
+    /// The underlying concrete generator.
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// Types with a natural uniform distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Generates one value.
+    fn generate(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for bool {
+    fn generate(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn generate(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn generate(rng: &mut rngs::StdRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+macro_rules! sample_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                let offset = rng.bounded(span);
+                ((range.start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+sample_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut rngs::StdRng, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let unit = rng.unit_f64();
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut rngs::StdRng, range: Range<f32>) -> f32 {
+        f64::sample(rng, f64::from(range.start)..f64::from(range.end)) as f32
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Uniform value in `[0, span)` (`span > 0`) via Lemire-style
+        /// rejection-free multiply-shift (tiny bias is irrelevant here).
+        pub(crate) fn bounded(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub(crate) fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{AsStdRng, Rng};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: Rng + AsStdRng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng + AsStdRng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = rng.as_std_rng().bounded(self.len() as u64) as usize;
+                self.get(idx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1000..1000);
+            assert!((-1000..1000).contains(&x));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_covers_the_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*xs.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supported shapes — the ones this workspace
+//! uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit variants only (serialized as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    let body = match &ty.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{0}::{1} => serde::Value::Str(\"{1}\".to_string())",
+                        ty.name, v
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{ fn to_value(&self) -> serde::Value {{ {} }} }}",
+        ty.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    let name = &ty.name;
+    let body = match &ty.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.default {
+                        format!(
+                            "{0}: match value.get(\"{0}\") {{ \
+                               Some(v) => serde::Deserialize::from_value(v)?, \
+                               None => Default::default() }}",
+                            f.name
+                        )
+                    } else {
+                        format!(
+                            "{0}: serde::Deserialize::from_value(value.get(\"{0}\")\
+                               .ok_or_else(|| serde::Error::custom(\"missing field `{0}` in {1}\"))?)?",
+                            f.name, name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if value.as_object().is_none() {{ \
+                   return Err(serde::Error::custom(\"expected object for {name}\")); }} \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(value)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array()\
+                   .ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?; \
+                 if items.len() != {n} {{ \
+                   return Err(serde::Error::custom(\"expected {n} elements for {name}\")); }} \
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value {{ \
+                   serde::Value::Str(s) => match s.as_str() {{ {}, \
+                     other => Err(serde::Error::custom(format!(\
+                       \"unknown {name} variant `{{other}}`\"))) }}, \
+                   other => Err(serde::Error::custom(format!(\
+                     \"expected string for {name}, got {{other:?}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+           fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct ParsedType {
+    name: String,
+    shape: Shape,
+}
+
+/// Parses `struct Name { ... }`, `struct Name(...)`, or `enum Name { ... }`
+/// from the derive input, skipping attributes, visibility and `where`-less
+/// bodies. Generics are rejected (nothing in this workspace derives on a
+/// generic type).
+fn parse_type(input: TokenStream) -> ParsedType {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" | "crate" => {}
+                    "struct" | "enum" => {
+                        kind = Some(s);
+                        if let Some(TokenTree::Ident(n)) = tokens.next() {
+                            name = Some(n.to_string());
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Group(_) => {} // pub(crate) restriction group
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input contains `struct` or `enum`");
+    let name = name.expect("type name follows the keyword");
+
+    // The next group is the body; a `<` first would mean generics.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generic types")
+            }
+            Some(_) => {}
+            None => panic!("type body not found for {name}"),
+        }
+    };
+
+    let shape = if kind == "enum" {
+        Shape::UnitEnum(parse_unit_variants(body.stream()))
+    } else {
+        match body.delimiter() {
+            Delimiter::Brace => Shape::Named(parse_named_fields(body.stream())),
+            Delimiter::Parenthesis => Shape::Tuple(count_tuple_fields(body.stream())),
+            d => panic!("unsupported struct body delimiter {d:?} for {name}"),
+        }
+    };
+    ParsedType { name, shape }
+}
+
+/// Parses `ident: Type, ...` fields, honouring `#[serde(default)]` and
+/// skipping other attributes and visibility. Commas inside angle brackets
+/// (e.g. `BTreeMap<String, u32>`) are not field separators.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        // Attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        let attr = g.stream().to_string();
+                        if attr.starts_with("serde") && attr.contains("default") {
+                            default = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Possible pub(crate)-style restriction follows.
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        let _ = tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token {other} in struct body"),
+            }
+        };
+        fields.push(Field { name, default });
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts tuple-struct fields by top-level commas.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for tt in body {
+        saw_token = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount by one; none of our types use one.
+    if saw_token {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parses unit enum variants, rejecting data-carrying ones.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next(); // attribute group
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match tokens.peek() {
+                    Some(TokenTree::Group(_)) => {
+                        panic!("vendored serde derive supports unit enum variants only")
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        panic!("vendored serde derive does not support discriminants")
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token {other} in enum body"),
+        }
+    }
+    variants
+}
