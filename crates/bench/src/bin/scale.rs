@@ -1,0 +1,222 @@
+//! Kernel-focused scaling benchmark: times the synthesis kernel itself
+//! (not the sweep layer) on the paper's benchmarks and on progressively
+//! larger random CDFGs, serial vs. parallel candidate scoring, and
+//! writes the measurement to `BENCH_2.json` (`pchls-bench-v1`, workload
+//! `synthesis-kernel`).
+//!
+//! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
+//! so CI can keep the workload from rotting.
+//!
+//! Serial timings run under [`pchls_par::with_serial`], which forces
+//! every `par_map` inside the kernel onto the calling thread — the
+//! in-process A/B switch — and both sides are compared for exact
+//! equality (`outputs_identical`): parallel scoring must reproduce the
+//! serial decision trace bit for bit.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pchls_cdfg::{benchmarks, random_dag, Cdfg, RandomDagConfig};
+use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls_fulib::{paper_library, SelectionPolicy};
+use pchls_sched::TimingMap;
+
+/// One timed case of the workload.
+struct Case {
+    name: String,
+    graph: Cdfg,
+    constraints: SynthesisConstraints,
+}
+
+/// Per-case record in `BENCH_2.json`.
+#[derive(Debug, Serialize)]
+struct CaseRecord {
+    /// Case label (benchmark name or random-graph descriptor).
+    name: String,
+    /// Node count of the CDFG.
+    nodes: usize,
+    /// Latency constraint `T`.
+    latency_bound: u32,
+    /// Power constraint `P<`.
+    power_bound: f64,
+    /// Synthesis repetitions per side.
+    reps: usize,
+    /// Wall-clock seconds for the serial-kernel side.
+    serial_secs: f64,
+    /// Wall-clock seconds for the parallel-kernel side.
+    parallel_secs: f64,
+    /// Whether synthesis succeeded (both sides must agree).
+    feasible: bool,
+}
+
+/// The perf-trajectory record (`BENCH_*.json`), same top-level fields as
+/// `suite`'s `BENCH_1.json` so the trajectory stays comparable.
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Synthesis runs per side (cases × reps).
+    points: usize,
+    /// Worker threads the parallel side may use.
+    threads: usize,
+    /// Host cores (`available_parallelism`); speedup is bounded by this.
+    host_cores: usize,
+    /// Wall-clock seconds for the serial-kernel side.
+    serial_secs: f64,
+    /// Wall-clock seconds for the parallel-kernel side.
+    parallel_secs: f64,
+    /// `serial_secs / parallel_secs`.
+    speedup: f64,
+    /// Whether parallel scoring reproduced the serial designs exactly.
+    outputs_identical: bool,
+    /// Per-case breakdown.
+    cases: Vec<CaseRecord>,
+}
+
+/// Latency bound for a graph: twice the fastest-module critical path —
+/// generous enough that pasap can stretch under the power cap, tight
+/// enough that module selection and pair merging stay non-trivial.
+fn latency_for(graph: &Cdfg) -> u32 {
+    let lib = paper_library();
+    let timing = TimingMap::from_policy(graph, &lib, SelectionPolicy::Fastest);
+    pchls_sched::asap(graph, &timing).latency(&timing) * 2
+}
+
+fn random_case(ops: usize, seed: u64, power: f64) -> Case {
+    let graph = random_dag(&RandomDagConfig {
+        ops,
+        inputs: 6,
+        outputs: 3,
+        mul_permille: 300,
+        depth_bias: 2,
+        seed,
+    });
+    let constraints = SynthesisConstraints::new(latency_for(&graph), power);
+    Case {
+        name: format!("rand{ops}/{seed}"),
+        graph,
+        constraints,
+    }
+}
+
+fn paper_case(graph: Cdfg, latency: u32, power: f64) -> Case {
+    Case {
+        name: graph.name().to_owned(),
+        constraints: SynthesisConstraints::new(latency, power),
+        graph,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let lib = paper_library();
+    let opts = SynthesisOptions::default();
+
+    let (cases, reps) = if smoke {
+        (
+            vec![
+                paper_case(benchmarks::hal(), 17, 25.0),
+                random_case(30, 11, 60.0),
+            ],
+            1,
+        )
+    } else {
+        (
+            vec![
+                paper_case(benchmarks::hal(), 17, 25.0),
+                paper_case(benchmarks::cosine(), 15, 40.0),
+                paper_case(benchmarks::elliptic(), 22, 30.0),
+                random_case(60, 11, 60.0),
+                random_case(120, 12, 60.0),
+                random_case(200, 13, 60.0),
+            ],
+            3,
+        )
+    };
+
+    let mut records = Vec::new();
+    let mut outputs_identical = true;
+    println!(
+        "{:<12} {:>5} {:>4} {:>6} | {:>10} {:>10} {:>7} {:>9}",
+        "case", "nodes", "T", "P<", "serial_s", "par_s", "speedup", "identical"
+    );
+    println!("{}", "-".repeat(72));
+    for case in &cases {
+        // Warm-up (untimed) run so allocator state is comparable.
+        let _ = synthesize(&case.graph, &lib, case.constraints, &opts);
+
+        let start = Instant::now();
+        let mut serial = Vec::new();
+        for _ in 0..reps {
+            serial.push(pchls_par::with_serial(|| {
+                synthesize(&case.graph, &lib, case.constraints, &opts)
+            }));
+        }
+        let serial_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut parallel = Vec::new();
+        for _ in 0..reps {
+            parallel.push(synthesize(&case.graph, &lib, case.constraints, &opts));
+        }
+        let parallel_secs = start.elapsed().as_secs_f64();
+
+        let identical = serial.iter().zip(&parallel).all(|(s, p)| match (s, p) {
+            (Ok(a), Ok(b)) => a == b && a.stats == b.stats,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        });
+        outputs_identical &= identical;
+        let feasible = serial[0].is_ok();
+        println!(
+            "{:<12} {:>5} {:>4} {:>6} | {:>10.4} {:>10.4} {:>6.2}x {:>9}",
+            case.name,
+            case.graph.len(),
+            case.constraints.latency,
+            case.constraints.max_power,
+            serial_secs,
+            parallel_secs,
+            serial_secs / parallel_secs,
+            identical,
+        );
+        records.push(CaseRecord {
+            name: case.name.clone(),
+            nodes: case.graph.len(),
+            latency_bound: case.constraints.latency,
+            power_bound: case.constraints.max_power,
+            reps,
+            serial_secs,
+            parallel_secs,
+            feasible,
+        });
+    }
+
+    let serial_secs: f64 = records.iter().map(|r| r.serial_secs).sum();
+    let parallel_secs: f64 = records.iter().map(|r| r.parallel_secs).sum();
+    let record = BenchRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "synthesis-kernel".into(),
+        points: cases.len() * reps,
+        threads: pchls_par::thread_count(),
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        outputs_identical,
+        cases: records,
+    };
+    println!(
+        "\ntotal: serial {:.3}s | parallel {:.3}s | speedup {:.2}x | identical: {}",
+        record.serial_secs, record.parallel_secs, record.speedup, record.outputs_identical
+    );
+    assert!(
+        record.outputs_identical,
+        "parallel candidate scoring diverged from the serial decision trace"
+    );
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_2.json", json).expect("write BENCH_2.json");
+    eprintln!("wrote BENCH_2.json");
+}

@@ -5,7 +5,9 @@
 //! compared for exact equality.
 
 use pchls_bench::{figure2_curves, figure2_power_grid};
-use pchls_core::{power_sweep, power_sweep_serial, sweep_many, SweepRequest, SynthesisOptions};
+use pchls_core::{
+    power_sweep, power_sweep_serial, sweep_many, synthesize, SweepRequest, SynthesisOptions,
+};
 use pchls_fulib::paper_library;
 
 /// Every 5th point of the Figure 2 grid: spans the whole axis (including
@@ -55,4 +57,69 @@ fn parallel_sweeps_are_reproducible_across_runs() {
     let a = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
     let b = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
     assert_eq!(a, b);
+}
+
+/// The kernel-level guarantee: parallel candidate scoring inside
+/// `synthesize` must reproduce the serial decision trace — designs *and*
+/// effort counters — on every Figure 2 curve, across the whole power
+/// axis (feasible and infeasible points alike).
+#[test]
+fn kernel_parallel_scoring_reproduces_serial_trace_on_figure2_curves() {
+    let lib = paper_library();
+    let opts = SynthesisOptions::default();
+    for (graph, latency) in figure2_curves() {
+        for power in thinned_grid() {
+            let constraints = pchls_core::SynthesisConstraints::new(latency, power);
+            let serial = pchls_par::with_serial(|| synthesize(&graph, &lib, constraints, &opts));
+            let parallel = synthesize(&graph, &lib, constraints, &opts);
+            match (serial, parallel) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{} T={latency} P={power} design", graph.name());
+                    assert_eq!(
+                        a.stats,
+                        b.stats,
+                        "{} T={latency} P={power} trace",
+                        graph.name()
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (s, p) => panic!(
+                    "{} T={latency} P={power}: feasibility diverged (serial ok: {}, parallel ok: {})",
+                    graph.name(),
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Larger-than-paper graphs cross the kernel's parallel threshold from
+/// the first iteration; the serial trace must still be reproduced.
+#[test]
+fn kernel_parallel_scoring_reproduces_serial_trace_on_large_random_graphs() {
+    let lib = paper_library();
+    let opts = SynthesisOptions::default();
+    for seed in [11, 12] {
+        let graph = pchls_cdfg::random_dag(&pchls_cdfg::RandomDagConfig {
+            ops: 60,
+            inputs: 6,
+            outputs: 3,
+            mul_permille: 300,
+            depth_bias: 2,
+            seed,
+        });
+        let timing = pchls_sched::TimingMap::from_policy(
+            &graph,
+            &lib,
+            pchls_fulib::SelectionPolicy::Fastest,
+        );
+        let latency = pchls_sched::asap(&graph, &timing).latency(&timing) * 2;
+        let constraints = pchls_core::SynthesisConstraints::new(latency, 60.0);
+        let serial = pchls_par::with_serial(|| synthesize(&graph, &lib, constraints, &opts))
+            .expect("feasible");
+        let parallel = synthesize(&graph, &lib, constraints, &opts).expect("feasible");
+        assert_eq!(serial, parallel, "seed {seed} design");
+        assert_eq!(serial.stats, parallel.stats, "seed {seed} trace");
+    }
 }

@@ -34,6 +34,11 @@ pub struct Reachability {
     words: usize,
     /// `desc[i]` = bitset of nodes reachable from `i` (excluding `i`).
     desc: Vec<u64>,
+    /// `anc[i]` = bitset of nodes that reach `i` (excluding `i`) — the
+    /// transpose of `desc`, precomputed so a fixed operation's full
+    /// dependence cone (the set force-directed scheduling must refit) is
+    /// two word-slices instead of two graph traversals.
+    anc: Vec<u64>,
 }
 
 impl Reachability {
@@ -42,28 +47,84 @@ impl Reachability {
     pub fn new(graph: &Cdfg) -> Reachability {
         let n = graph.len();
         let words = n.div_ceil(64);
+        // `desc[i] |= desc[s] | {s}` for each edge i→s, successors first.
         let mut desc = vec![0u64; n * words];
-        // Process in reverse topological order so successors are done first.
         for &id in graph.topological().iter().rev() {
             let i = id.index();
             for &s in graph.successors(id) {
                 let si = s.index();
-                // desc[i] |= desc[s] | {s}
-                let (lo, hi) = if i < si { (i, si) } else { (si, i) };
-                let (a, b) = desc.split_at_mut(hi * words);
-                let (dst, src) = if i < si {
-                    (&mut a[lo * words..lo * words + words], &b[..words])
-                } else {
-                    // i > si: dst is in the upper half.
-                    (&mut b[..words], &a[lo * words..lo * words + words])
-                };
-                for w in 0..words {
-                    dst[w] |= src[w];
-                }
+                union_row(&mut desc, words, i, si);
                 desc[i * words + si / 64] |= 1u64 << (si % 64);
             }
         }
-        Reachability { n, words, desc }
+        // `anc[s] |= anc[i] | {i}` for each edge i→s, predecessors first.
+        let mut anc = vec![0u64; n * words];
+        for &id in graph.topological() {
+            let i = id.index();
+            for &s in graph.successors(id) {
+                let si = s.index();
+                union_row(&mut anc, words, si, i);
+                anc[si * words + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        Reachability {
+            n,
+            words,
+            desc,
+            anc,
+        }
+    }
+
+    /// Number of `u64` words per node bitset row.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.words
+    }
+
+    /// Bitset of the nodes reachable from `id` (excluding `id`), one bit
+    /// per node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the analyzed graph.
+    #[must_use]
+    pub fn descendant_words(&self, id: NodeId) -> &[u64] {
+        assert!(id.index() < self.n, "foreign id");
+        &self.desc[id.index() * self.words..(id.index() + 1) * self.words]
+    }
+
+    /// Bitset of the nodes that reach `id` (excluding `id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the analyzed graph.
+    #[must_use]
+    pub fn ancestor_words(&self, id: NodeId) -> &[u64] {
+        assert!(id.index() < self.n, "foreign id");
+        &self.anc[id.index() * self.words..(id.index() + 1) * self.words]
+    }
+
+    /// Whether node index `index` is set in a bitset row returned by
+    /// [`Reachability::descendant_words`] /
+    /// [`Reachability::ancestor_words`].
+    #[must_use]
+    pub fn bit(row: &[u64], index: usize) -> bool {
+        row[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Iterates the node ids set in a bitset row, in ascending order.
+    pub fn iter_row(row: &[u64]) -> impl Iterator<Item = NodeId> + '_ {
+        row.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut rest = bits;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(NodeId::new((w * 64) as u32 + b))
+            })
+        })
     }
 
     /// Whether a directed path from `from` to `to` exists (`from != to`
@@ -93,6 +154,21 @@ impl Reachability {
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+}
+
+/// `rows[dst] |= rows[src]`, borrowing both rows disjointly.
+fn union_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src, "a DAG has no self edges");
+    let (lo, hi) = if dst < src { (dst, src) } else { (src, dst) };
+    let (a, b) = rows.split_at_mut(hi * words);
+    let (d, s) = if dst < src {
+        (&mut a[lo * words..lo * words + words], &b[..words])
+    } else {
+        (&mut b[..words], &a[lo * words..lo * words + words])
+    };
+    for w in 0..words {
+        d[w] |= s[w];
     }
 }
 
@@ -270,6 +346,24 @@ mod tests {
             for c in g.node_ids().step_by(5) {
                 assert_eq!(r.reaches(a, c), reaches_dfs(a, c), "{a} -> {c}");
             }
+        }
+
+        // The ancestor bitsets are the exact transpose of the descendant
+        // bitsets, and row iteration enumerates exactly the set bits.
+        for a in g.node_ids() {
+            for c in g.node_ids() {
+                assert_eq!(
+                    r.reaches(a, c),
+                    Reachability::bit(r.descendant_words(a), c.index())
+                );
+                assert_eq!(
+                    r.reaches(a, c),
+                    Reachability::bit(r.ancestor_words(c), a.index())
+                );
+            }
+            let iterated: Vec<NodeId> = Reachability::iter_row(r.descendant_words(a)).collect();
+            let expected: Vec<NodeId> = g.node_ids().filter(|&c| r.reaches(a, c)).collect();
+            assert_eq!(iterated, expected);
         }
     }
 }

@@ -44,6 +44,20 @@ impl OpKind {
     /// [`OpKind::Output`]).
     pub const COMPUTE: [OpKind; 4] = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Comp];
 
+    /// Dense index of this kind: its position in [`OpKind::ALL`], for
+    /// flat kind-keyed arenas.
+    ///
+    /// ```
+    /// use pchls_cdfg::OpKind;
+    /// for (i, k) in OpKind::ALL.iter().enumerate() {
+    ///     assert_eq!(k.index(), i);
+    /// }
+    /// ```
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Number of data operands the operation consumes.
     ///
     /// ```

@@ -1,8 +1,5 @@
 //! The combined power-constrained scheduling/allocation/binding loop.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
-
 use pchls_bind::{Binding, InstanceId};
 use pchls_cdfg::{Cdfg, NodeId, OpKind, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary, SelectionPolicy};
@@ -62,17 +59,33 @@ pub fn synthesize(
     let n = graph.len();
     let reach = Reachability::new(graph);
     let (mut timing, est_modules) = bootstrap(graph, library, constraints, &reach)?;
-    // Per-kind module candidate lists, computed once: the library is
-    // immutable, so re-collecting them per candidate (the old behaviour)
-    // only burned allocations.
-    let kind_modules: BTreeMap<OpKind, Vec<ModuleId>> = OpKind::ALL
+    // Per-kind module candidate lists, computed once into a dense arena
+    // indexed by [`OpKind::index`]: the library is immutable, so
+    // re-collecting them per candidate (the old behaviour) only burned
+    // allocations.
+    let kind_modules: Vec<Vec<ModuleId>> = OpKind::ALL
         .iter()
-        .map(|&k| (k, library.candidates(k).collect()))
+        .map(|&k| library.candidates(k).collect())
         .collect();
+    // Whether any library module implements both kinds: pairs of
+    // incompatible kinds can never share a unit, so the O(n²) pair loop
+    // drops them with one table load instead of probing modules.
+    let mut kind_compat = [[false; OpKind::ALL.len()]; OpKind::ALL.len()];
+    for a in 0..OpKind::ALL.len() {
+        for (b, &kb) in OpKind::ALL.iter().enumerate() {
+            kind_compat[a][b] = kind_modules[a]
+                .iter()
+                .any(|&m| library.module(m).implements(kb));
+        }
+    }
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
-    let mut unbound: BTreeSet<NodeId> = graph.node_ids().collect();
+    // Dense membership of the not-yet-bound operations; `unbound_vec`
+    // below re-materializes the ascending-id order the scoring pass
+    // iterates in.
+    let mut unbound = vec![true; n];
+    let mut unbound_count = n;
     let mut stats = SynthesisStats::default();
 
     // The per-cycle power reserved by locked operations, maintained
@@ -98,7 +111,7 @@ pub fn synthesize(
     .map_err(|cause| SynthesisError::Infeasible { cause })?;
     let mut dirty = false;
 
-    while !unbound.is_empty() {
+    while unbound_count > 0 {
         if dirty {
             provisional = pasap_locked(
                 graph,
@@ -113,18 +126,40 @@ pub fn synthesize(
         // The soft deadlines must track every lock, so the reversed
         // heuristic is recomputed each iteration. It can fail where the
         // forward one succeeded; fall back to zero mobility (late =
-        // early), which is always safe.
-        let late = palap_locked(
+        // early, the provisional schedule itself), which is always safe
+        // — borrowed, not cloned.
+        let palap = palap_locked(
             graph,
             &timing,
             constraints.max_power,
             constraints.latency,
             &locked,
         )
-        .unwrap_or_else(|_| provisional.clone());
+        .ok();
+        let late = palap.as_ref().unwrap_or(&provisional);
+
+        let unbound_vec: Vec<NodeId> = (0..n)
+            .filter(|&i| unbound[i])
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        // Candidate scoring fans out across the worker pool only when
+        // the iteration is wide enough to amortize the spawn and a
+        // fan-out would actually happen (single-worker hosts and nested
+        // sweep workers stay on the buffer-free serial shape); both
+        // paths produce bit-identical decisions (see
+        // `enumerate_candidates`).
+        let parallel =
+            unbound_vec.len() >= PAR_MIN_OPS && pchls_par::would_parallelize(unbound_vec.len());
 
         let busy = instance_busy(&binding, &locked, &timing);
-        let ctx = Context {
+        // Open instances bucketed by module (ascending instance id per
+        // row), so a candidate (op, module) only visits the instances it
+        // could actually merge onto.
+        let mut by_module: Vec<Vec<InstanceId>> = vec![Vec::new(); library.len()];
+        for iid in binding.instance_ids() {
+            by_module[binding.instance(iid).module().index()].push(iid);
+        }
+        let mut ctx = Context {
             graph,
             library,
             options,
@@ -136,31 +171,45 @@ pub fn synthesize(
             locked: &locked,
             ledger: &ledger,
             busy: &busy,
+            by_module: &by_module,
+            kind_compat: &kind_compat,
             provisional: &provisional,
-            late: &late,
+            late,
             constraints,
-            avoided_cache: RefCell::new(vec![None; n]),
-            start0_cache: RefCell::new(vec![None; n * library.len()]),
+            start0: Vec::new(),
+            avoided: Vec::new(),
         };
-        let mut candidates = enumerate_candidates(&ctx, &unbound);
+        ctx.precompute_tables(&unbound_vec, parallel);
+        let candidates = enumerate_candidates(&ctx, &unbound_vec, parallel);
         // Deterministic order: best score first, then earlier start, then
-        // smaller op id.
-        candidates.sort_by(|a, b| {
+        // smaller op id, then enumeration index — the index makes the
+        // comparison a *total* order, so the unstable top-k selection
+        // below is deterministic and equal to a stable full sort. Only
+        // the top `MAX_ATTEMPTS` are ever attempted, so an O(C) select
+        // replaces the old O(C log C) full sort of every candidate.
+        let cmp = |&x: &u32, &y: &u32| {
+            let (a, b) = (&candidates[x as usize], &candidates[y as usize]);
             b.score
                 .partial_cmp(&a.score)
                 .expect("scores are finite")
                 .then(a.start.cmp(&b.start))
                 .then(a.op.cmp(&b.op))
-        });
+                .then(x.cmp(&y))
+        };
+        let mut order: Vec<u32> = (0..candidates.len() as u32).collect();
+        if order.len() > MAX_ATTEMPTS {
+            order.select_nth_unstable_by(MAX_ATTEMPTS - 1, cmp);
+            order.truncate(MAX_ATTEMPTS);
+        }
+        order.sort_unstable_by(cmp);
 
         // Try candidates best-first; a candidate commits only if the
         // remaining operations still admit a power-feasible schedule (the
         // paper's feasibility check). Rejected candidates are undone and
         // skipped; attempts are capped so a pathological iteration stays
         // cheap.
-        const MAX_ATTEMPTS: usize = 64;
         let mut committed = false;
-        for cand in candidates.iter().take(MAX_ATTEMPTS) {
+        for cand in order.iter().map(|&i| &candidates[i as usize]) {
             let saved = saved_state(cand, library, &timing, &locked, &ledger);
             apply(
                 cand,
@@ -186,10 +235,12 @@ pub fn synthesize(
                 )
                 .is_ok();
             if feasible {
-                unbound.remove(&cand.op);
+                unbound[cand.op.index()] = false;
+                unbound_count -= 1;
                 stats.decisions += 1;
                 if let Target::FreshPair { partner, .. } = cand.target {
-                    unbound.remove(&partner);
+                    unbound[partner.index()] = false;
+                    unbound_count -= 1;
                     stats.decisions += 1;
                 }
                 if clean {
@@ -220,13 +271,13 @@ pub fn synthesize(
             if !options.backtracking {
                 return Err(SynthesisError::Infeasible {
                     cause: ScheduleError::Infeasible {
-                        node: *unbound.iter().next().expect("non-empty"),
+                        node: unbound_vec[0],
                         horizon: constraints.latency,
                         max_power: constraints.max_power,
                     },
                 });
             }
-            for &v in &unbound {
+            for &v in &unbound_vec {
                 locked.lock(v, provisional.start(v));
             }
             // Rebuild the ledger from the full locked set (the newly
@@ -282,9 +333,20 @@ fn is_clean(cand: &Decision, saved: &Saved, provisional: &Schedule) -> bool {
     }
 }
 
+/// Minimum unbound-op count at which one scoring iteration fans out
+/// across the worker pool: below this the per-iteration thread spawn
+/// costs more than the (identical) serial pass.
+const PAR_MIN_OPS: usize = 24;
+
+/// Candidate attempts per iteration: commits are tried best-first and a
+/// pathological iteration must stay cheap.
+const MAX_ATTEMPTS: usize = 64;
+
 /// Read-only state shared by the candidate enumeration helpers, plus
-/// per-iteration memo tables (every cached quantity depends only on
-/// state that is fixed for the whole enumeration pass).
+/// per-iteration score tables (every tabulated quantity depends only on
+/// state that is fixed for the whole enumeration pass, so the tables are
+/// filled up-front — in parallel on wide iterations — and the scoring
+/// context stays `Sync` for the fan-out).
 struct Context<'a> {
     graph: &'a Cdfg,
     library: &'a ModuleLibrary,
@@ -292,20 +354,27 @@ struct Context<'a> {
     reach: &'a Reachability,
     timing: &'a TimingMap,
     est_modules: &'a [ModuleId],
-    kind_modules: &'a BTreeMap<OpKind, Vec<ModuleId>>,
+    /// Per-kind module candidate lists, indexed by [`OpKind::index`].
+    kind_modules: &'a [Vec<ModuleId>],
     binding: &'a Binding,
     locked: &'a LockedStarts,
     ledger: &'a PowerLedger,
     busy: &'a [Vec<(u32, u32)>],
+    /// Open instances per library module, ascending instance id.
+    by_module: &'a [Vec<InstanceId>],
+    /// `kind_compat[a][b]`: some module implements both kinds.
+    kind_compat: &'a [[bool; OpKind::ALL.len()]; OpKind::ALL.len()],
     provisional: &'a Schedule,
     late: &'a Schedule,
     constraints: SynthesisConstraints,
-    /// Memoized [`Context::avoided_area`] per operation: the pair-merge
-    /// loop queries it O(n²·modules) times for only n distinct answers.
-    avoided_cache: RefCell<Vec<Option<f64>>>,
-    /// Memoized `candidate_start(op, m, 0)`, flattened as
-    /// `op.index() * library.len() + m.index()`.
-    start0_cache: RefCell<Vec<Option<Option<u32>>>>,
+    /// Tabulated `candidate_start(op, m, 0)`, flattened as
+    /// `op.index() * library.len() + m.index()`; filled for every unbound
+    /// op over its kind's candidate modules (the only entries scoring
+    /// reads). The pair-merge loop queries these O(n²·modules) times for
+    /// only O(n·modules) distinct answers.
+    start0: Vec<Option<u32>>,
+    /// Tabulated [`Context::avoided_area`] per unbound operation.
+    avoided: Vec<f64>,
 }
 
 /// The per-cycle power already reserved by locked operations.
@@ -355,45 +424,75 @@ fn instance_busy(
 }
 
 impl Context<'_> {
-    /// Area of the cheapest library module that could *feasibly* execute
-    /// `op` in the current state — the unit a successful merge avoids
-    /// opening. Feasibility matters: when the latency bound rules the
-    /// serial multiplier out for an operation, merging it onto a parallel
-    /// multiplier avoids a 339-area unit, not a 103-area one.
-    fn avoided_area(&self, op: NodeId) -> f64 {
-        if let Some(v) = self.avoided_cache.borrow()[op.index()] {
-            return v;
-        }
-        let kind_list = &self.kind_modules[&self.graph.node(op).kind()];
-        let v = kind_list
-            .iter()
-            .filter(|&&m| self.candidate_start0(op, m).is_some())
-            .map(|&m| self.library.module(m).area())
-            .min()
-            .or_else(|| {
-                // Nothing currently fits (rare, mid-backtrack): fall back
-                // to the global cheapest so scoring stays total.
-                kind_list
+    /// Fills the `start0`/`avoided` score tables for the unbound
+    /// operations, fanning the per-op rows across the worker pool on
+    /// wide iterations (each row is an independent pure function of the
+    /// iteration-fixed state, and [`pchls_par::par_map`] preserves input
+    /// order, so the tables are bit-identical to a serial fill).
+    fn precompute_tables(&mut self, unbound: &[NodeId], parallel: bool) {
+        let lib_len = self.library.len();
+        let mut start0 = vec![None; self.graph.len() * lib_len];
+        if parallel {
+            let rows: Vec<Vec<(ModuleId, Option<u32>)>> = pchls_par::par_map(unbound, |&u| {
+                self.kind_list(u)
                     .iter()
-                    .map(|&m| self.library.module(m).area())
-                    .min()
-            })
-            .map(f64::from)
-            .expect("library coverage checked at bootstrap");
-        self.avoided_cache.borrow_mut()[op.index()] = Some(v);
-        v
+                    .map(|&m| (m, self.candidate_start(u, m, 0)))
+                    .collect()
+            });
+            for (&u, row) in unbound.iter().zip(&rows) {
+                for &(m, s) in row {
+                    start0[u.index() * lib_len + m.index()] = s;
+                }
+            }
+        } else {
+            // Narrow iteration: fill in place, no per-op row buffers.
+            for &u in unbound {
+                for &m in self.kind_list(u) {
+                    start0[u.index() * lib_len + m.index()] = self.candidate_start(u, m, 0);
+                }
+            }
+        }
+        let mut avoided = vec![0.0; self.graph.len()];
+        for &u in unbound {
+            let row = self.kind_list(u);
+            // Area of the cheapest library module that could *feasibly*
+            // execute `u` in the current state — the unit a successful
+            // merge avoids opening. Feasibility matters: when the latency
+            // bound rules the serial multiplier out for an operation,
+            // merging it onto a parallel multiplier avoids a 339-area
+            // unit, not a 103-area one.
+            avoided[u.index()] = row
+                .iter()
+                .filter(|&&m| start0[u.index() * lib_len + m.index()].is_some())
+                .map(|&m| self.library.module(m).area())
+                .min()
+                .or_else(|| {
+                    // Nothing currently fits (rare, mid-backtrack): fall
+                    // back to the global cheapest so scoring stays total.
+                    row.iter().map(|&m| self.library.module(m).area()).min()
+                })
+                .map(f64::from)
+                .expect("library coverage checked at bootstrap");
+        }
+        self.start0 = start0;
+        self.avoided = avoided;
     }
 
-    /// Memoized `candidate_start(op, m, 0)` — the form every scoring path
-    /// asks for repeatedly.
+    /// The candidate modules of `op`'s kind.
+    fn kind_list(&self, op: NodeId) -> &[ModuleId] {
+        &self.kind_modules[self.graph.node(op).kind().index()]
+    }
+
+    /// Tabulated avoided area of `op` (unbound ops only).
+    fn avoided_area(&self, op: NodeId) -> f64 {
+        self.avoided[op.index()]
+    }
+
+    /// Tabulated `candidate_start(op, m, 0)` — the form every scoring
+    /// path asks for repeatedly. Valid for unbound `op` and any `m`
+    /// implementing its kind.
     fn candidate_start0(&self, op: NodeId, m: ModuleId) -> Option<u32> {
-        let idx = op.index() * self.library.len() + m.index();
-        if let Some(v) = self.start0_cache.borrow()[idx] {
-            return v;
-        }
-        let v = self.candidate_start(op, m, 0);
-        self.start0_cache.borrow_mut()[idx] = Some(v);
-        v
+        self.start0[op.index() * self.library.len() + m.index()]
     }
 
     /// The earliest feasible start for `op` executed on module `m`, no
@@ -436,14 +535,9 @@ impl Context<'_> {
             .unwrap_or(u32::MAX)
             .min(soft_deadline)
             .min(self.constraints.latency);
-        let mut s = ready;
-        while s + delay <= deadline {
-            if self.ledger.fits(s, delay, power) {
-                return Some(s);
-            }
-            s += 1;
-        }
-        None
+        // Deadline-bounded offset search on the ledger (log-time skips,
+        // identical result to the old cycle-by-cycle scan).
+        self.ledger.earliest_fit_by(ready, delay, power, deadline)
     }
 
     /// Interconnect bonus: shared operand producers / result consumers.
@@ -473,7 +567,7 @@ impl Context<'_> {
     /// no per-query allocation).
     fn modules_for(&self, op: NodeId) -> &[ModuleId] {
         if self.options.module_selection {
-            &self.kind_modules[&self.graph.node(op).kind()]
+            self.kind_list(op)
         } else {
             std::slice::from_ref(&self.est_modules[op.index()])
         }
@@ -481,103 +575,154 @@ impl Context<'_> {
 }
 
 /// Enumerates every feasible decision for the unbound operations.
-fn enumerate_candidates(ctx: &Context<'_>, unbound: &BTreeSet<NodeId>) -> Vec<Decision> {
-    let mut out = Vec::new();
-    let unbound_vec: Vec<NodeId> = unbound.iter().copied().collect();
-
-    for &u in &unbound_vec {
-        for &m in ctx.modules_for(u) {
-            let spec = ctx.library.module(m);
-            let area = f64::from(spec.area());
-            // (1) Merge onto an existing instance: earliest start at which
-            // the instance is free and power fits. Starting later than the
-            // op's free earliest start consumes schedule slack and is
-            // penalized (see `CostWeights::displacement`).
-            let free_start = ctx.candidate_start0(u, m);
-            for iid in ctx.binding.instance_ids() {
-                let inst = ctx.binding.instance(iid);
-                if inst.module() != m {
-                    continue;
-                }
-                if let Some(s) = earliest_instance_fit(ctx, u, m, iid) {
-                    let displaced = f64::from(s - free_start.expect("fit implies a free start"));
-                    // The +1 bonus breaks ties against pair merges: growing
-                    // an existing clique saves one unit per *one* operation
-                    // consumed, a pair saves one unit per two — without the
-                    // bonus the greedy fragments large op classes into
-                    // many two-op instances.
-                    out.push(Decision {
-                        op: u,
-                        module: m,
-                        start: s,
-                        target: Target::Existing(iid),
-                        score: ctx.options.weights.area * ctx.avoided_area(u)
-                            + ctx.interconnect(u, inst.ops())
-                            - ctx.options.weights.displacement * displaced
-                            + 1.0,
-                    });
-                }
+///
+/// Scoring is embarrassingly parallel over a *deterministic* work list:
+/// one item per unbound op (its existing-instance merges and dedicated
+/// fallback) followed by one per unordered pair.
+/// [`pchls_par::par_map`] preserves item order, each item's decisions
+/// are generated in the same inner order as the serial loops, and the
+/// caller's sort is stable over this enumeration index — a fixed
+/// `(score, start, op, enumeration index)` total order — so the
+/// committed decision, and therefore the whole synthesis trace, is
+/// bit-identical to a serial run regardless of thread count.
+fn enumerate_candidates(
+    ctx: &Context<'_>,
+    unbound_vec: &[NodeId],
+    parallel: bool,
+) -> Vec<Decision> {
+    if !parallel {
+        // Narrow iteration: one shared output vector, no per-item
+        // buffers — the allocation profile of the fully serial loops.
+        let mut out = Vec::new();
+        for &u in unbound_vec {
+            single_decisions(ctx, u, &mut out);
+        }
+        for (i, &u) in unbound_vec.iter().enumerate() {
+            for &v in &unbound_vec[i + 1..] {
+                pair_decisions(ctx, u, v, &mut out);
             }
-            // (3) Dedicated instance (fallback).
-            if let Some(s) = ctx.candidate_start0(u, m) {
+        }
+        return out;
+    }
+
+    let singles = pchls_par::par_map(unbound_vec, |&u| {
+        let mut out = Vec::new();
+        single_decisions(ctx, u, &mut out);
+        out
+    });
+    // (2) Pair merges: two unbound operations opening one shared unit.
+    // Kind-incompatible pairs produce nothing (see `pair_decisions`), so
+    // they are dropped from the work list up front.
+    let pairs: Vec<(NodeId, NodeId)> = unbound_vec
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &u)| unbound_vec[i + 1..].iter().map(move |&v| (u, v)))
+        .filter(|&(u, v)| {
+            ctx.kind_compat[ctx.graph.node(u).kind().index()][ctx.graph.node(v).kind().index()]
+        })
+        .collect();
+    let paired = pchls_par::par_map(&pairs, |&(u, v)| {
+        let mut out = Vec::new();
+        pair_decisions(ctx, u, v, &mut out);
+        out
+    });
+
+    singles.into_iter().chain(paired).flatten().collect()
+}
+
+/// Appends the decisions binding one unbound operation on its own:
+/// merges onto each compatible existing instance, plus the
+/// dedicated-instance fallback, in the serial enumeration order.
+fn single_decisions(ctx: &Context<'_>, u: NodeId, out: &mut Vec<Decision>) {
+    for &m in ctx.modules_for(u) {
+        let spec = ctx.library.module(m);
+        let area = f64::from(spec.area());
+        // (1) Merge onto an existing instance: earliest start at which
+        // the instance is free and power fits. Starting later than the
+        // op's free earliest start consumes schedule slack and is
+        // penalized (see `CostWeights::displacement`).
+        let free_start = ctx.candidate_start0(u, m);
+        for &iid in &ctx.by_module[m.index()] {
+            let inst = ctx.binding.instance(iid);
+            if let Some(s) = earliest_instance_fit(ctx, u, m, iid) {
+                let displaced = f64::from(s - free_start.expect("fit implies a free start"));
+                // The +1 bonus breaks ties against pair merges: growing
+                // an existing clique saves one unit per *one* operation
+                // consumed, a pair saves one unit per two — without the
+                // bonus the greedy fragments large op classes into
+                // many two-op instances.
                 out.push(Decision {
                     op: u,
                     module: m,
                     start: s,
-                    target: Target::Fresh,
-                    score: -ctx.options.weights.area * area,
+                    target: Target::Existing(iid),
+                    score: ctx.options.weights.area * ctx.avoided_area(u)
+                        + ctx.interconnect(u, inst.ops())
+                        - ctx.options.weights.displacement * displaced
+                        + 1.0,
                 });
             }
         }
+        // (3) Dedicated instance (fallback).
+        if let Some(s) = ctx.candidate_start0(u, m) {
+            out.push(Decision {
+                op: u,
+                module: m,
+                start: s,
+                target: Target::Fresh,
+                score: -ctx.options.weights.area * area,
+            });
+        }
     }
+}
 
-    // (2) Pair merges: two unbound operations opening one shared unit.
-    for (i, &u) in unbound_vec.iter().enumerate() {
-        for &v in &unbound_vec[i + 1..] {
-            // Serialize in dependence order if one exists.
-            let (first, second) = if ctx.reach.reaches(v, u) {
-                (v, u)
-            } else {
-                (u, v)
-            };
-            for &m in ctx.modules_for(first) {
-                let spec = ctx.library.module(m);
-                if !spec.implements(ctx.graph.node(second).kind()) {
-                    continue;
-                }
-                let gain =
-                    ctx.avoided_area(first) + ctx.avoided_area(second) - f64::from(spec.area());
-                if gain <= 0.0 {
-                    continue; // two dedicated cheapest units are no worse
-                }
-                let Some(s1) = ctx.candidate_start0(first, m) else {
-                    continue;
-                };
-                let Some(s2_free) = ctx.candidate_start0(second, m) else {
-                    continue;
-                };
-                let Some(s2) = ctx.candidate_start(second, m, s1 + spec.latency()) else {
-                    continue;
-                };
-                // Dependence-ordered pairs serialize for free (s2 at its
-                // natural slot); concurrent siblings pay for the slack
-                // their serialization consumes.
-                let displaced = f64::from(s2 - s2_free);
-                out.push(Decision {
-                    op: first,
-                    module: m,
-                    start: s1,
-                    target: Target::FreshPair {
-                        partner: second,
-                        partner_start: s2,
-                    },
-                    score: ctx.options.weights.area * gain + ctx.interconnect(first, &[second])
-                        - ctx.options.weights.displacement * displaced,
-                });
-            }
-        }
+/// Appends the pair-merge decisions for one unordered pair of unbound
+/// operations, in the serial enumeration order.
+fn pair_decisions(ctx: &Context<'_>, u: NodeId, v: NodeId, out: &mut Vec<Decision>) {
+    // No module covers both kinds: nothing below can ever match.
+    if !ctx.kind_compat[ctx.graph.node(u).kind().index()][ctx.graph.node(v).kind().index()] {
+        return;
     }
-    out
+    // Serialize in dependence order if one exists.
+    let (first, second) = if ctx.reach.reaches(v, u) {
+        (v, u)
+    } else {
+        (u, v)
+    };
+    for &m in ctx.modules_for(first) {
+        let spec = ctx.library.module(m);
+        if !spec.implements(ctx.graph.node(second).kind()) {
+            continue;
+        }
+        let gain = ctx.avoided_area(first) + ctx.avoided_area(second) - f64::from(spec.area());
+        if gain <= 0.0 {
+            continue; // two dedicated cheapest units are no worse
+        }
+        let Some(s1) = ctx.candidate_start0(first, m) else {
+            continue;
+        };
+        let Some(s2_free) = ctx.candidate_start0(second, m) else {
+            continue;
+        };
+        let Some(s2) = ctx.candidate_start(second, m, s1 + spec.latency()) else {
+            continue;
+        };
+        // Dependence-ordered pairs serialize for free (s2 at its
+        // natural slot); concurrent siblings pay for the slack
+        // their serialization consumes.
+        let displaced = f64::from(s2 - s2_free);
+        out.push(Decision {
+            op: first,
+            module: m,
+            start: s1,
+            target: Target::FreshPair {
+                partner: second,
+                partner_start: s2,
+            },
+            score: ctx.options.weights.area * gain + ctx.interconnect(first, &[second])
+                - ctx.options.weights.displacement * displaced,
+        });
+    }
 }
 
 /// Earliest start at which `u` can execute on instance `iid` of module

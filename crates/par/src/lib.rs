@@ -22,7 +22,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Whether this thread is already inside a [`par_map`] worker (or a
+    /// [`with_serial`] scope). Nested `par_map` calls run serially so an
+    /// outer fan-out (e.g. a design-space sweep) composed with an inner
+    /// one (candidate scoring in the synthesis kernel) cannot
+    /// oversubscribe the machine with `workers²` threads.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether a [`par_map`] call on this thread over `items` items would
+/// actually fan out: more than one worker available and not already
+/// inside a parallel region (or a [`with_serial`] scope). Callers with a
+/// serial fast path that avoids per-item buffers can consult this to
+/// skip the parallel shape when it buys nothing.
+#[must_use]
+pub fn would_parallelize(items: usize) -> bool {
+    items > 1 && !IN_PARALLEL_REGION.with(Cell::get) && thread_count() > 1
+}
+
+/// Runs `f` with all [`par_map`] calls on this thread forced serial.
+///
+/// This is the deterministic A/B switch the benchmarks use to time the
+/// serial reference of a parallel kernel in-process, without touching
+/// the global `PCHLS_THREADS` environment.
+pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_PARALLEL_REGION.with(|c| c.replace(true));
+    let out = f();
+    IN_PARALLEL_REGION.with(|c| c.set(prev));
+    out
+}
 
 /// The number of worker threads [`par_map`] uses.
 ///
@@ -56,7 +88,7 @@ pub fn thread_count() -> usize {
 /// Propagates the first panic raised by `f` on any worker.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let workers = thread_count().min(items.len());
-    if workers <= 1 {
+    if workers <= 1 || IN_PARALLEL_REGION.with(Cell::get) {
         return items.iter().map(f).collect();
     }
 
@@ -65,6 +97,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    IN_PARALLEL_REGION.with(|c| c.set(true));
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -134,5 +167,27 @@ mod tests {
     #[test]
     fn indices_variant_matches() {
         assert_eq!(par_map_indices(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially() {
+        // Inside a worker the nested call must not spawn; it still
+        // produces identical results.
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..16).collect();
+            par_map(&inner, move |&j| i * 100 + j)
+        });
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row, &(0..16).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn with_serial_forces_serial_and_restores() {
+        let items: Vec<usize> = (0..32).collect();
+        let serial = with_serial(|| par_map(&items, |&x| x + 1));
+        let parallel = par_map(&items, |&x| x + 1);
+        assert_eq!(serial, parallel);
     }
 }

@@ -2,9 +2,7 @@
 //! time-constrained baseline that balances operation concurrency — and
 //! hence implicitly both resource count and power — across the schedule.
 
-use std::collections::BTreeMap;
-
-use pchls_cdfg::{Cdfg, NodeId};
+use pchls_cdfg::{Cdfg, NodeId, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary};
 
 use crate::error::ScheduleError;
@@ -38,15 +36,29 @@ pub fn force_directed(
     assert_eq!(modules.len(), graph.len(), "one module per node required");
     let timing = TimingMap::from_modules(graph, library, modules);
     let n = graph.len();
+    // Transitive closure, computed once: every refit below reduces to
+    // O(1) bitset membership tests on the fixed operation's cones
+    // instead of re-walking the graph.
+    let reach = Reachability::new(graph);
 
     let mut fixed: Vec<Option<u32>> = vec![None; n];
     let (mut early, mut late) = windows(graph, &timing, latency, &fixed)?;
-    // Distribution graphs per module type under the current windows,
-    // maintained incrementally: fixing one operation only shrinks the
-    // windows of its own ancestors/descendants, so each iteration
-    // subtracts the old window contribution of exactly those operations
-    // and adds the new one, instead of rebuilding every row from scratch.
-    let mut dg = distribution(graph, &timing, modules, latency, &early, &late);
+    // Distribution graphs per module type under the current windows — a
+    // dense arena of one row per library module (`ModuleId`s are small
+    // integers), maintained incrementally: fixing one operation only
+    // shrinks the windows of its own ancestors/descendants, so each
+    // iteration subtracts the old window contribution of exactly those
+    // operations and adds the new one, instead of rebuilding every row
+    // from scratch.
+    let mut dg = distribution(
+        graph,
+        &timing,
+        modules,
+        library.len(),
+        latency,
+        &early,
+        &late,
+    );
 
     for _ in 0..n {
         // Candidate with minimal total force.
@@ -59,7 +71,7 @@ pub fn force_directed(
             let d = timing.delay(id);
             let (e, l) = (early[id.index()], late[id.index()]);
             for s in e..=l {
-                let f = self_force(&dg[&m], e, l, d, s)
+                let f = self_force(&dg[m.index()], e, l, d, s)
                     + neighbor_force(graph, &timing, modules, latency, &dg, &early, &late, id, s);
                 if best.is_none_or(|(bf, _, _)| f < bf - 1e-12) {
                     best = Some((f, id, s));
@@ -69,7 +81,7 @@ pub fn force_directed(
         let Some((_, id, s)) = best else { break };
         fixed[id.index()] = Some(s);
         refit_windows(
-            graph, &timing, latency, &fixed, &mut early, &mut late, modules, &mut dg, id,
+            graph, &timing, &reach, latency, &fixed, &mut early, &mut late, modules, &mut dg, id,
         )?;
     }
 
@@ -88,49 +100,41 @@ pub fn force_directed(
 /// Only the fixed operation's reachability cone can change: its
 /// descendants' early starts (forward pass restricted to nodes reachable
 /// from it) and its ancestors' late starts (backward pass restricted to
-/// nodes reaching it). Every operation whose window actually moved has
-/// its old probability mass subtracted from its module's distribution
-/// row and the new mass added — identical (up to float associativity) to
-/// the full rebuild the serial implementation performed each iteration.
+/// nodes reaching it). Both cones come straight from the precomputed
+/// [`Reachability`] bitsets — membership is one word test, and the
+/// mass-move pass walks the set bits of the cone union — so no per-fix
+/// graph traversal remains. Every operation whose window actually moved
+/// has its old probability mass subtracted from its module's
+/// distribution row and the new mass added — identical (up to float
+/// associativity) to the full rebuild the serial implementation
+/// performed each iteration.
 #[allow(clippy::too_many_arguments)]
 fn refit_windows(
     graph: &Cdfg,
     timing: &TimingMap,
+    reach: &Reachability,
     latency: u32,
     fixed: &[Option<u32>],
     early: &mut [u32],
     late: &mut [u32],
     modules: &[ModuleId],
-    dg: &mut BTreeMap<ModuleId, Vec<f64>>,
+    dg: &mut [Vec<f64>],
     fixed_op: NodeId,
 ) -> Result<(), ScheduleError> {
     let n = graph.len();
-    // Downward cone (descendants incl. the op itself) over successors.
-    let mut down = vec![false; n];
-    down[fixed_op.index()] = true;
-    for &id in graph.topological() {
-        if down[id.index()] {
-            for &s in graph.successors(id) {
-                down[s.index()] = true;
-            }
-        }
-    }
-    // Upward cone over operands.
-    let mut up = vec![false; n];
-    up[fixed_op.index()] = true;
-    for &id in graph.topological().iter().rev() {
-        if up[id.index()] {
-            for &p in graph.operands(id) {
-                up[p.index()] = true;
-            }
-        }
-    }
+    let fo = fixed_op.index();
+    // Downward cone (descendants incl. the op itself) and upward cone
+    // (ancestors incl. the op itself), as bitset rows.
+    let desc = reach.descendant_words(fixed_op);
+    let anc = reach.ancestor_words(fixed_op);
+    let down = |i: usize| i == fo || Reachability::bit(desc, i);
+    let up = |i: usize| i == fo || Reachability::bit(anc, i);
 
     // First-touch snapshot of each changed op's old window.
     let mut old_window: Vec<Option<(u32, u32)>> = vec![None; n];
     // Forward pass over the downward cone.
     for &id in graph.topological() {
-        if !down[id.index()] {
+        if !down(id.index()) {
             continue;
         }
         let ready = graph
@@ -147,7 +151,7 @@ fn refit_windows(
     }
     // Backward pass over the upward cone.
     for &id in graph.topological().iter().rev() {
-        if !up[id.index()] {
+        if !up(id.index()) {
             continue;
         }
         let deadline = graph
@@ -171,23 +175,27 @@ fn refit_windows(
             late[id.index()] = new_l;
         }
     }
-    // Feasibility of every touched window.
-    for id in graph.node_ids() {
-        if (down[id.index()] || up[id.index()]) && early[id.index()] > late[id.index()] {
+    // One walk over the set bits of the cone union covers both the
+    // feasibility check and the probability-mass move (only cone members
+    // can have a snapshotted old window).
+    let mut cone: Vec<u64> = desc.to_vec();
+    for (c, &a) in cone.iter_mut().zip(anc) {
+        *c |= a;
+    }
+    cone[fo / 64] |= 1u64 << (fo % 64);
+    for id in Reachability::iter_row(&cone) {
+        if early[id.index()] > late[id.index()] {
             return Err(ScheduleError::LatencyExceeded {
                 latency: early[id.index()] + timing.delay(id),
                 bound: latency,
             });
         }
     }
-    // Move each changed op's probability mass.
-    for id in graph.node_ids() {
+    for id in Reachability::iter_row(&cone) {
         let Some((old_e, old_l)) = old_window[id.index()] else {
             continue;
         };
-        let row = dg
-            .entry(modules[id.index()])
-            .or_insert_with(|| vec![0.0; latency as usize]);
+        let row = &mut dg[modules[id.index()].index()];
         accumulate(row, old_e, old_l, timing.delay(id), -1.0);
         accumulate(
             row,
@@ -253,19 +261,21 @@ fn windows(
 }
 
 /// Distribution graph per module type: expected number of concurrently
-/// executing operations of that type in each cycle.
+/// executing operations of that type in each cycle. Dense arena — row
+/// `m` of the result is the distribution of library module `m`, zero
+/// for modules no operation uses.
 fn distribution(
     graph: &Cdfg,
     timing: &TimingMap,
     modules: &[ModuleId],
+    library_len: usize,
     latency: u32,
     early: &[u32],
     late: &[u32],
-) -> BTreeMap<ModuleId, Vec<f64>> {
-    let mut dg: BTreeMap<ModuleId, Vec<f64>> = BTreeMap::new();
+) -> Vec<Vec<f64>> {
+    let mut dg = vec![vec![0.0; latency as usize]; library_len];
     for id in graph.node_ids() {
-        let m = modules[id.index()];
-        let row = dg.entry(m).or_insert_with(|| vec![0.0; latency as usize]);
+        let row = &mut dg[modules[id.index()].index()];
         accumulate(
             row,
             early[id.index()],
@@ -318,7 +328,7 @@ fn neighbor_force(
     timing: &TimingMap,
     modules: &[ModuleId],
     _latency: u32,
-    dg: &BTreeMap<ModuleId, Vec<f64>>,
+    dg: &[Vec<f64>],
     early: &[u32],
     late: &[u32],
     id: NodeId,
@@ -331,7 +341,7 @@ fn neighbor_force(
         let dp = timing.delay(p);
         let new_l = l.min(s.saturating_sub(dp));
         if new_l != l && new_l >= e {
-            force += window_shrink_force(&dg[&modules[p.index()]], e, l, e, new_l, dp);
+            force += window_shrink_force(&dg[modules[p.index()].index()], e, l, e, new_l, dp);
         }
     }
     // Successors cannot start before `s + d`.
@@ -340,7 +350,14 @@ fn neighbor_force(
         let (e, l) = (early[q.index()], late[q.index()]);
         let new_e = e.max(fin);
         if new_e != e && new_e <= l {
-            force += window_shrink_force(&dg[&modules[q.index()]], e, l, new_e, l, timing.delay(q));
+            force += window_shrink_force(
+                &dg[modules[q.index()].index()],
+                e,
+                l,
+                new_e,
+                l,
+                timing.delay(q),
+            );
         }
     }
     force

@@ -67,7 +67,7 @@ pub use fds::force_directed;
 pub use list::{latency_lower_bound, list_schedule, Allocation};
 pub use mobility::Mobility;
 pub use pasap::{palap, palap_locked, pasap, pasap_locked, LockedStarts};
-pub use power::{PowerLedger, PowerProfile};
+pub use power::{NaivePowerLedger, PowerLedger, PowerProfile};
 pub use schedule::Schedule;
 pub use timing::{OpTiming, TimingMap};
 pub use twostep::{two_step, TwoStepOutcome};

@@ -119,11 +119,49 @@ impl PowerProfile {
 /// An incremental per-cycle power ledger with a fixed budget, used by the
 /// power-constrained schedulers and the synthesis loop to reserve and
 /// release execution intervals.
+///
+/// Backed by a **segment tree of per-cycle range maxima** over the exact
+/// per-cycle reservation values: leaves hold the same `f64`s the naive
+/// cycle-scanning ledger would (mutated in the same order, so bit-exact),
+/// while internal nodes cache interval maxima. Since IEEE-754 addition is
+/// monotone, `u + power ≤ bound` holds for every cycle of an interval iff
+/// it holds for the interval's maximum, so [`PowerLedger::fits`] answers
+/// in O(log horizon) instead of O(delay), and
+/// [`PowerLedger::earliest_fit`] skips past each infeasible region in one
+/// O(log horizon) descent to its **rightmost** violating cycle (every
+/// start whose window covers that cycle is infeasible, so the search
+/// resumes just past it — the "max headroom skip").
+///
+/// Horizons up to [`SCAN_LIMIT`] cycles — the paper's benchmarks — skip
+/// the internal nodes entirely and scan the leaves exactly like the
+/// naive ledger: at that scale a handful of contiguous loads beats any
+/// tree walk, and the asymptotics only matter for the large random
+/// graphs of the `scale` workload. Both modes hold identical leaf
+/// values, so every answer is the same either way.
+///
+/// [`NaivePowerLedger`] retains the cycle-scanning implementation as the
+/// differential-testing reference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerLedger {
-    used: Vec<f64>,
+    /// Flat binary segment tree: `tree[size + c]` is the exact power
+    /// reserved in cycle `c`; `tree[i]` for `i < size` is the max of its
+    /// two children (never read in leaf-scan mode). Leaves beyond the
+    /// horizon stay at `-inf` (the max identity) so padding never
+    /// influences a query.
+    tree: Vec<f64>,
+    /// Number of leaves (horizon rounded up to a power of two).
+    size: usize,
+    /// The scheduling horizon in cycles (leaves actually in use).
+    horizon: usize,
+    /// Leaf-scan mode: the horizon is small enough that queries scan
+    /// `tree[size..]` directly and internal maxima are not maintained.
+    scan: bool,
     max_power: f64,
 }
+
+/// Largest power-of-two leaf count for which [`PowerLedger`] stays in
+/// leaf-scan mode.
+const SCAN_LIMIT: usize = 64;
 
 impl PowerLedger {
     /// Creates an empty ledger over `horizon` cycles with budget
@@ -135,8 +173,25 @@ impl PowerLedger {
     #[must_use]
     pub fn new(horizon: u32, max_power: f64) -> PowerLedger {
         assert!(!max_power.is_nan() && max_power >= 0.0, "invalid budget");
+        let horizon = horizon as usize;
+        let size = horizon.next_power_of_two().max(1);
+        let scan = size <= SCAN_LIMIT;
+        let mut tree = vec![f64::NEG_INFINITY; 2 * size];
+        for leaf in &mut tree[size..size + horizon] {
+            *leaf = 0.0;
+        }
+        if !scan {
+            // Cycle-0 maxima for the in-use prefix: pull every internal
+            // node.
+            for i in (1..size).rev() {
+                tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+            }
+        }
         PowerLedger {
-            used: vec![0.0; horizon as usize],
+            tree,
+            size,
+            horizon,
+            scan,
             max_power,
         }
     }
@@ -150,13 +205,56 @@ impl PowerLedger {
     /// The scheduling horizon in cycles.
     #[must_use]
     pub fn horizon(&self) -> u32 {
-        self.used.len() as u32
+        self.horizon as u32
     }
 
     /// Power already reserved in `cycle` (0 beyond the horizon).
     #[must_use]
     pub fn used(&self, cycle: u32) -> f64 {
-        self.used.get(cycle as usize).copied().unwrap_or(0.0)
+        if (cycle as usize) < self.horizon {
+            self.tree[self.size + cycle as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum reserved power over cycles `[l, r)` (`-inf` when empty).
+    fn range_max(&self, mut l: usize, mut r: usize) -> f64 {
+        let mut m = f64::NEG_INFINITY;
+        l += self.size;
+        r += self.size;
+        while l < r {
+            if l & 1 == 1 {
+                m = m.max(self.tree[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                m = m.max(self.tree[r]);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        m
+    }
+
+    /// Recomputes the internal maxima above the (non-empty) leaf range
+    /// `[l, r)` after its leaves were rewritten (no-op in leaf-scan
+    /// mode). Per level only the parents spanning the range are touched,
+    /// so the total work is O(r - l + log horizon).
+    fn pull_range(&mut self, l: usize, r: usize) {
+        if self.scan {
+            return;
+        }
+        let mut l = l + self.size;
+        let mut r = r + self.size - 1;
+        while l > 1 {
+            l >>= 1;
+            r >>= 1;
+            for i in l..=r {
+                self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
+            }
+        }
     }
 
     /// Whether an operation drawing `power` per cycle can execute during
@@ -165,12 +263,21 @@ impl PowerLedger {
     #[must_use]
     pub fn fits(&self, start: u32, delay: u32, power: f64) -> bool {
         let end = start as usize + delay as usize;
-        if end > self.used.len() {
+        if end > self.horizon {
             return false;
         }
-        self.used[start as usize..end]
-            .iter()
-            .all(|&u| u + power <= self.max_power + POWER_EPS)
+        if delay == 0 {
+            return true;
+        }
+        // Short intervals (the norm: module delays are 1–2 cycles) are a
+        // handful of contiguous loads — faster than any tree walk, and
+        // exactly the naive check over the same values.
+        if self.scan || delay <= 8 {
+            return self.tree[self.size + start as usize..self.size + end]
+                .iter()
+                .all(|&u| u + power <= self.max_power + POWER_EPS);
+        }
+        self.range_max(start as usize, end) + power <= self.max_power + POWER_EPS
     }
 
     /// Reserves `power` in every cycle of `[start, start + delay)`.
@@ -186,9 +293,14 @@ impl PowerLedger {
             "reserve([{start}, {}), {power}) violates the budget",
             start + delay
         );
-        for c in start..start + delay {
-            self.used[c as usize] += power;
+        if delay == 0 {
+            return;
         }
+        let (s, e) = (start as usize, start as usize + delay as usize);
+        for leaf in &mut self.tree[self.size + s..self.size + e] {
+            *leaf += power;
+        }
+        self.pull_range(s, e);
     }
 
     /// Releases a previous reservation.
@@ -198,34 +310,225 @@ impl PowerLedger {
     /// attempts) should pair [`PowerLedger::snapshot`] /
     /// [`PowerLedger::restore`] instead.
     pub fn release(&mut self, start: u32, delay: u32, power: f64) {
-        for c in start..start + delay {
-            let u = &mut self.used[c as usize];
-            *u = (*u - power).max(0.0);
+        if delay == 0 {
+            return;
         }
+        let (s, e) = (start as usize, start as usize + delay as usize);
+        assert!(e <= self.horizon, "release beyond the horizon");
+        for leaf in &mut self.tree[self.size + s..self.size + e] {
+            *leaf = (*leaf - power).max(0.0);
+        }
+        self.pull_range(s, e);
     }
 
     /// The exact per-cycle reservations over `[start, start + delay)`
     /// (clipped to the horizon), for later [`PowerLedger::restore`].
     #[must_use]
     pub fn snapshot(&self, start: u32, delay: u32) -> Vec<f64> {
-        let end = (start as usize + delay as usize).min(self.used.len());
-        self.used[(start as usize).min(end)..end].to_vec()
+        let end = (start as usize + delay as usize).min(self.horizon);
+        let s = (start as usize).min(end);
+        self.tree[self.size + s..self.size + end].to_vec()
     }
 
     /// Writes back a [`PowerLedger::snapshot`], undoing every reservation
     /// and release on those cycles since the snapshot was taken —
     /// bit-exact, unlike arithmetic [`PowerLedger::release`].
     pub fn restore(&mut self, start: u32, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
         let s = start as usize;
-        self.used[s..s + values.len()].copy_from_slice(values);
+        let e = s + values.len();
+        assert!(e <= self.horizon, "restore beyond the horizon");
+        self.tree[self.size + s..self.size + e].copy_from_slice(values);
+        self.pull_range(s, e);
+    }
+
+    /// The rightmost cycle in `[l, r)` whose reservation plus `power`
+    /// overflows the budget, if any.
+    fn last_violation(&self, l: usize, r: usize, power: f64) -> Option<usize> {
+        // The exact negation of the `fits` comparison: anything that is
+        // not `≤ bound` — greater *or* unordered (NaN) — violates, so
+        // the negated operator is deliberate (`v + power > bound` would
+        // silently pass NaN).
+        let bound = self.max_power + POWER_EPS;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let violates = move |v: f64| !(v + power <= bound);
+        // Short windows (the norm: delays are 1–2 cycles) scan their
+        // leaves directly; the descent only pays off on long intervals.
+        if self.scan || r - l <= 8 {
+            return self.tree[self.size + l..self.size + r]
+                .iter()
+                .rposition(|&u| violates(u))
+                .map(|i| l + i);
+        }
+        self.last_violation_in(1, 0, self.size, l, r, &violates)
+    }
+
+    /// Rightmost violating leaf of `[l, r)` under `node`, which covers
+    /// `[node_l, node_r)`. A node whose cached maximum does not violate
+    /// is pruned outright (its whole interval, hence the intersection
+    /// with `[l, r)`, is clean); a violating node may owe its maximum to
+    /// leaves outside `[l, r)`, which the right-before-left recursion
+    /// resolves.
+    #[allow(clippy::too_many_arguments)]
+    fn last_violation_in(
+        &self,
+        node: usize,
+        node_l: usize,
+        node_r: usize,
+        l: usize,
+        r: usize,
+        violates: &impl Fn(f64) -> bool,
+    ) -> Option<usize> {
+        if node_r <= l || r <= node_l || !violates(self.tree[node]) {
+            return None;
+        }
+        if node >= self.size {
+            return Some(node - self.size);
+        }
+        let mid = (node_l + node_r) / 2;
+        self.last_violation_in(2 * node + 1, mid, node_r, l, r, violates)
+            .or_else(|| self.last_violation_in(2 * node, node_l, mid, l, r, violates))
     }
 
     /// The earliest start `s ≥ min_start` such that `[s, s+delay)` fits,
     /// or `None` if no such start exists within the horizon.
     ///
-    /// This is exactly the paper's offset search: "if there is power
+    /// This is exactly the paper's offset search — "if there is power
     /// available in the execution time interval … schedule, otherwise
-    /// increase the offset by one".
+    /// increase the offset by one" — but instead of re-scanning cycle by
+    /// cycle, each failed probe jumps past its rightmost violating cycle
+    /// `v` (every start in `[s, v]` keeps `v` inside its window, so all
+    /// of them are infeasible and the returned start is identical to the
+    /// naive scan's).
+    #[must_use]
+    pub fn earliest_fit(&self, min_start: u32, delay: u32, power: f64) -> Option<u32> {
+        self.earliest_fit_by(min_start, delay, power, self.horizon())
+    }
+
+    /// As [`PowerLedger::earliest_fit`], but only considering starts
+    /// whose interval also finishes by `latest_finish` — the bounded
+    /// offset search the synthesis kernel runs against each candidate's
+    /// deadline, without scanning the rest of the horizon.
+    #[must_use]
+    pub fn earliest_fit_by(
+        &self,
+        min_start: u32,
+        delay: u32,
+        power: f64,
+        latest_finish: u32,
+    ) -> Option<u32> {
+        if power > self.max_power + POWER_EPS {
+            return None;
+        }
+        let bound = latest_finish.min(self.horizon());
+        if delay == 0 {
+            return (min_start <= bound).then_some(min_start);
+        }
+        let mut s = min_start;
+        while s + delay <= bound {
+            match self.last_violation(s as usize, (s + delay) as usize, power) {
+                None => return Some(s),
+                Some(v) => s = v as u32 + 1,
+            }
+        }
+        None
+    }
+}
+
+/// The original cycle-scanning power ledger, kept verbatim as the
+/// reference implementation the segment-tree [`PowerLedger`] is
+/// differential-tested against (`crates/sched/tests/properties.rs`).
+/// Every operation has the naive complexity the paper's pseudocode
+/// implies: O(delay) probes, O(horizon × delay) offset searches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaivePowerLedger {
+    used: Vec<f64>,
+    max_power: f64,
+}
+
+impl NaivePowerLedger {
+    /// As [`PowerLedger::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_power` is NaN or negative.
+    #[must_use]
+    pub fn new(horizon: u32, max_power: f64) -> NaivePowerLedger {
+        assert!(!max_power.is_nan() && max_power >= 0.0, "invalid budget");
+        NaivePowerLedger {
+            used: vec![0.0; horizon as usize],
+            max_power,
+        }
+    }
+
+    /// As [`PowerLedger::horizon`].
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.used.len() as u32
+    }
+
+    /// As [`PowerLedger::used`].
+    #[must_use]
+    pub fn used(&self, cycle: u32) -> f64 {
+        self.used.get(cycle as usize).copied().unwrap_or(0.0)
+    }
+
+    /// As [`PowerLedger::fits`], by scanning every cycle.
+    #[must_use]
+    pub fn fits(&self, start: u32, delay: u32, power: f64) -> bool {
+        let end = start as usize + delay as usize;
+        if end > self.used.len() {
+            return false;
+        }
+        self.used[start as usize..end]
+            .iter()
+            .all(|&u| u + power <= self.max_power + POWER_EPS)
+    }
+
+    /// As [`PowerLedger::reserve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval does not fit.
+    pub fn reserve(&mut self, start: u32, delay: u32, power: f64) {
+        assert!(
+            self.fits(start, delay, power),
+            "reserve([{start}, {}), {power}) violates the budget",
+            start + delay
+        );
+        for c in start..start + delay {
+            self.used[c as usize] += power;
+        }
+    }
+
+    /// As [`PowerLedger::release`].
+    pub fn release(&mut self, start: u32, delay: u32, power: f64) {
+        for c in start..start + delay {
+            let u = &mut self.used[c as usize];
+            *u = (*u - power).max(0.0);
+        }
+    }
+
+    /// As [`PowerLedger::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self, start: u32, delay: u32) -> Vec<f64> {
+        let end = (start as usize + delay as usize).min(self.used.len());
+        self.used[(start as usize).min(end)..end].to_vec()
+    }
+
+    /// As [`PowerLedger::restore`].
+    pub fn restore(&mut self, start: u32, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let s = start as usize;
+        self.used[s..s + values.len()].copy_from_slice(values);
+    }
+
+    /// As [`PowerLedger::earliest_fit`], by increasing the offset one
+    /// cycle at a time.
     #[must_use]
     pub fn earliest_fit(&self, min_start: u32, delay: u32, power: f64) -> Option<u32> {
         if power > self.max_power + POWER_EPS {

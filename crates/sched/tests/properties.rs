@@ -173,3 +173,158 @@ mod locked_props {
         }
     }
 }
+
+mod ledger_props {
+    use super::*;
+    use pchls_sched::{NaivePowerLedger, PowerLedger};
+
+    /// One random ledger operation: `(opcode, start, delay, power)`.
+    type LedgerOp = (u8, u32, u32, f64);
+
+    /// Drives the segment-tree [`PowerLedger`] and the reference
+    /// [`NaivePowerLedger`] through the same operation sequence,
+    /// asserting every query answer matches along the way and that the
+    /// final per-cycle reservations are bit-identical.
+    fn check_agreement(horizon: u32, budget: f64, ops: &[LedgerOp]) -> Result<(), TestCaseError> {
+        let mut tree = PowerLedger::new(horizon, budget);
+        let mut naive = NaivePowerLedger::new(horizon, budget);
+        prop_assert_eq!(tree.horizon(), naive.horizon());
+        let mut snaps: Vec<(u32, Vec<f64>)> = Vec::new();
+        for &(op, start, delay, power) in ops {
+            match op % 5 {
+                0 => prop_assert_eq!(
+                    tree.fits(start, delay, power),
+                    naive.fits(start, delay, power),
+                    "fits({start}, {delay}, {power})"
+                ),
+                1 => {
+                    prop_assert_eq!(
+                        tree.earliest_fit(start, delay, power),
+                        naive.earliest_fit(start, delay, power),
+                        "earliest_fit({start}, {delay}, {power})"
+                    );
+                    // The deadline-bounded search the synthesis kernel
+                    // actually calls. Oracle: an unbounded naive search
+                    // whose result must also finish by the deadline —
+                    // the earliest fit below the bound is the earliest
+                    // fit overall whenever one qualifies, so the filter
+                    // is exact (including the `delay == 0` arm).
+                    let deadline = start / 2 + delay + horizon / 4;
+                    prop_assert_eq!(
+                        tree.earliest_fit_by(start, delay, power, deadline),
+                        naive
+                            .earliest_fit(start, delay, power)
+                            .filter(|&s| s + delay <= deadline.min(horizon)),
+                        "earliest_fit_by({start}, {delay}, {power}, {deadline})"
+                    );
+                }
+                2 => {
+                    let (a, b) = (
+                        tree.fits(start, delay, power),
+                        naive.fits(start, delay, power),
+                    );
+                    prop_assert_eq!(a, b);
+                    if a {
+                        tree.reserve(start, delay, power);
+                        naive.reserve(start, delay, power);
+                    }
+                }
+                3 => {
+                    // Release stays within the horizon (releasing beyond
+                    // it is a caller bug both ledgers reject loudly).
+                    if u64::from(start) + u64::from(delay) <= u64::from(horizon) {
+                        tree.release(start, delay, power);
+                        naive.release(start, delay, power);
+                    }
+                }
+                _ => {
+                    let (a, b) = (tree.snapshot(start, delay), naive.snapshot(start, delay));
+                    prop_assert_eq!(&a, &b, "snapshot({start}, {delay})");
+                    if !a.is_empty() {
+                        snaps.push((start, a));
+                    }
+                }
+            }
+        }
+        // Unwind every snapshot (newest first, as the synthesis loop's
+        // candidate rollback does) and compare the final state bit for
+        // bit.
+        for (start, values) in snaps.into_iter().rev() {
+            tree.restore(start, &values);
+            naive.restore(start, &values);
+        }
+        for c in 0..horizon {
+            prop_assert_eq!(
+                tree.used(c).to_bits(),
+                naive.used(c).to_bits(),
+                "cycle {} diverged: {} vs {}",
+                c,
+                tree.used(c),
+                naive.used(c)
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The segment-tree ledger and the naive reference agree on
+        /// every `fits` / `earliest_fit` / `reserve` / `release` /
+        /// `snapshot` / `restore` under random operation sequences —
+        /// across both the leaf-scan regime (small horizons) and the
+        /// tree regime (horizons past the scan limit).
+        #[test]
+        fn segment_tree_ledger_agrees_with_naive(
+            horizon in 0u32..200,
+            budget_step in 0u8..5,
+            ops in proptest::collection::vec(
+                (0u8..15, 0u32..220, 0u32..24, 0f64..12.5),
+                1..80,
+            ),
+        ) {
+            let budget = match budget_step {
+                0 => f64::INFINITY,
+                b => f64::from(b) * 7.5,
+            };
+            check_agreement(horizon, budget, &ops)?;
+        }
+
+        /// Dedicated large-horizon cases keep the tree-mode descent and
+        /// headroom skip under pressure (long intervals, tight budget).
+        #[test]
+        fn tree_mode_earliest_fit_matches_naive_scan(
+            horizon in 65u32..400,
+            ops in proptest::collection::vec(
+                (0u32..380, 1u32..40, 0f64..6.0),
+                1..40,
+            ),
+            probes in proptest::collection::vec((0u32..380, 1u32..60, 0f64..6.0), 1..30),
+        ) {
+            let budget = 10.0;
+            let mut tree = PowerLedger::new(horizon, budget);
+            let mut naive = NaivePowerLedger::new(horizon, budget);
+            for &(start, delay, power) in &ops {
+                if tree.fits(start, delay, power) && naive.fits(start, delay, power) {
+                    tree.reserve(start, delay, power);
+                    naive.reserve(start, delay, power);
+                }
+            }
+            for &(start, delay, power) in &probes {
+                prop_assert_eq!(
+                    tree.earliest_fit(start, delay, power),
+                    naive.earliest_fit(start, delay, power),
+                    "earliest_fit({start}, {delay}, {power})"
+                );
+                let deadline = start / 2 + delay + horizon / 3;
+                prop_assert_eq!(
+                    tree.earliest_fit_by(start, delay, power, deadline),
+                    naive
+                        .earliest_fit(start, delay, power)
+                        .filter(|&s| s + delay <= deadline.min(horizon)),
+                    "earliest_fit_by({start}, {delay}, {power}, {deadline})"
+                );
+            }
+        }
+    }
+}

@@ -117,26 +117,64 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+/// Tuples of strategies sample component-wise, left to right, mirroring
+/// proptest's tuple strategies.
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
 /// Collection strategies.
 pub mod collection {
     use super::Strategy;
 
-    /// Strategy for fixed-length vectors of `inner`-generated elements.
-    pub struct VecStrategy<S> {
-        inner: S,
-        len: usize,
+    /// Vector length specification: a fixed size or a half-open range.
+    pub trait VecLen {
+        /// Samples a concrete length.
+        fn sample_len(&self, rng: &mut super::TestRng) -> usize;
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
-        type Value = Vec<S::Value>;
-        fn sample(&self, rng: &mut super::TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.inner.sample(rng)).collect()
+    impl VecLen for usize {
+        fn sample_len(&self, _: &mut super::TestRng) -> usize {
+            *self
         }
     }
 
-    /// A vector of exactly `len` elements drawn from `inner`.
+    impl VecLen for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut super::TestRng) -> usize {
+            use rand::Rng as _;
+            rng.rng().gen_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy for vectors of `inner`-generated elements.
+    pub struct VecStrategy<S, L> {
+        inner: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut super::TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.inner.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `len` elements (fixed, or drawn from a range) each
+    /// sampled from `inner`.
     #[must_use]
-    pub fn vec<S: Strategy>(inner: S, len: usize) -> VecStrategy<S> {
+    pub fn vec<S: Strategy, L: VecLen>(inner: S, len: L) -> VecStrategy<S, L> {
         VecStrategy { inner, len }
     }
 }
