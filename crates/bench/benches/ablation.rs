@@ -4,43 +4,38 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pchls_cdfg::benchmarks;
-use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls_fulib::paper_library;
 
 fn bench_ablation(c: &mut Criterion) {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     let g = benchmarks::elliptic();
+    let compiled = engine.compile(&g);
+    let session = engine.session(&compiled);
     let constraints = SynthesisConstraints::new(26, 30.0);
     let variants = [
         ("full", SynthesisOptions::default()),
         (
             "no_module_selection",
-            SynthesisOptions {
-                module_selection: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder().module_selection(false).build(),
         ),
         (
             "no_interconnect",
-            SynthesisOptions {
-                interconnect_scoring: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder()
+                .interconnect_scoring(false)
+                .build(),
         ),
         (
             "no_backtracking",
-            SynthesisOptions {
-                backtracking: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder().backtracking(false).build(),
         ),
     ];
     let mut group = c.benchmark_group("ablation");
     group.sample_size(20);
     for (name, opts) in variants {
-        group.bench_with_input(BenchmarkId::new("elliptic-T26", name), &g, |b, g| {
+        group.bench_with_input(BenchmarkId::new("elliptic-T26", name), &session, |b, s| {
             b.iter(|| {
-                let _ = synthesize(g, &lib, constraints, &opts);
+                let _ = s.synthesize(constraints, &opts);
             });
         });
     }

@@ -3,24 +3,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pchls_bench::figure2_curves;
-use pchls_core::{synthesize, two_step_bind, SynthesisConstraints, SynthesisOptions};
+use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls_fulib::{paper_library, SelectionPolicy};
 
 fn bench_synthesis(c: &mut Criterion) {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(20);
     for (g, t) in figure2_curves() {
         let id = format!("{}-T{t}", g.name());
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
         let constraints = SynthesisConstraints::new(t, 40.0);
-        group.bench_with_input(BenchmarkId::new("combined", &id), &g, |b, g| {
-            b.iter(|| synthesize(g, &lib, constraints, &SynthesisOptions::default()).unwrap());
+        group.bench_with_input(BenchmarkId::new("combined", &id), &session, |b, s| {
+            b.iter(|| {
+                s.synthesize(constraints, &SynthesisOptions::default())
+                    .unwrap()
+            });
         });
-        group.bench_with_input(BenchmarkId::new("two_step", &id), &g, |b, g| {
+        group.bench_with_input(BenchmarkId::new("two_step", &id), &session, |b, s| {
             b.iter(|| {
                 // The baseline may fail power at tight latencies; timing
                 // cost is what is measured.
-                let _ = two_step_bind(g, &lib, constraints, SelectionPolicy::Fastest);
+                let _ = s.two_step(constraints, SelectionPolicy::Fastest);
             });
         });
     }

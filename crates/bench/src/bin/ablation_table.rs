@@ -3,36 +3,26 @@
 //! Feeds the ablation section of EXPERIMENTS.md.
 
 use pchls_bench::figure2_curves;
-use pchls_core::{
-    synthesize, synthesize_refined, trimmed_allocation_bind, two_step_bind, SynthesisConstraints,
-    SynthesisOptions,
-};
+use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls_fulib::{paper_library, SelectionPolicy};
 
 fn main() {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     let variants: [(&str, SynthesisOptions); 4] = [
         ("full", SynthesisOptions::default()),
         (
             "-modsel",
-            SynthesisOptions {
-                module_selection: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder().module_selection(false).build(),
         ),
         (
             "-interc",
-            SynthesisOptions {
-                interconnect_scoring: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder()
+                .interconnect_scoring(false)
+                .build(),
         ),
         (
             "-backtr",
-            SynthesisOptions {
-                backtracking: false,
-                ..SynthesisOptions::default()
-            },
+            SynthesisOptions::builder().backtracking(false).build(),
         ),
     ];
     println!("Ablation: functional-unit area per heuristic variant (P<=40)\n");
@@ -44,24 +34,26 @@ fn main() {
     print!("{:>9}", "2step");
     println!("{:>9}", "trim");
     for (g, t) in figure2_curves() {
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
         let c = SynthesisConstraints::new(t, 40.0);
         print!("{:<14}", format!("{}-T{t}", g.name()));
         for (_, opts) in &variants {
-            match synthesize(&g, &lib, c, opts) {
+            match session.synthesize(c, opts) {
                 Ok(d) => print!("{:>9}", d.area),
                 Err(_) => print!("{:>9}", "-"),
             }
         }
-        match synthesize_refined(&g, &lib, c, &SynthesisOptions::default()) {
+        match session.synthesize_refined(c, &SynthesisOptions::default()) {
             Ok(d) => print!("{:>9}", d.area),
             Err(_) => print!("{:>9}", "-"),
         }
-        match two_step_bind(&g, &lib, c, SelectionPolicy::Fastest) {
+        match session.two_step(c, SelectionPolicy::Fastest) {
             Ok(b) if b.met_power => print!("{:>9}", b.design.area),
             Ok(_) => print!("{:>9}", "miss"),
             Err(_) => print!("{:>9}", "-"),
         }
-        match trimmed_allocation_bind(&g, &lib, c, SelectionPolicy::Fastest) {
+        match session.trimmed_allocation(c, SelectionPolicy::Fastest) {
             Ok(d) => println!("{:>9}", d.area),
             Err(_) => println!("{:>9}", "-"),
         }

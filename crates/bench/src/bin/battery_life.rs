@@ -5,11 +5,11 @@
 use pchls_battery::{
     compare_profiles, BatteryModel, IdealBattery, PeukertBattery, RateCapacityBattery,
 };
-use pchls_core::{synthesize, unconstrained_bind, SynthesisConstraints, SynthesisOptions};
+use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls_fulib::{paper_library, SelectionPolicy};
 
 fn main() {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     // (benchmark, T for both designs, P< for the constrained design)
     let cases = [
         (pchls_cdfg::benchmarks::hal(), 17u32, 12.0),
@@ -21,15 +21,17 @@ fn main() {
         "(lifetime in total clock cycles until battery cutoff; gain = constrained/oblivious)\n"
     );
     for (g, t, p) in cases {
-        let oblivious =
-            unconstrained_bind(&g, &lib, t, SelectionPolicy::Fastest).expect("latency is feasible");
-        let constrained = synthesize(
-            &g,
-            &lib,
-            SynthesisConstraints::new(t, p),
-            &SynthesisOptions::default(),
-        )
-        .expect("constraints are feasible");
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
+        let oblivious = session
+            .unconstrained(t, SelectionPolicy::Fastest)
+            .expect("latency is feasible");
+        let constrained = session
+            .synthesize(
+                SynthesisConstraints::new(t, p),
+                &SynthesisOptions::default(),
+            )
+            .expect("constraints are feasible");
         let base = oblivious.power_profile();
         let flat = constrained.power_profile();
         println!(

@@ -2,27 +2,31 @@
 //! (not the sweep layer) on the paper's benchmarks and on progressively
 //! larger random CDFGs, serial vs. parallel candidate scoring, and
 //! writes the measurement to `BENCH_2.json` (`pchls-bench-v1`, workload
-//! `synthesis-kernel`).
+//! `synthesis-kernel`). A second workload, `engine-amortized`, times a
+//! whole constraint sweep through one compile-once [`Session`] against
+//! the per-point-recompute free-function path and writes `BENCH_3.json`.
 //!
 //! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
-//! so CI can keep the workload from rotting.
+//! so CI can keep the workloads from rotting.
 //!
 //! Serial timings run under [`pchls_par::with_serial`], which forces
 //! every `par_map` inside the kernel onto the calling thread — the
 //! in-process A/B switch — and both sides are compared for exact
 //! equality (`outputs_identical`): parallel scoring must reproduce the
-//! serial decision trace bit for bit.
+//! serial decision trace bit for bit, and the amortized session must
+//! reproduce the free-function designs bit for bit.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
+use pchls_bench::figure2_power_grid;
 use pchls_cdfg::{benchmarks, random_dag, Cdfg, RandomDagConfig};
-use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
-use pchls_fulib::{paper_library, SelectionPolicy};
+use pchls_core::{Engine, Session, SynthesisConstraints, SynthesisOptions, SynthesizedDesign};
+use pchls_fulib::{paper_library, ModuleLibrary, SelectionPolicy};
 use pchls_sched::TimingMap;
 
-/// One timed case of the workload.
+/// One timed case of the kernel workload.
 struct Case {
     name: String,
     graph: Cdfg,
@@ -76,6 +80,56 @@ struct BenchRecord {
     cases: Vec<CaseRecord>,
 }
 
+/// Per-case record of the `engine-amortized` workload (`BENCH_3.json`).
+#[derive(Debug, Serialize)]
+struct AmortizedCaseRecord {
+    /// Benchmark name.
+    name: String,
+    /// Node count of the CDFG.
+    nodes: usize,
+    /// Latency constraint `T` of the sweep.
+    latency_bound: u32,
+    /// Grid points in the sweep.
+    points: usize,
+    /// Timing repetitions (minimum taken per side).
+    reps: usize,
+    /// Best wall-clock seconds for the per-point-recompute path (one
+    /// throwaway engine + compile per grid point — the deprecated
+    /// free-function behaviour).
+    per_point_secs: f64,
+    /// Best wall-clock seconds for the compile-once session path.
+    amortized_secs: f64,
+    /// `per_point_secs / amortized_secs`.
+    speedup: f64,
+}
+
+/// The `engine-amortized` trajectory record (`BENCH_3.json`).
+#[derive(Debug, Serialize)]
+struct AmortizedRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Total synthesis points per side (sum over cases).
+    points: usize,
+    /// Both sides run serially (the comparison isolates compile
+    /// amortization, not parallel fan-out).
+    threads: usize,
+    /// Host cores.
+    host_cores: usize,
+    /// Sum of the per-case best per-point-path seconds.
+    per_point_secs: f64,
+    /// Sum of the per-case best amortized-path seconds.
+    amortized_secs: f64,
+    /// `per_point_secs / amortized_secs`.
+    speedup: f64,
+    /// Whether the session designs equal the free-function designs
+    /// bit for bit on every point.
+    outputs_identical: bool,
+    /// Per-case breakdown.
+    cases: Vec<AmortizedCaseRecord>,
+}
+
 /// Latency bound for a graph: twice the fastest-module critical path —
 /// generous enough that pasap can stretch under the power cap, tight
 /// enough that module selection and pair merging stay non-trivial.
@@ -110,11 +164,9 @@ fn paper_case(graph: Cdfg, latency: u32, power: f64) -> Case {
     }
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let lib = paper_library();
-    let opts = SynthesisOptions::default();
-
+/// The `synthesis-kernel` workload: serial vs. parallel candidate
+/// scoring through one shared session per case (BENCH_2.json).
+fn kernel_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
     let (cases, reps) = if smoke {
         (
             vec![
@@ -145,14 +197,16 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
     for case in &cases {
+        let compiled = engine.compile(&case.graph);
+        let session = engine.session(&compiled);
         // Warm-up (untimed) run so allocator state is comparable.
-        let _ = synthesize(&case.graph, &lib, case.constraints, &opts);
+        let _ = session.synthesize(case.constraints, opts);
 
         let start = Instant::now();
         let mut serial = Vec::new();
         for _ in 0..reps {
             serial.push(pchls_par::with_serial(|| {
-                synthesize(&case.graph, &lib, case.constraints, &opts)
+                session.synthesize(case.constraints, opts)
             }));
         }
         let serial_secs = start.elapsed().as_secs_f64();
@@ -160,7 +214,7 @@ fn main() {
         let start = Instant::now();
         let mut parallel = Vec::new();
         for _ in 0..reps {
-            parallel.push(synthesize(&case.graph, &lib, case.constraints, &opts));
+            parallel.push(session.synthesize(case.constraints, opts));
         }
         let parallel_secs = start.elapsed().as_secs_f64();
 
@@ -199,7 +253,7 @@ fn main() {
     let record = BenchRecord {
         schema: "pchls-bench-v1".into(),
         workload: "synthesis-kernel".into(),
-        points: cases.len() * reps,
+        points: records.len() * reps,
         threads: pchls_par::thread_count(),
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         serial_secs,
@@ -219,4 +273,155 @@ fn main() {
     let json = serde_json::to_string_pretty(&record).expect("serializable");
     std::fs::write("BENCH_2.json", json).expect("write BENCH_2.json");
     eprintln!("wrote BENCH_2.json");
+}
+
+/// One serial pass over `grid` through the per-point-recompute path:
+/// a throwaway engine + compile for every point, exactly what the
+/// deprecated free `synthesize` does.
+fn sweep_per_point(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    latency: u32,
+    grid: &[f64],
+    opts: &SynthesisOptions,
+) -> Vec<Result<SynthesizedDesign, pchls_core::SynthesisError>> {
+    grid.iter()
+        .map(|&p| {
+            let engine = Engine::new(library.clone());
+            let compiled = engine.compile(graph);
+            engine
+                .session(&compiled)
+                .synthesize(SynthesisConstraints::new(latency, p), opts)
+        })
+        .collect()
+}
+
+/// One serial pass over `grid` through the compile-once session.
+fn sweep_amortized(
+    session: &Session<'_>,
+    latency: u32,
+    grid: &[f64],
+    opts: &SynthesisOptions,
+) -> Vec<Result<SynthesizedDesign, pchls_core::SynthesisError>> {
+    grid.iter()
+        .map(|&p| session.synthesize(SynthesisConstraints::new(latency, p), opts))
+        .collect()
+}
+
+/// The `engine-amortized` workload: a whole power sweep per benchmark,
+/// compile-once session vs. per-point recompute, both fully serial
+/// (BENCH_3.json). Best-of-`reps` per side filters scheduler noise.
+fn amortized_workload(smoke: bool, opts: &SynthesisOptions) {
+    let library = paper_library();
+    let engine = Engine::new(library.clone());
+    let full_grid = figure2_power_grid();
+    let thin_grid: Vec<f64> = full_grid.iter().copied().step_by(5).collect();
+    // (graph, T, grid): the Figure 2 hal/cosine/elliptic curves.
+    let (cases, reps): (Vec<(Cdfg, u32, Vec<f64>)>, usize) = if smoke {
+        (vec![(benchmarks::hal(), 17, thin_grid)], 2)
+    } else {
+        (
+            vec![
+                (benchmarks::hal(), 17, full_grid.clone()),
+                (benchmarks::cosine(), 15, full_grid.clone()),
+                (benchmarks::elliptic(), 22, full_grid),
+            ],
+            5,
+        )
+    };
+
+    println!(
+        "\n{:<12} {:>5} {:>4} {:>6} | {:>12} {:>12} {:>7}",
+        "sweep", "nodes", "T", "points", "per_point_s", "amortized_s", "speedup"
+    );
+    println!("{}", "-".repeat(72));
+    let mut records = Vec::new();
+    let mut outputs_identical = true;
+    for (graph, latency, grid) in &cases {
+        let compiled = engine.compile(graph);
+        let session = engine.session(&compiled);
+        // Warm-up + equality check (untimed).
+        let reference =
+            pchls_par::with_serial(|| sweep_per_point(graph, &library, *latency, grid, opts));
+        let amortized_designs =
+            pchls_par::with_serial(|| sweep_amortized(&session, *latency, grid, opts));
+        let identical = reference
+            .iter()
+            .zip(&amortized_designs)
+            .all(|(a, b)| match (a, b) {
+                (Ok(x), Ok(y)) => x == y && x.stats == y.stats,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            });
+        outputs_identical &= identical;
+
+        let mut per_point_secs = f64::INFINITY;
+        let mut amortized_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let out =
+                pchls_par::with_serial(|| sweep_per_point(graph, &library, *latency, grid, opts));
+            per_point_secs = per_point_secs.min(start.elapsed().as_secs_f64());
+            drop(out);
+
+            let start = Instant::now();
+            let out = pchls_par::with_serial(|| sweep_amortized(&session, *latency, grid, opts));
+            amortized_secs = amortized_secs.min(start.elapsed().as_secs_f64());
+            drop(out);
+        }
+        println!(
+            "{:<12} {:>5} {:>4} {:>6} | {:>12.4} {:>12.4} {:>6.2}x",
+            graph.name(),
+            graph.len(),
+            latency,
+            grid.len(),
+            per_point_secs,
+            amortized_secs,
+            per_point_secs / amortized_secs,
+        );
+        records.push(AmortizedCaseRecord {
+            name: graph.name().to_owned(),
+            nodes: graph.len(),
+            latency_bound: *latency,
+            points: grid.len(),
+            reps,
+            per_point_secs,
+            amortized_secs,
+            speedup: per_point_secs / amortized_secs,
+        });
+    }
+
+    let per_point_secs: f64 = records.iter().map(|r| r.per_point_secs).sum();
+    let amortized_secs: f64 = records.iter().map(|r| r.amortized_secs).sum();
+    let record = AmortizedRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "engine-amortized".into(),
+        points: records.iter().map(|r| r.points).sum(),
+        threads: 1,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        per_point_secs,
+        amortized_secs,
+        speedup: per_point_secs / amortized_secs,
+        outputs_identical,
+        cases: records,
+    };
+    println!(
+        "\ntotal: per-point {:.3}s | amortized {:.3}s | speedup {:.2}x | identical: {}",
+        record.per_point_secs, record.amortized_secs, record.speedup, record.outputs_identical
+    );
+    assert!(
+        record.outputs_identical,
+        "compile-once session diverged from the per-point free-function path"
+    );
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_3.json", json).expect("write BENCH_3.json");
+    eprintln!("wrote BENCH_3.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let engine = Engine::new(paper_library());
+    let opts = SynthesisOptions::default();
+    kernel_workload(smoke, &engine, &opts);
+    amortized_workload(smoke, &opts);
 }

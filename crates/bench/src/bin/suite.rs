@@ -10,10 +10,7 @@ use serde::Serialize;
 
 use pchls_bench::{figure2_curves, figure2_power_grid, run_curve_serial, run_figure2};
 use pchls_cdfg::benchmarks;
-use pchls_core::{
-    area_breakdown, synthesize, synthesize_portfolio, synthesize_refined, AreaModel,
-    SynthesisConstraints, SynthesisOptions,
-};
+use pchls_core::{area_breakdown, AreaModel, Engine, SynthesisConstraints, SynthesisOptions};
 use pchls_fulib::paper_library;
 
 /// The perf-trajectory record (`BENCH_*.json`): one file per PR, so the
@@ -76,7 +73,7 @@ fn figure2_perf() -> BenchRecord {
 }
 
 fn main() {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     let opts = SynthesisOptions::default();
     println!(
         "{:<10} {:>4} {:>6} | {:>6} {:>7} {:>7} | {:>5} {:>5} {:>6}",
@@ -84,20 +81,15 @@ fn main() {
     );
     println!("{}", "-".repeat(76));
     for g in benchmarks::all() {
-        // Standard constraints: 1.5x the fastest critical path, a power
-        // budget of 40.
-        let t = {
-            let timing = pchls_sched::TimingMap::from_policy(
-                &g,
-                &lib,
-                pchls_fulib::SelectionPolicy::Fastest,
-            );
-            pchls_sched::asap(&g, &timing).latency(&timing) * 3 / 2
-        };
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
+        // Standard constraints: 1.5x the fastest critical path (the
+        // compiled graph's minimum latency), a power budget of 40.
+        let t = compiled.min_latency() * 3 / 2;
         let c = SynthesisConstraints::new(t, 40.0);
-        let paper = synthesize(&g, &lib, c, &opts);
-        let refined = synthesize_refined(&g, &lib, c, &opts);
-        let portfolio = synthesize_portfolio(&g, &lib, c, &opts);
+        let paper = session.synthesize(c, &opts);
+        let refined = session.synthesize_refined(c, &opts);
+        let portfolio = session.synthesize_portfolio(c, &opts);
         let fmt = |r: &Result<pchls_core::SynthesizedDesign, _>| match r {
             Ok(d) => d.area.to_string(),
             Err(_) => "-".into(),

@@ -21,7 +21,8 @@ use std::path::Path;
 
 use pchls_cdfg::Cdfg;
 use pchls_core::{
-    power_sweep, power_sweep_serial, sweep_many, SweepPoint, SweepRequest, SynthesisOptions,
+    power_sweep_serial, CompiledGraph, Engine, SweepJob, SweepPoint, SweepResult, SweepSpec,
+    SynthesisOptions,
 };
 use pchls_fulib::ModuleLibrary;
 
@@ -48,16 +49,19 @@ pub fn figure2_power_grid() -> Vec<f64> {
     (1..=60).map(|i| f64::from(i) * 2.5).collect()
 }
 
-/// Runs one Figure 2 curve (grid points in parallel).
+/// Runs one Figure 2 curve (grid points in parallel) through a
+/// throwaway [`Engine`] session.
 #[must_use]
 pub fn run_curve(graph: &Cdfg, library: &ModuleLibrary, latency: u32) -> Vec<SweepPoint> {
-    power_sweep(
-        graph,
-        library,
-        latency,
-        &figure2_power_grid(),
-        &SynthesisOptions::default(),
-    )
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .sweep(
+            &SweepSpec::power(latency, figure2_power_grid()),
+            &SynthesisOptions::default(),
+        )
+        .into_points()
 }
 
 /// Runs one Figure 2 curve serially — the baseline [`run_curve`] must
@@ -79,17 +83,34 @@ pub fn run_curve_serial(graph: &Cdfg, library: &ModuleLibrary, latency: u32) -> 
 /// curve, in [`figure2_curves`] order.
 #[must_use]
 pub fn run_figure2(library: &ModuleLibrary) -> Vec<Vec<SweepPoint>> {
+    let engine = Engine::new(library.clone());
     let curves = figure2_curves();
     let grid = figure2_power_grid();
-    let requests: Vec<SweepRequest<'_>> = curves
+    // Compile each distinct benchmark once — hal is swept at two
+    // latencies but compiled a single time, which is the whole point of
+    // the session API.
+    let mut compiled: Vec<(String, CompiledGraph)> = Vec::new();
+    for (graph, _) in &curves {
+        if !compiled.iter().any(|(name, _)| name == graph.name()) {
+            compiled.push((graph.name().to_owned(), engine.compile(graph)));
+        }
+    }
+    let jobs: Vec<SweepJob<'_>> = curves
         .iter()
-        .map(|(graph, latency)| SweepRequest {
-            graph,
-            latency: *latency,
-            powers: &grid,
+        .map(|(graph, latency)| SweepJob {
+            compiled: &compiled
+                .iter()
+                .find(|(name, _)| name == graph.name())
+                .expect("compiled above")
+                .1,
+            spec: SweepSpec::power(*latency, grid.clone()),
         })
         .collect();
-    sweep_many(&requests, library, &SynthesisOptions::default())
+    engine
+        .sweep_batch(&jobs, &SynthesisOptions::default())
+        .into_iter()
+        .map(SweepResult::into_points)
+        .collect()
 }
 
 /// Serializes sweep points as JSON into `results/<name>.json`.
@@ -173,7 +194,7 @@ mod tests {
     fn format_is_row_per_point() {
         let lib = paper_library();
         let g = pchls_cdfg::benchmarks::hal();
-        let pts = pchls_core::power_sweep(&g, &lib, 17, &[5.0, 50.0], &SynthesisOptions::default());
+        let pts = power_sweep_serial(&g, &lib, 17, &[5.0, 50.0], &SynthesisOptions::default());
         let text = format_points(&pts);
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("infeasible"));

@@ -1,13 +1,11 @@
 //! The tentpole guarantee of the parallel exploration layer: fanning
 //! grid points across cores must not change a single byte of the output.
-//! Every Figure 2 curve is swept both ways (whole-figure `sweep_many`
-//! fan-out vs. the serial reference) over a thinned power grid and
-//! compared for exact equality.
+//! Every Figure 2 curve is swept both ways (whole-figure
+//! `Engine::sweep_batch` fan-out vs. the serial reference) over a
+//! thinned power grid and compared for exact equality.
 
 use pchls_bench::{figure2_curves, figure2_power_grid};
-use pchls_core::{
-    power_sweep, power_sweep_serial, sweep_many, synthesize, SweepRequest, SynthesisOptions,
-};
+use pchls_core::{power_sweep_serial, Engine, SweepJob, SweepSpec, SynthesisOptions};
 use pchls_fulib::paper_library;
 
 /// Every 5th point of the Figure 2 grid: spans the whole axis (including
@@ -18,44 +16,65 @@ fn thinned_grid() -> Vec<f64> {
 }
 
 #[test]
-fn sweep_many_equals_serial_on_all_figure2_curves() {
+fn sweep_batch_equals_serial_on_all_figure2_curves() {
     let lib = paper_library();
+    let engine = Engine::new(lib.clone());
     let curves = figure2_curves();
     let grid = thinned_grid();
-    let requests: Vec<SweepRequest<'_>> = curves
+    let compiled: Vec<_> = curves.iter().map(|(g, _)| engine.compile(g)).collect();
+    let jobs: Vec<SweepJob<'_>> = curves
         .iter()
-        .map(|(graph, latency)| SweepRequest {
-            graph,
-            latency: *latency,
-            powers: &grid,
+        .zip(&compiled)
+        .map(|((_, latency), c)| SweepJob {
+            compiled: c,
+            spec: SweepSpec::power(*latency, grid.clone()),
         })
         .collect();
-    let parallel = sweep_many(&requests, &lib, &SynthesisOptions::default());
+    let parallel = engine.sweep_batch(&jobs, &SynthesisOptions::default());
     assert_eq!(parallel.len(), curves.len());
     for ((graph, latency), curve) in curves.iter().zip(&parallel) {
         let serial = power_sweep_serial(graph, &lib, *latency, &grid, &SynthesisOptions::default());
-        assert_eq!(curve, &serial, "{} T={latency} diverged", graph.name());
+        assert_eq!(
+            curve.points,
+            serial,
+            "{} T={latency} diverged",
+            graph.name()
+        );
     }
 }
 
 #[test]
 fn per_curve_parallel_sweep_equals_serial_on_all_figure2_curves() {
     let lib = paper_library();
+    let engine = Engine::new(lib.clone());
     let grid = thinned_grid();
     for (graph, latency) in figure2_curves() {
-        let parallel = power_sweep(&graph, &lib, latency, &grid, &SynthesisOptions::default());
+        let compiled = engine.compile(&graph);
+        let parallel = engine.session(&compiled).sweep(
+            &SweepSpec::power(latency, grid.clone()),
+            &SynthesisOptions::default(),
+        );
         let serial = power_sweep_serial(&graph, &lib, latency, &grid, &SynthesisOptions::default());
-        assert_eq!(parallel, serial, "{} T={latency} diverged", graph.name());
+        assert_eq!(
+            parallel.points,
+            serial,
+            "{} T={latency} diverged",
+            graph.name()
+        );
     }
 }
 
 #[test]
 fn parallel_sweeps_are_reproducible_across_runs() {
-    let lib = paper_library();
-    let g = pchls_cdfg::benchmarks::elliptic();
-    let grid = thinned_grid();
-    let a = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
-    let b = power_sweep(&g, &lib, 22, &grid, &SynthesisOptions::default());
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&pchls_cdfg::benchmarks::elliptic());
+    let spec = SweepSpec::power(22, thinned_grid());
+    let a = engine
+        .session(&compiled)
+        .sweep(&spec, &SynthesisOptions::default());
+    let b = engine
+        .session(&compiled)
+        .sweep(&spec, &SynthesisOptions::default());
     assert_eq!(a, b);
 }
 
@@ -65,13 +84,15 @@ fn parallel_sweeps_are_reproducible_across_runs() {
 /// axis (feasible and infeasible points alike).
 #[test]
 fn kernel_parallel_scoring_reproduces_serial_trace_on_figure2_curves() {
-    let lib = paper_library();
+    let engine = Engine::new(paper_library());
     let opts = SynthesisOptions::default();
     for (graph, latency) in figure2_curves() {
+        let compiled = engine.compile(&graph);
+        let session = engine.session(&compiled);
         for power in thinned_grid() {
             let constraints = pchls_core::SynthesisConstraints::new(latency, power);
-            let serial = pchls_par::with_serial(|| synthesize(&graph, &lib, constraints, &opts));
-            let parallel = synthesize(&graph, &lib, constraints, &opts);
+            let serial = pchls_par::with_serial(|| session.synthesize(constraints, &opts));
+            let parallel = session.synthesize(constraints, &opts);
             match (serial, parallel) {
                 (Ok(a), Ok(b)) => {
                     assert_eq!(a, b, "{} T={latency} P={power} design", graph.name());
@@ -99,6 +120,7 @@ fn kernel_parallel_scoring_reproduces_serial_trace_on_figure2_curves() {
 #[test]
 fn kernel_parallel_scoring_reproduces_serial_trace_on_large_random_graphs() {
     let lib = paper_library();
+    let engine = Engine::new(lib.clone());
     let opts = SynthesisOptions::default();
     for seed in [11, 12] {
         let graph = pchls_cdfg::random_dag(&pchls_cdfg::RandomDagConfig {
@@ -116,9 +138,11 @@ fn kernel_parallel_scoring_reproduces_serial_trace_on_large_random_graphs() {
         );
         let latency = pchls_sched::asap(&graph, &timing).latency(&timing) * 2;
         let constraints = pchls_core::SynthesisConstraints::new(latency, 60.0);
-        let serial = pchls_par::with_serial(|| synthesize(&graph, &lib, constraints, &opts))
-            .expect("feasible");
-        let parallel = synthesize(&graph, &lib, constraints, &opts).expect("feasible");
+        let compiled = engine.compile(&graph);
+        let session = engine.session(&compiled);
+        let serial =
+            pchls_par::with_serial(|| session.synthesize(constraints, &opts)).expect("feasible");
+        let parallel = session.synthesize(constraints, &opts).expect("feasible");
         assert_eq!(serial, parallel, "seed {seed} design");
         assert_eq!(serial.stats, parallel.stats, "seed {seed} trace");
     }

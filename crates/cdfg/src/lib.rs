@@ -43,7 +43,7 @@ mod random;
 mod stats;
 mod text;
 
-pub use analysis::{CriticalPath, Reachability};
+pub use analysis::{AnalysisCache, CriticalPath, Reachability};
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
 pub use graph::{Cdfg, Edge, Node, NodeId};

@@ -85,20 +85,22 @@ pub fn area_breakdown(design: &SynthesizedDesign, graph: &Cdfg, model: AreaModel
 mod tests {
     use super::*;
     use crate::constraints::SynthesisConstraints;
+    use crate::engine::Engine;
     use crate::options::SynthesisOptions;
-    use crate::synthesis::synthesize;
     use pchls_cdfg::benchmarks;
     use pchls_fulib::paper_library;
 
     fn design() -> (Cdfg, SynthesizedDesign) {
         let g = benchmarks::hal();
-        let d = synthesize(
-            &g,
-            &paper_library(),
-            SynthesisConstraints::new(17, 25.0),
-            &SynthesisOptions::default(),
-        )
-        .unwrap();
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(&g);
+        let d = engine
+            .session(&compiled)
+            .synthesize(
+                SynthesisConstraints::new(17, 25.0),
+                &SynthesisOptions::default(),
+            )
+            .unwrap();
         (g, d)
     }
 

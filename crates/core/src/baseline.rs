@@ -131,14 +131,14 @@ pub fn trimmed_allocation_bind(
     for &m in &modules {
         *counts.entry(m).or_insert(0) += 1;
     }
+    // Module selection is fixed for the whole trim loop, so the timing
+    // map is too — one build, not one per feasibility probe.
+    let timing = TimingMap::from_modules(graph, library, &modules);
     let feasible = |counts: &std::collections::BTreeMap<pchls_fulib::ModuleId, usize>| {
         let alloc = Allocation::from_pairs(counts.iter().map(|(&m, &c)| (m, c)));
         list_schedule(graph, library, &modules, &alloc, constraints.max_power)
             .ok()
-            .filter(|s| {
-                let t = TimingMap::from_modules(graph, library, &modules);
-                s.latency(&t) <= constraints.latency
-            })
+            .filter(|s| s.latency(&timing) <= constraints.latency)
     };
     let Some(mut schedule) = feasible(&counts) else {
         return Err(SynthesisError::Infeasible {
@@ -173,7 +173,6 @@ pub fn trimmed_allocation_bind(
         }
     }
 
-    let timing = TimingMap::from_modules(graph, library, &modules);
     let binding = bind_schedule(graph, library, &schedule, &timing, &CostWeights::default())?;
     Ok(SynthesizedDesign::assemble(
         schedule,

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pchls_bind::BindError;
+use pchls_cdfg::OpKind;
 use pchls_sched::ScheduleError;
 
 /// Errors raised by the synthesis algorithms.
@@ -20,6 +21,15 @@ pub enum SynthesisError {
     Schedule(ScheduleError),
     /// The produced binding failed validation (internal invariant).
     Bind(BindError),
+    /// The module library has no module implementing an operation kind
+    /// present in the graph (raised by `Engine::try_compile`).
+    Uncovered {
+        /// The operation kind without any implementing module.
+        kind: OpKind,
+    },
+    /// A progress hook requested cancellation
+    /// ([`std::ops::ControlFlow::Break`]); no design was produced.
+    Cancelled,
 }
 
 impl fmt::Display for SynthesisError {
@@ -30,6 +40,10 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             SynthesisError::Bind(e) => write!(f, "binding failed: {e}"),
+            SynthesisError::Uncovered { kind } => {
+                write!(f, "library does not cover operation kind {kind}")
+            }
+            SynthesisError::Cancelled => write!(f, "synthesis cancelled by progress hook"),
         }
     }
 }
@@ -39,6 +53,7 @@ impl std::error::Error for SynthesisError {
         match self {
             SynthesisError::Infeasible { cause } | SynthesisError::Schedule(cause) => Some(cause),
             SynthesisError::Bind(e) => Some(e),
+            SynthesisError::Uncovered { .. } | SynthesisError::Cancelled => None,
         }
     }
 }

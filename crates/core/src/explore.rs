@@ -1,14 +1,20 @@
 //! Design-space exploration: the sweeps behind Figure 2.
+//!
+//! The free sweep functions in this module predate the
+//! [`Engine`](crate::Engine) API and are kept as thin shims: each builds
+//! a throwaway engine, compiles the graph **once for the whole sweep**,
+//! and delegates to [`Session::sweep`](crate::Session::sweep). New code
+//! should compile once and sweep many times instead.
 
 use serde::{Deserialize, Serialize};
 
 use pchls_cdfg::Cdfg;
-use pchls_fulib::{ModuleLibrary, SelectionPolicy};
-use pchls_sched::{asap, PowerProfile, TimingMap};
+use pchls_fulib::ModuleLibrary;
 
 use crate::constraints::SynthesisConstraints;
+use crate::engine::{CompiledGraph, Engine, SweepSpec};
 use crate::options::SynthesisOptions;
-use crate::synthesis::synthesize;
+use crate::synthesis::synthesize_session;
 
 /// One point of a constraint sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,7 +47,7 @@ impl SweepPoint {
 /// monotone-envelope pass rewrites when it carries a better design
 /// forward).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SweepAxis {
+pub(crate) enum SweepAxis {
     Power,
     Latency,
 }
@@ -62,6 +68,11 @@ enum SweepAxis {
 /// making the output **byte-identical** to a serial sweep
 /// ([`power_sweep_serial`]). Set `PCHLS_THREADS=1` to force serial
 /// execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile once and sweep many times: `engine.session(&compiled)\
+            .sweep(&SweepSpec::power(latency, powers.to_vec()), options)`"
+)]
 #[must_use]
 pub fn power_sweep(
     graph: &Cdfg,
@@ -70,15 +81,12 @@ pub fn power_sweep(
     powers: &[f64],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
-    let raw = pchls_par::par_map(powers, |&p| {
-        run_point(
-            graph,
-            library,
-            SynthesisConstraints::new(latency, p),
-            options,
-        )
-    });
-    envelope(raw, &power_order(powers), SweepAxis::Power)
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .sweep(&SweepSpec::power(latency, powers.to_vec()), options)
+        .into_points()
 }
 
 /// Reference serial implementation of [`power_sweep`]: identical output,
@@ -92,12 +100,14 @@ pub fn power_sweep_serial(
     powers: &[f64],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
     let raw = powers
         .iter()
         .map(|&p| {
             run_point(
-                graph,
-                library,
+                &engine,
+                &compiled,
                 SynthesisConstraints::new(latency, p),
                 options,
             )
@@ -113,6 +123,11 @@ pub fn power_sweep_serial(
 /// any latency `≤ T` — a design meeting a tighter deadline meets every
 /// looser one. Raw points run in parallel; the envelope is sequential,
 /// so the output equals [`latency_sweep_serial`] exactly.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile once and sweep many times: `engine.session(&compiled)\
+            .sweep(&SweepSpec::latency(power, latencies.to_vec()), options)`"
+)]
 #[must_use]
 pub fn latency_sweep(
     graph: &Cdfg,
@@ -121,10 +136,12 @@ pub fn latency_sweep(
     latencies: &[u32],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
-    let raw = pchls_par::par_map(latencies, |&t| {
-        run_point(graph, library, SynthesisConstraints::new(t, power), options)
-    });
-    envelope(raw, &latency_order(latencies), SweepAxis::Latency)
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .sweep(&SweepSpec::latency(power, latencies.to_vec()), options)
+        .into_points()
 }
 
 /// Reference serial implementation of [`latency_sweep`].
@@ -136,9 +153,18 @@ pub fn latency_sweep_serial(
     latencies: &[u32],
     options: &SynthesisOptions,
 ) -> Vec<SweepPoint> {
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
     let raw = latencies
         .iter()
-        .map(|&t| run_point(graph, library, SynthesisConstraints::new(t, power), options))
+        .map(|&t| {
+            run_point(
+                &engine,
+                &compiled,
+                SynthesisConstraints::new(t, power),
+                options,
+            )
+        })
         .collect();
     envelope(raw, &latency_order(latencies), SweepAxis::Latency)
 }
@@ -164,47 +190,44 @@ pub struct SweepRequest<'a> {
 /// expensive points of one curve are still running, which a
 /// curve-at-a-time loop over [`power_sweep`] cannot do. Each returned
 /// curve is byte-identical to [`power_sweep_serial`] on the same inputs.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile each graph once and use `engine.sweep_batch(&jobs, options)` \
+            with `SweepJob { compiled, spec }` entries"
+)]
 #[must_use]
 pub fn sweep_many(
     requests: &[SweepRequest<'_>],
     library: &ModuleLibrary,
     options: &SynthesisOptions,
 ) -> Vec<Vec<SweepPoint>> {
-    let jobs: Vec<(usize, usize)> = requests
+    use crate::engine::SweepJob;
+    let engine = Engine::new(library.clone());
+    let compiled: Vec<CompiledGraph> = requests.iter().map(|r| engine.compile(r.graph)).collect();
+    let jobs: Vec<SweepJob<'_>> = requests
         .iter()
-        .enumerate()
-        .flat_map(|(c, r)| (0..r.powers.len()).map(move |p| (c, p)))
-        .collect();
-    let mut raw = pchls_par::par_map(&jobs, |&(c, p)| {
-        let r = &requests[c];
-        run_point(
-            r.graph,
-            library,
-            SynthesisConstraints::new(r.latency, r.powers[p]),
-            options,
-        )
-    });
-    // Un-flatten (jobs are in curve-major order) and run each curve's
-    // sequential envelope pass.
-    requests
-        .iter()
-        .map(|r| {
-            let rest = raw.split_off(r.powers.len());
-            let curve = std::mem::replace(&mut raw, rest);
-            envelope(curve, &power_order(r.powers), SweepAxis::Power)
+        .zip(&compiled)
+        .map(|(r, c)| SweepJob {
+            compiled: c,
+            spec: SweepSpec::power(r.latency, r.powers.to_vec()),
         })
+        .collect();
+    engine
+        .sweep_batch(&jobs, options)
+        .into_iter()
+        .map(crate::engine::SweepResult::into_points)
         .collect()
 }
 
 /// Ascending visit order over a float grid.
-fn power_order(powers: &[f64]) -> Vec<usize> {
+pub(crate) fn power_order(powers: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..powers.len()).collect();
     order.sort_by(|&a, &b| powers[a].partial_cmp(&powers[b]).expect("finite bounds"));
     order
 }
 
 /// Ascending visit order over a latency grid.
-fn latency_order(latencies: &[u32]) -> Vec<usize> {
+pub(crate) fn latency_order(latencies: &[u32]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..latencies.len()).collect();
     order.sort_by_key(|&i| latencies[i]);
     order
@@ -215,7 +238,7 @@ fn latency_order(latencies: &[u32]) -> Vec<usize> {
 /// seen so far with that best design (re-labelled to the point's own
 /// bound). Points are moved, not cloned; only an actual carry copies the
 /// best design into the slot.
-fn envelope(raw: Vec<SweepPoint>, order: &[usize], axis: SweepAxis) -> Vec<SweepPoint> {
+pub(crate) fn envelope(raw: Vec<SweepPoint>, order: &[usize], axis: SweepAxis) -> Vec<SweepPoint> {
     let mut points = raw;
     let mut best: Option<usize> = None;
     for &i in order {
@@ -272,32 +295,22 @@ pub fn pareto_front(points: &[SweepPoint]) -> Vec<SweepPoint> {
         .collect()
 }
 
-fn run_point(
-    graph: &Cdfg,
-    library: &ModuleLibrary,
+/// One grid point through the session kernel, summarized for a sweep
+/// (the one `Result` → [`SweepPoint`] construction site, shared with
+/// [`crate::SynthesisResult::to_point`]).
+pub(crate) fn run_point(
+    engine: &Engine,
+    compiled: &CompiledGraph,
     constraints: SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> SweepPoint {
-    match synthesize(graph, library, constraints, options) {
-        Ok(d) => SweepPoint {
-            benchmark: graph.name().to_owned(),
-            latency_bound: constraints.latency,
-            power_bound: constraints.max_power,
-            area: Some(d.area),
-            latency: Some(d.latency),
-            peak_power: Some(d.peak_power),
-            units: Some(d.binding.instances().len()),
-        },
-        Err(_) => SweepPoint {
-            benchmark: graph.name().to_owned(),
-            latency_bound: constraints.latency,
-            power_bound: constraints.max_power,
-            area: None,
-            latency: None,
-            peak_power: None,
-            units: None,
-        },
+    use crate::engine::{SynthesisRequest, SynthesisResult};
+    let outcome = synthesize_session(engine, compiled, constraints, options, None);
+    SynthesisResult {
+        request: SynthesisRequest::new(constraints).with_options(*options),
+        outcome,
     }
+    .to_point(compiled.name())
 }
 
 /// A sensible power grid for sweeping `graph`: `steps` evenly spaced
@@ -306,18 +319,17 @@ fn run_point(
 /// constraint stops binding) plus one step of headroom.
 #[must_use]
 pub fn auto_power_grid(graph: &Cdfg, library: &ModuleLibrary, steps: usize) -> Vec<f64> {
-    let timing = TimingMap::from_policy(graph, library, SelectionPolicy::Fastest);
-    let peak = PowerProfile::of(&asap(graph, &timing), &timing).peak();
-    let lo = timing.max_single_op_power();
-    let hi = peak * 1.1;
-    let steps = steps.max(2);
-    (0..steps)
-        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
-        .collect()
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    engine.session(&compiled).auto_power_grid(steps)
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests cover the deprecated shims on purpose: they must stay
+    // byte-identical to the session path until removed.
+    #![allow(deprecated)]
+
     use super::*;
     use pchls_cdfg::benchmarks;
     use pchls_fulib::paper_library;

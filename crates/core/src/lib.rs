@@ -1,7 +1,7 @@
 //! The paper's contribution: simultaneous power- and time-constrained
 //! scheduling, allocation and binding minimizing datapath area.
 //!
-//! [`synthesize`] implements the heuristic of Nielsen & Madsen (DATE
+//! The [`Engine`] implements the heuristic of Nielsen & Madsen (DATE
 //! 2003): a greedy partial-clique-partitioning loop over the power-aware
 //! time-extended compatibility structure. Each iteration recomputes the
 //! power-constrained `pasap`/`palap` windows, evaluates every feasible
@@ -19,17 +19,29 @@
 //! modules along infeasible critical paths so tight latencies force fast
 //! units only where needed.
 //!
+//! # The session API
+//!
+//! Synthesis state is split by lifetime: [`Engine::new`] owns the
+//! per-library indexes, [`Engine::compile`] owns the per-graph analyses
+//! (reachability bitsets, bootstrap estimates, schedule skeletons), and
+//! a [`Session`] synthesizes under any number of `(T, P<)` constraint
+//! points — one at a time ([`Session::synthesize`]), as a constraint
+//! sweep ([`Session::sweep`]), or as an arbitrary batched request list
+//! ([`Session::batch`]) — without recomputing any of it. The historical
+//! free functions ([`synthesize`], [`power_sweep`], …) survive as
+//! deprecated shims over a throwaway engine, byte-identical in output.
+//!
 //! # Example
 //!
 //! ```
 //! use pchls_cdfg::benchmarks::hal;
-//! use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+//! use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
 //! use pchls_fulib::paper_library;
 //!
 //! # fn main() -> Result<(), pchls_core::SynthesisError> {
-//! let design = synthesize(
-//!     &hal(),
-//!     &paper_library(),
+//! let engine = Engine::new(paper_library());
+//! let compiled = engine.compile(&hal());
+//! let design = engine.session(&compiled).synthesize(
 //!     SynthesisConstraints::new(17, 25.0),
 //!     &SynthesisOptions::default(),
 //! )?;
@@ -46,6 +58,7 @@ mod area;
 mod baseline;
 mod constraints;
 mod design;
+mod engine;
 mod error;
 mod explore;
 mod options;
@@ -56,11 +69,19 @@ pub use area::{area_breakdown, AreaBreakdown, AreaModel};
 pub use baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, BaselineDesign};
 pub use constraints::SynthesisConstraints;
 pub use design::{SynthesisStats, SynthesizedDesign};
+pub use engine::{
+    CompiledGraph, Engine, Progress, Session, SweepJob, SweepResult, SweepSpec, SynthesisRequest,
+    SynthesisResult,
+};
 pub use error::SynthesisError;
 pub use explore::{
-    auto_power_grid, latency_sweep, latency_sweep_serial, pareto_front, power_sweep,
-    power_sweep_serial, sweep_many, SweepPoint, SweepRequest,
+    auto_power_grid, latency_sweep_serial, pareto_front, power_sweep_serial, SweepPoint,
+    SweepRequest,
 };
-pub use options::SynthesisOptions;
+#[allow(deprecated)]
+pub use explore::{latency_sweep, power_sweep, sweep_many};
+pub use options::{SynthesisOptions, SynthesisOptionsBuilder};
+#[allow(deprecated)]
 pub use refine::{synthesize_portfolio, synthesize_refined};
+#[allow(deprecated)]
 pub use synthesis::synthesize;

@@ -7,7 +7,24 @@ use pchls_bind::CostWeights;
 /// The defaults reproduce the paper's algorithm; the boolean switches
 /// exist for the ablation studies in `EXPERIMENTS.md` (what each
 /// ingredient of the heuristic buys).
+///
+/// The struct is `#[non_exhaustive]` so future knobs can be added
+/// without breaking callers: construct it with
+/// [`SynthesisOptions::default`], [`SynthesisOptions::paper`] or the
+/// [`builder`](SynthesisOptions::builder):
+///
+/// ```
+/// use pchls_core::SynthesisOptions;
+///
+/// let opts = SynthesisOptions::builder()
+///     .backtracking(false)
+///     .interconnect_scoring(false)
+///     .build();
+/// assert!(!opts.backtracking);
+/// assert!(opts.module_selection, "untouched knobs keep their defaults");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SynthesisOptions {
     /// Relative weight of area vs. interconnect in decision scoring.
     pub weights: CostWeights,
@@ -43,6 +60,54 @@ impl SynthesisOptions {
     pub fn paper() -> SynthesisOptions {
         SynthesisOptions::default()
     }
+
+    /// A builder starting from the paper defaults.
+    pub fn builder() -> SynthesisOptionsBuilder {
+        SynthesisOptionsBuilder {
+            options: SynthesisOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`SynthesisOptions`] (the only way to construct
+/// non-default options outside this crate, since the struct is
+/// `#[non_exhaustive]`).
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the options"]
+pub struct SynthesisOptionsBuilder {
+    options: SynthesisOptions,
+}
+
+impl SynthesisOptionsBuilder {
+    /// Sets the decision-scoring weights.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.options.weights = weights;
+        self
+    }
+
+    /// Enables or disables the paper's backtracking rule.
+    pub fn backtracking(mut self, on: bool) -> Self {
+        self.options.backtracking = on;
+        self
+    }
+
+    /// Enables or disables module-selection exploration.
+    pub fn module_selection(mut self, on: bool) -> Self {
+        self.options.module_selection = on;
+        self
+    }
+
+    /// Enables or disables interconnect-aware scoring.
+    pub fn interconnect_scoring(mut self, on: bool) -> Self {
+        self.options.interconnect_scoring = on;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> SynthesisOptions {
+        self.options
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +119,24 @@ mod tests {
         let o = SynthesisOptions::default();
         assert!(o.backtracking && o.module_selection && o.interconnect_scoring);
         assert_eq!(o, SynthesisOptions::paper());
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(
+            SynthesisOptions::builder().build(),
+            SynthesisOptions::default()
+        );
+    }
+
+    #[test]
+    fn builder_flips_only_requested_knobs() {
+        let o = SynthesisOptions::builder()
+            .backtracking(false)
+            .module_selection(false)
+            .build();
+        assert!(!o.backtracking && !o.module_selection);
+        assert!(o.interconnect_scoring);
+        assert_eq!(o.weights, CostWeights::default());
     }
 }

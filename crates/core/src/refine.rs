@@ -14,31 +14,51 @@ use pchls_fulib::ModuleLibrary;
 
 use crate::constraints::SynthesisConstraints;
 use crate::design::SynthesizedDesign;
+use crate::engine::{CompiledGraph, Engine};
 use crate::error::SynthesisError;
 use crate::options::SynthesisOptions;
-use crate::synthesis::synthesize;
+use crate::synthesis::synthesize_session;
 
 /// Upper bound on ratchet iterations; each strictly lowers the internal
 /// power bound, so termination is guaranteed anyway (peaks live on the
 /// finite grid of module-power sums), but a cap keeps worst cases cheap.
 const MAX_RATCHETS: usize = 64;
 
-/// Like [`synthesize`], then repeatedly re-synthesizes with the power
-/// bound tightened to just below the achieved peak, keeping the smallest
-/// design. Never returns a larger design than [`synthesize`] does, and
-/// the result is validated against the *original* constraints.
+/// Like [`synthesize`](crate::synthesize), then repeatedly
+/// re-synthesizes with the power bound tightened to just below the
+/// achieved peak, keeping the smallest design. Never returns a larger
+/// design than plain synthesis does, and the result is validated
+/// against the *original* constraints.
 ///
 /// # Errors
 ///
-/// Exactly as [`synthesize`] — refinement only runs once a first design
-/// exists.
+/// Exactly as [`synthesize`](crate::synthesize) — refinement only runs
+/// once a first design exists.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine.session(&compiled).synthesize_refined(constraints, options)`"
+)]
 pub fn synthesize_refined(
     graph: &Cdfg,
     library: &ModuleLibrary,
     constraints: SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> Result<SynthesizedDesign, SynthesisError> {
-    let mut best = synthesize(graph, library, constraints, options)?;
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    refined_session(&engine, &compiled, constraints, options)
+}
+
+/// [`synthesize_refined`] over precompiled session artifacts: every
+/// ratchet iteration reuses the same compiled graph.
+pub(crate) fn refined_session(
+    engine: &Engine,
+    compiled: &CompiledGraph,
+    constraints: SynthesisConstraints,
+    options: &SynthesisOptions,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    let (graph, library) = (compiled.graph(), engine.library());
+    let mut best = synthesize_session(engine, compiled, constraints, options, None)?;
     let mut bound = best.peak_power;
     for _ in 0..MAX_RATCHETS {
         // Just below the last peak: forbids the previous placement.
@@ -46,11 +66,12 @@ pub fn synthesize_refined(
         if tighter <= 0.0 {
             break;
         }
-        let Ok(candidate) = synthesize(
-            graph,
-            library,
+        let Ok(candidate) = synthesize_session(
+            engine,
+            compiled,
             SynthesisConstraints::new(constraints.latency, tighter),
             options,
+            None,
         ) else {
             break;
         };
@@ -79,15 +100,32 @@ pub fn synthesize_refined(
 ///
 /// Returns the combined algorithm's error only if *every* member fails —
 /// the portfolio is feasible whenever any member is.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine.session(&compiled).synthesize_portfolio(constraints, options)`"
+)]
 pub fn synthesize_portfolio(
     graph: &Cdfg,
     library: &ModuleLibrary,
     constraints: SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> Result<SynthesizedDesign, SynthesisError> {
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    portfolio_session(&engine, &compiled, constraints, options)
+}
+
+/// [`synthesize_portfolio`] over precompiled session artifacts.
+pub(crate) fn portfolio_session(
+    engine: &Engine,
+    compiled: &CompiledGraph,
+    constraints: SynthesisConstraints,
+    options: &SynthesisOptions,
+) -> Result<SynthesizedDesign, SynthesisError> {
     use crate::baseline::trimmed_allocation_bind;
     use pchls_fulib::SelectionPolicy;
 
+    let (graph, library) = (compiled.graph(), engine.library());
     let mut best: Option<SynthesizedDesign> = None;
     let mut first_err: Option<SynthesisError> = None;
     let mut consider = |result: Result<SynthesizedDesign, SynthesisError>| match result {
@@ -102,7 +140,7 @@ pub fn synthesize_portfolio(
             }
         }
     };
-    consider(synthesize_refined(graph, library, constraints, options));
+    consider(refined_session(engine, compiled, constraints, options));
     consider(trimmed_allocation_bind(
         graph,
         library,
@@ -126,7 +164,12 @@ pub fn synthesize_portfolio(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims are under test on purpose: they must match
+    // the session path until removed.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::synthesis::synthesize;
     use pchls_cdfg::benchmarks;
     use pchls_fulib::paper_library;
 

@@ -1,15 +1,18 @@
 //! The combined power-constrained scheduling/allocation/binding loop.
 
 use pchls_bind::{Binding, InstanceId};
-use pchls_cdfg::{Cdfg, NodeId, OpKind, Reachability};
-use pchls_fulib::{ModuleId, ModuleLibrary, SelectionPolicy};
+use pchls_cdfg::{Cdfg, NodeId, Reachability};
+use pchls_fulib::{ModuleId, ModuleLibrary};
 use pchls_sched::{
     palap_locked, pasap_locked, LockedStarts, OpTiming, PowerLedger, Schedule, ScheduleError,
     TimingMap,
 };
 
+use std::ops::ControlFlow;
+
 use crate::constraints::SynthesisConstraints;
 use crate::design::{SynthesisStats, SynthesizedDesign};
+use crate::engine::{CompiledGraph, Engine, KindCompat, Progress};
 use crate::error::SynthesisError;
 use crate::options::SynthesisOptions;
 
@@ -42,6 +45,13 @@ enum Target {
 /// Synthesizes `graph` under `constraints`, minimizing functional-unit
 /// area (see the crate-level documentation for the algorithm).
 ///
+/// This is the legacy one-shot entry point: it builds a throwaway
+/// [`Engine`], compiles the graph, synthesizes once and discards both —
+/// re-deriving the library indexes and reachability bitsets every call.
+/// Callers synthesizing the same graph more than once should hold an
+/// [`Engine`] and a [`CompiledGraph`] instead; the output is
+/// byte-identical either way.
+///
 /// # Errors
 ///
 /// * [`SynthesisError::Infeasible`] when no power-feasible schedule fits
@@ -50,34 +60,46 @@ enum Target {
 /// * [`SynthesisError::Schedule`] / [`SynthesisError::Bind`] on internal
 ///   validation failures (defended by tests; callers can treat any error
 ///   as "no design produced").
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `Engine` once and reuse it across constraint points: \
+            `Engine::new(library.clone())`, `engine.compile(graph)`, then \
+            `engine.session(&compiled).synthesize(constraints, options)`"
+)]
 pub fn synthesize(
     graph: &Cdfg,
     library: &ModuleLibrary,
     constraints: SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> Result<SynthesizedDesign, SynthesisError> {
+    let engine = Engine::new(library.clone());
+    let compiled = engine.compile(graph);
+    synthesize_session(&engine, &compiled, constraints, options, None)
+}
+
+/// The combined loop over precompiled shared artifacts — the engine's
+/// library indexes and the compiled graph's reachability/bootstrap
+/// state. All public entry points ([`synthesize`],
+/// [`Session::synthesize`](crate::Session::synthesize), sweeps,
+/// batches) funnel here.
+pub(crate) fn synthesize_session(
+    engine: &Engine,
+    compiled: &CompiledGraph,
+    constraints: SynthesisConstraints,
+    options: &SynthesisOptions,
+    mut hook: Option<&mut dyn FnMut(Progress) -> ControlFlow<()>>,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    let graph = compiled.graph();
+    let library = engine.library();
+    let reach = compiled.reachability();
+    // Per-kind module candidate lists and the kind-compatibility matrix
+    // are owned by the engine — computed once per library, not per
+    // point. Incompatible kind pairs can never share a unit, so the
+    // O(n²) pair loop drops them with one table load.
+    let kind_modules = engine.kind_modules();
+    let kind_compat = engine.kind_compat();
     let n = graph.len();
-    let reach = Reachability::new(graph);
-    let (mut timing, est_modules) = bootstrap(graph, library, constraints, &reach)?;
-    // Per-kind module candidate lists, computed once into a dense arena
-    // indexed by [`OpKind::index`]: the library is immutable, so
-    // re-collecting them per candidate (the old behaviour) only burned
-    // allocations.
-    let kind_modules: Vec<Vec<ModuleId>> = OpKind::ALL
-        .iter()
-        .map(|&k| library.candidates(k).collect())
-        .collect();
-    // Whether any library module implements both kinds: pairs of
-    // incompatible kinds can never share a unit, so the O(n²) pair loop
-    // drops them with one table load instead of probing modules.
-    let mut kind_compat = [[false; OpKind::ALL.len()]; OpKind::ALL.len()];
-    for a in 0..OpKind::ALL.len() {
-        for (b, &kb) in OpKind::ALL.iter().enumerate() {
-            kind_compat[a][b] = kind_modules[a]
-                .iter()
-                .any(|&m| library.module(m).implements(kb));
-        }
-    }
+    let (mut timing, est_modules) = bootstrap(graph, library, constraints, reach, compiled)?;
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
@@ -112,6 +134,19 @@ pub fn synthesize(
     let mut dirty = false;
 
     while unbound_count > 0 {
+        // Progress/cancel hook: one event per greedy iteration. `None`
+        // (every batch/sweep path) costs nothing.
+        if let Some(h) = hook.as_deref_mut() {
+            let snapshot = Progress {
+                bound_ops: n - unbound_count,
+                total_ops: n,
+                backtracks: stats.backtracks,
+                rejected_candidates: stats.rejected_candidates,
+            };
+            if h(snapshot).is_break() {
+                return Err(SynthesisError::Cancelled);
+            }
+        }
         if dirty {
             provisional = pasap_locked(
                 graph,
@@ -163,16 +198,16 @@ pub fn synthesize(
             graph,
             library,
             options,
-            reach: &reach,
+            reach,
             timing: &timing,
             est_modules: &est_modules,
-            kind_modules: &kind_modules,
+            kind_modules,
             binding: &binding,
             locked: &locked,
             ledger: &ledger,
             busy: &busy,
             by_module: &by_module,
-            kind_compat: &kind_compat,
+            kind_compat,
             provisional: &provisional,
             late,
             constraints,
@@ -363,7 +398,7 @@ struct Context<'a> {
     /// Open instances per library module, ascending instance id.
     by_module: &'a [Vec<InstanceId>],
     /// `kind_compat[a][b]`: some module implements both kinds.
-    kind_compat: &'a [[bool; OpKind::ALL.len()]; OpKind::ALL.len()],
+    kind_compat: &'a KindCompat,
     provisional: &'a Schedule,
     late: &'a Schedule,
     constraints: SynthesisConstraints,
@@ -886,25 +921,22 @@ fn undo(
 }
 
 /// Chooses initial per-operation module estimates: minimum area (also the
-/// low-power choice in realistic libraries), then upgrades operations to
-/// their fastest module along infeasible critical paths until a
-/// power-feasible schedule exists.
+/// low-power choice in realistic libraries — precomputed once per graph
+/// as [`CompiledGraph`]'s seed), then upgrades operations to their
+/// fastest module along infeasible critical paths until a power-feasible
+/// schedule exists.
 fn bootstrap(
     graph: &Cdfg,
     library: &ModuleLibrary,
     constraints: SynthesisConstraints,
     reach: &Reachability,
+    compiled: &CompiledGraph,
 ) -> Result<(TimingMap, Vec<ModuleId>), SynthesisError> {
-    let mut modules: Vec<ModuleId> = graph
-        .nodes()
-        .iter()
-        .map(|nd| {
-            library
-                .select(nd.kind(), SelectionPolicy::MinArea)
-                .unwrap_or_else(|| panic!("library does not cover {}", nd.kind()))
-        })
-        .collect();
-    let mut timing = TimingMap::from_modules(graph, library, &modules);
+    let mut modules: Vec<ModuleId> = compiled.seed_modules().to_vec();
+    // The seed timing equals the compiled min-area timing map (same
+    // per-node MinArea selection), so start from a clone instead of
+    // rebuilding it on every constraint point.
+    let mut timing = compiled.min_area_timing().clone();
 
     loop {
         let err =
@@ -973,13 +1005,40 @@ mod tests {
     use pchls_cdfg::benchmarks;
     use pchls_fulib::paper_library;
 
-    fn synth(graph: &Cdfg, latency: u32, power: f64) -> Result<SynthesizedDesign, SynthesisError> {
-        synthesize(
-            graph,
-            &paper_library(),
+    fn synth_opts(
+        graph: &Cdfg,
+        latency: u32,
+        power: f64,
+        options: &SynthesisOptions,
+    ) -> Result<SynthesizedDesign, SynthesisError> {
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(graph);
+        synthesize_session(
+            &engine,
+            &compiled,
             SynthesisConstraints::new(latency, power),
+            options,
+            None,
+        )
+    }
+
+    fn synth(graph: &Cdfg, latency: u32, power: f64) -> Result<SynthesizedDesign, SynthesisError> {
+        synth_opts(graph, latency, power, &SynthesisOptions::default())
+    }
+
+    #[test]
+    fn deprecated_free_function_matches_the_session_path() {
+        #[allow(deprecated)]
+        let via_shim = synthesize(
+            &benchmarks::hal(),
+            &paper_library(),
+            SynthesisConstraints::new(17, 25.0),
             &SynthesisOptions::default(),
         )
+        .unwrap();
+        let via_session = synth(&benchmarks::hal(), 17, 25.0).unwrap();
+        assert_eq!(via_shim, via_session);
+        assert_eq!(via_shim.stats, via_session.stats);
     }
 
     #[test]
@@ -1149,13 +1208,7 @@ mod tests {
             backtracking: false,
             ..SynthesisOptions::default()
         };
-        let d = synthesize(
-            &g,
-            &paper_library(),
-            SynthesisConstraints::new(20, 40.0),
-            &opts,
-        )
-        .unwrap();
+        let d = synth_opts(&g, 20, 40.0, &opts).unwrap();
         d.validate(&g, &paper_library()).unwrap();
         assert_eq!(d.stats.backtracks, 0);
     }
@@ -1170,7 +1223,7 @@ mod tests {
         };
         // Loose constraints: the MinArea bootstrap keeps serial
         // multipliers, so the design must contain no parallel ones.
-        let d = synthesize(&g, &lib, SynthesisConstraints::new(40, 1e6), &opts).unwrap();
+        let d = synth_opts(&g, 40, 1e6, &opts).unwrap();
         let par = lib.by_name("mult_par").unwrap();
         assert!(d.binding.instances().iter().all(|i| i.module() != par));
     }

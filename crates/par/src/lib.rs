@@ -62,16 +62,27 @@ pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
 /// item count; the `PCHLS_THREADS` environment variable overrides it
 /// (`PCHLS_THREADS=1` forces serial execution, handy for profiling and
 /// for A/B-testing parallel speedups).
+///
+/// Resolved **once per process** and cached: both the env lookup and
+/// `available_parallelism` (which re-parses cgroup limits on Linux —
+/// ~10µs per call on containerized hosts) are far too slow for the
+/// synthesis kernel, which consults [`would_parallelize`] every
+/// iteration. Set `PCHLS_THREADS` before the first parallel call;
+/// later changes are ignored. In-process A/B switching uses
+/// [`with_serial`], not the environment.
 #[must_use]
 pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var("PCHLS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("PCHLS_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Applies `f` to every item in parallel, returning results in input

@@ -120,20 +120,21 @@ impl Datapath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+    use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
     use pchls_fulib::paper_library;
 
     fn build_hal() -> (Cdfg, Datapath) {
         let g = pchls_cdfg::benchmarks::hal();
-        let lib = paper_library();
-        let d = synthesize(
-            &g,
-            &lib,
-            SynthesisConstraints::new(17, 25.0),
-            &SynthesisOptions::default(),
-        )
-        .unwrap();
-        let dp = Datapath::build(&g, &d, &lib);
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(&g);
+        let d = engine
+            .session(&compiled)
+            .synthesize(
+                SynthesisConstraints::new(17, 25.0),
+                &SynthesisOptions::default(),
+            )
+            .unwrap();
+        let dp = Datapath::build(&g, &d, engine.library());
         (g, dp)
     }
 

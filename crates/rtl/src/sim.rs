@@ -100,7 +100,7 @@ pub fn simulate(
 mod tests {
     use super::*;
     use pchls_cdfg::{benchmarks, Interpreter};
-    use pchls_core::{synthesize, SynthesisConstraints, SynthesisOptions};
+    use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
     use pchls_fulib::paper_library;
     use pchls_sched::PowerProfile;
     use rand::rngs::StdRng;
@@ -114,15 +114,16 @@ mod tests {
     }
 
     fn check_equivalence(graph: &Cdfg, latency: u32, power: f64) {
-        let lib = paper_library();
-        let design = synthesize(
-            graph,
-            &lib,
-            SynthesisConstraints::new(latency, power),
-            &SynthesisOptions::default(),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
-        let dp = Datapath::build(graph, &design, &lib);
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(graph);
+        let design = engine
+            .session(&compiled)
+            .synthesize(
+                SynthesisConstraints::new(latency, power),
+                &SynthesisOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        let dp = Datapath::build(graph, &design, engine.library());
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..20 {
             let stim = random_stimulus(graph, &mut rng);
@@ -163,15 +164,16 @@ mod tests {
     #[test]
     fn missing_input_is_reported() {
         let g = benchmarks::hal();
-        let lib = paper_library();
-        let d = synthesize(
-            &g,
-            &lib,
-            SynthesisConstraints::new(17, 25.0),
-            &SynthesisOptions::default(),
-        )
-        .unwrap();
-        let dp = Datapath::build(&g, &d, &lib);
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(&g);
+        let d = engine
+            .session(&compiled)
+            .synthesize(
+                SynthesisConstraints::new(17, 25.0),
+                &SynthesisOptions::default(),
+            )
+            .unwrap();
+        let dp = Datapath::build(&g, &d, engine.library());
         assert!(simulate(&g, &dp, &Stimulus::new()).is_err());
     }
 }

@@ -33,13 +33,39 @@ pub fn force_directed(
     modules: &[ModuleId],
     latency: u32,
 ) -> Result<Schedule, ScheduleError> {
+    // Transitive closure, computed once per call: every refit below
+    // reduces to O(1) bitset membership tests on the fixed operation's
+    // cones instead of re-walking the graph. Callers that already hold
+    // the closure (e.g. a compile-once session layer) should use
+    // [`force_directed_with`] and skip this rebuild.
+    let reach = Reachability::new(graph);
+    force_directed_with(graph, library, modules, latency, &reach)
+}
+
+/// [`force_directed`] with a caller-supplied [`Reachability`], so a
+/// layer that compiles a graph once (and already owns its transitive
+/// closure) does not pay the closure rebuild on every scheduling call.
+///
+/// `reach` must be the closure of `graph`; output is identical to
+/// [`force_directed`].
+///
+/// # Errors
+///
+/// As [`force_directed`].
+///
+/// # Panics
+///
+/// Panics if `modules` is not one entry per node.
+pub fn force_directed_with(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    modules: &[ModuleId],
+    latency: u32,
+    reach: &Reachability,
+) -> Result<Schedule, ScheduleError> {
     assert_eq!(modules.len(), graph.len(), "one module per node required");
     let timing = TimingMap::from_modules(graph, library, modules);
     let n = graph.len();
-    // Transitive closure, computed once: every refit below reduces to
-    // O(1) bitset membership tests on the fixed operation's cones
-    // instead of re-walking the graph.
-    let reach = Reachability::new(graph);
 
     let mut fixed: Vec<Option<u32>> = vec![None; n];
     let (mut early, mut late) = windows(graph, &timing, latency, &fixed)?;
@@ -81,7 +107,7 @@ pub fn force_directed(
         let Some((_, id, s)) = best else { break };
         fixed[id.index()] = Some(s);
         refit_windows(
-            graph, &timing, &reach, latency, &fixed, &mut early, &mut late, modules, &mut dg, id,
+            graph, &timing, reach, latency, &fixed, &mut early, &mut late, modules, &mut dg, id,
         )?;
     }
 

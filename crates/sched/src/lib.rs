@@ -63,7 +63,7 @@ pub use alap::alap;
 pub use asap::asap;
 pub use error::ScheduleError;
 pub use exact::{minimal_latency_exact, ExactLimits};
-pub use fds::force_directed;
+pub use fds::{force_directed, force_directed_with};
 pub use list::{latency_lower_bound, list_schedule, Allocation};
 pub use mobility::Mobility;
 pub use pasap::{palap, palap_locked, pasap, pasap_locked, LockedStarts};

@@ -132,7 +132,7 @@ impl PowerProfile {
 /// start whose window covers that cycle is infeasible, so the search
 /// resumes just past it — the "max headroom skip").
 ///
-/// Horizons up to [`SCAN_LIMIT`] cycles — the paper's benchmarks — skip
+/// Horizons up to `SCAN_LIMIT` (64) cycles — the paper's benchmarks — skip
 /// the internal nodes entirely and scan the leaves exactly like the
 /// naive ledger: at that scale a handful of contiguous loads beats any
 /// tree walk, and the asymptotics only matter for the large random

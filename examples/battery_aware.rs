@@ -6,22 +6,22 @@
 
 use pchls::battery::{compare_profiles, BatteryModel, PeukertBattery, RateCapacityBattery};
 use pchls::cdfg::benchmarks::elliptic;
-use pchls::core::{synthesize, unconstrained_bind, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls::fulib::{paper_library, SelectionPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = elliptic();
-    let library = paper_library();
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let session = engine.session(&compiled);
     let latency = 24;
 
     // Power-oblivious design: fastest modules, ASAP schedule.
-    let oblivious = unconstrained_bind(&graph, &library, latency, SelectionPolicy::Fastest)?;
+    let oblivious = session.unconstrained(latency, SelectionPolicy::Fastest)?;
     let spiky = oblivious.power_profile();
 
     // Power-constrained design at the same latency.
-    let constrained = synthesize(
-        &graph,
-        &library,
+    let constrained = session.synthesize(
         SynthesisConstraints::new(latency, 16.0),
         &SynthesisOptions::default(),
     )?;

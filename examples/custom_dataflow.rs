@@ -5,7 +5,7 @@
 //! Run with `cargo run --example custom_dataflow`.
 
 use pchls::cdfg::{CdfgBuilder, Interpreter, Stimulus};
-use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls::fulib::paper_library;
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
 
@@ -31,17 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.output("acc_im_next", out_im);
     let graph = b.finish()?;
 
-    let library = paper_library();
-    let design = synthesize(
-        &graph,
-        &library,
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let library = engine.library();
+    let design = engine.session(&compiled).synthesize(
         SynthesisConstraints::new(16, 12.0),
         &SynthesisOptions::default(),
     )?;
     println!("synthesized `{}`: {}", graph.name(), design.summary());
 
     // Cross-check the datapath against the reference interpreter.
-    let datapath = Datapath::build(&graph, &design, &library);
+    let datapath = Datapath::build(&graph, &design, library);
     let mut stim = Stimulus::new();
     for (k, v) in [
         ("a_re", 3),
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Hand the design off as structural HDL.
-    let hdl = to_structural_hdl(&graph, &design, &library);
+    let hdl = to_structural_hdl(&graph, &design, library);
     println!("\n--- structural netlist (first 25 lines) ---");
     for line in hdl.lines().take(25) {
         println!("{line}");

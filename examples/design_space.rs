@@ -6,21 +6,32 @@
 //! Run with `cargo run --release --example design_space`.
 
 use pchls::cdfg::benchmarks::fir;
-use pchls::core::{auto_power_grid, power_sweep, SynthesisOptions};
+use pchls::core::{Engine, SweepJob, SweepSpec, SynthesisOptions};
 use pchls::fulib::paper_library;
 
 fn main() {
     let graph = fir(16);
-    let library = paper_library();
-    let grid = auto_power_grid(&graph, &library, 12);
+    // One engine, one compile — all four latency curves share the same
+    // compiled artifacts and fan out over one worker pool.
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let grid = engine.session(&compiled).auto_power_grid(12);
 
     println!("power/area trade-off for `{}`", graph.name());
     println!("(columns: one latency constraint each; cells: area or `-` if infeasible)\n");
 
     let latencies = [10u32, 14, 20, 32];
-    let curves: Vec<_> = latencies
+    let jobs: Vec<SweepJob<'_>> = latencies
         .iter()
-        .map(|&t| power_sweep(&graph, &library, t, &grid, &SynthesisOptions::default()))
+        .map(|&t| SweepJob {
+            compiled: &compiled,
+            spec: SweepSpec::power(t, grid.clone()),
+        })
+        .collect();
+    let curves: Vec<_> = engine
+        .sweep_batch(&jobs, &SynthesisOptions::default())
+        .into_iter()
+        .map(pchls::core::SweepResult::into_points)
         .collect();
 
     print!("{:>8} ", "P<");

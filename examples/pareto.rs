@@ -6,20 +6,25 @@
 
 use pchls::cdfg::benchmarks::cosine;
 use pchls::core::{
-    pareto_front, power_sweep, synthesize_portfolio, SweepPoint, SynthesisConstraints,
-    SynthesisOptions,
+    pareto_front, Engine, SweepPoint, SweepSpec, SynthesisConstraints, SynthesisOptions,
 };
 use pchls::fulib::paper_library;
 
 fn main() {
     let graph = cosine();
-    let library = paper_library();
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let session = engine.session(&compiled);
     let opts = SynthesisOptions::default();
 
     let grid: Vec<f64> = (1..=6).map(|i| f64::from(i) * 10.0).collect();
     let mut all: Vec<SweepPoint> = Vec::new();
     for t in [12u32, 15, 19, 25] {
-        all.extend(power_sweep(&graph, &library, t, &grid, &opts));
+        all.extend(
+            session
+                .sweep(&SweepSpec::power(t, grid.clone()), &opts)
+                .into_points(),
+        );
     }
     let front = pareto_front(&all);
 
@@ -43,7 +48,7 @@ fn main() {
     println!("\nportfolio vs. paper algorithm on the front's corners:");
     for p in sorted.iter().take(3) {
         let c = SynthesisConstraints::new(p.latency_bound, p.power_bound);
-        if let Ok(d) = synthesize_portfolio(&graph, &library, c, &opts) {
+        if let Ok(d) = session.synthesize_portfolio(c, &opts) {
             println!(
                 "  T={:<3} P<={:<5.1} paper {:>5} -> portfolio {:>5}",
                 p.latency_bound,

@@ -4,17 +4,25 @@
 //! Run with `cargo run --example quickstart`.
 
 use pchls::cdfg::benchmarks::hal;
-use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{Engine, SynthesisConstraints, SynthesisOptions};
 use pchls::fulib::paper_library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = hal();
-    let library = paper_library();
+
+    // The engine owns the module library and its indexes; compiling the
+    // graph computes every per-graph analysis once. Reuse both for as
+    // many constraint points as needed.
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let library = engine.library();
 
     // The paper's constraints: finish within 17 cycles, never draw more
     // than 25 power units in any single cycle.
     let constraints = SynthesisConstraints::new(17, 25.0);
-    let design = synthesize(&graph, &library, constraints, &SynthesisOptions::default())?;
+    let design = engine
+        .session(&compiled)
+        .synthesize(constraints, &SynthesisOptions::default())?;
 
     println!("synthesized `{}`: {}", graph.name(), design.summary());
     println!("\nfunctional units:");
@@ -35,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", design.power_profile().to_ascii(40));
 
     // Every invariant can be re-checked at any time.
-    design.validate(&graph, &library)?;
+    design.validate(&graph, library)?;
     println!("\nall invariants hold: schedule, power, binding");
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! pchls dump <graph> [--dot]
 //! pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile]
 //! pchls sweep <graph> -T <cycles> [--steps <n>]
+//! pchls batch <graph> --points <file>
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
 //! ```
@@ -13,15 +14,17 @@
 //! `<graph>` is either a built-in benchmark name (`hal`, `cosine`,
 //! `elliptic`, `ar`, `fir16`, `fft_bfly`) or a path to a `.dfg` file in
 //! the textual CDFG format.
+//!
+//! Every synthesis-shaped command compiles the graph once through the
+//! session API ([`Engine::compile`]) and reuses the compiled artifacts
+//! for all constraint points it evaluates — `batch` amortizes one
+//! compile across a whole file of `(T, P<)` points.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg, GraphStats, Interpreter};
-use pchls::core::{
-    auto_power_grid, power_sweep, synthesize, synthesize_refined, SynthesisConstraints,
-    SynthesisOptions,
-};
+use pchls::core::{Engine, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesisRequest};
 use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
 
@@ -46,6 +49,7 @@ usage:
   pchls dump <graph> [--dot|--stats]
   pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
   pchls sweep <graph> -T <cycles> [--steps <n>]
+  pchls batch <graph> --points <file>   # one `T P` pair per line; emits one JSON line per point
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
   pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]";
 
@@ -57,6 +61,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "dump" => dump(rest),
         "synth" => synth(rest),
         "sweep" => sweep(rest),
+        "batch" => batch(rest),
         "simulate" => run_simulation(rest),
         "vcd" => run_vcd(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -128,7 +133,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let v = it.next().ok_or("-P needs a value")?;
                 f.options.insert("power".into(), v.clone());
             }
-            "--library" | "--steps" | "--out" => {
+            "--library" | "--steps" | "--out" | "--points" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -184,23 +189,29 @@ fn dump(args: &[String]) -> Result<String, String> {
 fn synth(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
-    let mut g = load_graph(spec)?;
-    if flags.switches.iter().any(|s| s == "optimize") {
-        let (optimized, stats) = pchls::cdfg::optimize(&g);
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let engine = Engine::new(lib);
+    let compiled = if flags.switches.iter().any(|s| s == "optimize") {
+        let c = engine.compile_optimized(&g).map_err(|e| e.to_string())?;
+        let stats = c.optimize_stats().expect("optimized compile keeps stats");
         eprintln!(
             "optimize: merged {} duplicate op(s), eliminated {} dead op(s)",
             stats.merged, stats.eliminated
         );
-        g = optimized;
-    }
-    let lib = load_library(&flags)?;
+        c
+    } else {
+        engine.try_compile(&g).map_err(|e| e.to_string())?
+    };
+    let session = engine.session(&compiled);
+    let (g, lib) = (compiled.graph(), engine.library());
     let latency = required_u32(&flags, "latency", "-T <cycles>")?;
     let power = required_f64(&flags, "power", "-P <power>")?;
     let constraints = SynthesisConstraints::new(latency, power);
     let design = if flags.switches.iter().any(|s| s == "refine") {
-        synthesize_refined(&g, &lib, constraints, &SynthesisOptions::default())
+        session.synthesize_refined(constraints, &SynthesisOptions::default())
     } else {
-        synthesize(&g, &lib, constraints, &SynthesisOptions::default())
+        session.synthesize(constraints, &SynthesisOptions::default())
     }
     .map_err(|e| e.to_string())?;
 
@@ -214,8 +225,8 @@ fn synth(args: &[String]) -> Result<String, String> {
             inst.ops().len()
         ));
     }
-    let regs = design.registers(&g);
-    let ic = design.interconnect(&g);
+    let regs = design.registers(g);
+    let ic = design.interconnect(g);
     out.push_str(&format!(
         "  registers: {}   extra mux inputs: {}\n",
         regs.count(),
@@ -228,8 +239,8 @@ fn synth(args: &[String]) -> Result<String, String> {
     if flags.switches.iter().any(|s| s == "gantt") {
         out.push_str("\nschedule:\n");
         out.push_str(&pchls::bind::gantt(
-            &g,
-            &lib,
+            g,
+            lib,
             &design.binding,
             &design.schedule,
             &design.timing,
@@ -237,7 +248,7 @@ fn synth(args: &[String]) -> Result<String, String> {
     }
     if flags.switches.iter().any(|s| s == "hdl") {
         out.push('\n');
-        out.push_str(&to_structural_hdl(&g, &design, &lib));
+        out.push_str(&to_structural_hdl(g, &design, lib));
     }
     Ok(out)
 }
@@ -253,14 +264,77 @@ fn sweep(args: &[String]) -> Result<String, String> {
         .get("steps")
         .map_or(Ok(12), |s| s.parse())
         .map_err(|_| "--steps must be a positive integer")?;
-    let grid = auto_power_grid(&g, &lib, steps);
-    let points = power_sweep(&g, &lib, latency, &grid, &SynthesisOptions::default());
-    let mut out = format!("{} at T={latency}:\npower    area\n", g.name());
-    for p in points {
+    let engine = Engine::new(lib);
+    let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
+    let session = engine.session(&compiled);
+    let grid = session.auto_power_grid(steps);
+    let result = session.sweep(
+        &SweepSpec::power(latency, grid),
+        &SynthesisOptions::default(),
+    );
+    let mut out = format!("{} at T={latency}:\npower    area\n", result.benchmark);
+    for p in result.points {
         match p.area {
             Some(a) => out.push_str(&format!("{:>6.1} {:>7}\n", p.power_bound, a)),
             None => out.push_str(&format!("{:>6.1}   (infeasible)\n", p.power_bound)),
         }
+    }
+    Ok(out)
+}
+
+/// Parses one `T P` constraint point per line (blank lines and `#`
+/// comments skipped).
+fn parse_points(text: &str) -> Result<Vec<SynthesisConstraints>, String> {
+    let mut points = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(t), Some(p), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(format!("line {}: expected `T P`, got `{line}`", lineno + 1));
+        };
+        let t: u32 = t
+            .parse()
+            .map_err(|_| format!("line {}: `{t}` is not a latency", lineno + 1))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("line {}: `{p}` is not a power bound", lineno + 1))?;
+        points.push(SynthesisConstraints::new(t, p));
+    }
+    if points.is_empty() {
+        return Err("points file contains no `T P` pairs".into());
+    }
+    Ok(points)
+}
+
+/// `pchls batch <graph> --points <file>`: one compile, many constraint
+/// points through [`pchls::core::Session::batch`], one JSON line per
+/// point (in file order).
+fn batch(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let path = flags
+        .options
+        .get("points")
+        .ok_or("missing --points <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let points = parse_points(&text)?;
+
+    let engine = Engine::new(lib);
+    let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
+    let session = engine.session(&compiled);
+    let results = session.batch(points.into_iter().map(SynthesisRequest::new));
+
+    let mut out = String::new();
+    for r in &results {
+        let line = serde_json::to_string(&r.to_point(compiled.name()))
+            .map_err(|e| format!("serializing point: {e}"))?;
+        out.push_str(&line);
+        out.push('\n');
     }
     Ok(out)
 }
@@ -274,14 +348,16 @@ fn run_simulation(args: &[String]) -> Result<String, String> {
     let power = required_f64(&flags, "power", "-P <power>")?;
     let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
 
-    let design = synthesize(
-        &g,
-        &lib,
-        SynthesisConstraints::new(latency, power),
-        &SynthesisOptions::default(),
-    )
-    .map_err(|e| e.to_string())?;
-    let dp = Datapath::build(&g, &design, &lib);
+    let engine = Engine::new(lib);
+    let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
+    let design = engine
+        .session(&compiled)
+        .synthesize(
+            SynthesisConstraints::new(latency, power),
+            &SynthesisOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+    let dp = Datapath::build(&g, &design, engine.library());
     let run = simulate(&g, &dp, &stim).map_err(|e| e.to_string())?;
     let reference = Interpreter::new(&g).run(&stim).map_err(|e| e.to_string())?;
     let mut out = format!(
@@ -314,14 +390,16 @@ fn run_vcd(args: &[String]) -> Result<String, String> {
     let power = required_f64(&flags, "power", "-P <power>")?;
     let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
 
-    let design = synthesize(
-        &g,
-        &lib,
-        SynthesisConstraints::new(latency, power),
-        &SynthesisOptions::default(),
-    )
-    .map_err(|e| e.to_string())?;
-    let dp = Datapath::build(&g, &design, &lib);
+    let engine = Engine::new(lib);
+    let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
+    let design = engine
+        .session(&compiled)
+        .synthesize(
+            SynthesisConstraints::new(latency, power),
+            &SynthesisOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+    let dp = Datapath::build(&g, &design, engine.library());
     let wave = pchls::rtl::trace(&g, &dp, &stim).map_err(|e| e.to_string())?;
     let vcd = pchls::rtl::to_vcd(&wave, g.name());
     match flags.options.get("out") {
@@ -417,6 +495,42 @@ mod tests {
         let out = run(&argv(cmd)).unwrap();
         assert!(out.contains("$enddefinitions $end"));
         assert!(out.contains("$var real 64"));
+    }
+
+    #[test]
+    fn batch_emits_one_json_line_per_point() {
+        let dir = std::env::temp_dir().join("pchls-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.txt");
+        std::fs::write(
+            &path,
+            "# paper corners, one infeasible\n17 25\n10 40\n17 1.0\n",
+        )
+        .unwrap();
+        let out = run(&argv(&format!("batch hal --points {}", path.display()))).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "one JSON line per point:\n{out}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"benchmark\":\"hal\""), "{line}");
+        }
+        assert!(lines[0].contains("\"area\":"), "{}", lines[0]);
+        assert!(
+            lines[2].contains("\"area\":null"),
+            "infeasible point: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn batch_rejects_malformed_points() {
+        let dir = std::env::temp_dir().join("pchls-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_points.txt");
+        std::fs::write(&path, "17 25 extra\n").unwrap();
+        let err = run(&argv(&format!("batch hal --points {}", path.display()))).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(run(&argv("batch hal")).unwrap_err().contains("--points"));
     }
 
     #[test]

@@ -14,39 +14,59 @@
 //! ## The full pipeline in one example
 //!
 //! ```
-//! use pchls::cdfg::{benchmarks::hal, optimize, Interpreter, Stimulus};
-//! use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+//! use pchls::cdfg::{benchmarks::hal, Interpreter, Stimulus};
+//! use pchls::core::{Engine, SweepSpec, SynthesisConstraints, SynthesisOptions};
 //! use pchls::fulib::paper_library;
 //! use pchls::rtl::{simulate, Datapath};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. A dataflow graph (here: the HAL differential-equation solver),
-//! //    optionally cleaned up by CSE/DCE.
-//! let (graph, _) = optimize(&hal());
+//! // 1. An engine owns the module library (Table 1 of the paper) and
+//! //    its derived indexes; compiling a graph runs the CSE/DCE
+//! //    optimizer and computes every per-graph analysis once.
+//! let engine = Engine::new(paper_library());
+//! let compiled = engine.compile_optimized(&hal())?;
+//! let session = engine.session(&compiled);
 //!
 //! // 2. Synthesize under the paper's constraints: T = 17 cycles,
 //! //    at most 25 power units in any single cycle.
-//! let library = paper_library(); // Table 1 of the paper
-//! let design = synthesize(
-//!     &graph,
-//!     &library,
-//!     SynthesisConstraints::new(17, 25.0),
-//!     &SynthesisOptions::default(),
-//! )?;
+//! let options = SynthesisOptions::default();
+//! let design = session.synthesize(SynthesisConstraints::new(17, 25.0), &options)?;
 //! assert!(design.latency <= 17 && design.peak_power <= 25.0);
+//!
+//! // …the same session sweeps a whole constraint grid with no
+//! // per-point recompute (this is Figure 2's workload):
+//! let curve = session.sweep(&SweepSpec::power(17, session.auto_power_grid(6)), &options);
+//! assert!(curve.points.iter().any(|p| p.is_feasible()));
 //!
 //! // 3. Materialize the RT-level datapath and prove it computes the
 //! //    same values as the graph's reference interpreter.
-//! let datapath = Datapath::build(&graph, &design, &library);
+//! let datapath = Datapath::build(compiled.graph(), &design, engine.library());
 //! let mut stimulus = Stimulus::new();
 //! for (name, value) in [("x", 1), ("y", 2), ("u", 3), ("dx", 4), ("a", 9), ("three", 3)] {
 //!     stimulus.insert(name.into(), value);
 //! }
-//! let run = simulate(&graph, &datapath, &stimulus)?;
-//! assert_eq!(run.outputs, Interpreter::new(&graph).run(&stimulus)?);
+//! let run = simulate(compiled.graph(), &datapath, &stimulus)?;
+//! assert_eq!(run.outputs, Interpreter::new(compiled.graph()).run(&stimulus)?);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Migrating from the pre-session free functions:
+//!
+//! | old call | new call |
+//! |---|---|
+//! | `synthesize(&g, &lib, c, &opts)` | `engine.session(&compiled).synthesize(c, &opts)` |
+//! | `synthesize_refined(&g, &lib, c, &opts)` | `session.synthesize_refined(c, &opts)` |
+//! | `synthesize_portfolio(&g, &lib, c, &opts)` | `session.synthesize_portfolio(c, &opts)` |
+//! | `power_sweep(&g, &lib, t, &ps, &opts)` | `session.sweep(&SweepSpec::power(t, ps.to_vec()), &opts)` |
+//! | `latency_sweep(&g, &lib, p, &ts, &opts)` | `session.sweep(&SweepSpec::latency(p, ts.to_vec()), &opts)` |
+//! | `sweep_many(&reqs, &lib, &opts)` | `engine.sweep_batch(&jobs, &opts)` |
+//! | `auto_power_grid(&g, &lib, n)` | `session.auto_power_grid(n)` |
+//! | *(n/a — new)* | `session.batch(requests)` |
+//!
+//! where `engine = Engine::new(library)` and
+//! `compiled = engine.compile(&graph)` are built **once** and reused
+//! across constraint points.
 
 #![forbid(unsafe_code)]
 
@@ -56,7 +76,8 @@ pub use pchls_battery as battery;
 pub use pchls_bind as bind;
 /// CDFG intermediate representation, benchmarks, interpreter, optimizer.
 pub use pchls_cdfg as cdfg;
-/// The combined synthesis algorithm, exploration sweeps and baselines.
+/// The combined synthesis algorithm (`Engine`/`Session`), exploration
+/// sweeps and baselines.
 pub use pchls_core as core;
 /// Functional-unit module library (the paper's Table 1).
 pub use pchls_fulib as fulib;

@@ -4,8 +4,23 @@
 //! exploits module selection that two-phase flows cannot.
 
 use pchls::cdfg::benchmarks;
-use pchls::core::{synthesize, two_step_bind, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{
+    two_step_bind, Engine, SynthesisConstraints, SynthesisError, SynthesisOptions,
+    SynthesizedDesign,
+};
 use pchls::fulib::{paper_library, SelectionPolicy};
+
+/// One-shot combined synthesis through the session API.
+fn synth(
+    g: &pchls::cdfg::Cdfg,
+    c: SynthesisConstraints,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(g);
+    engine
+        .session(&compiled)
+        .synthesize(c, &SynthesisOptions::default())
+}
 
 #[test]
 fn two_step_fails_where_combined_succeeds() {
@@ -23,8 +38,7 @@ fn two_step_fails_where_combined_succeeds() {
         "expected the two-step baseline to miss the power bound"
     );
 
-    let combined = synthesize(&g, &lib, c, &SynthesisOptions::default())
-        .expect("the combined algorithm meets the same constraints");
+    let combined = synth(&g, c).expect("the combined algorithm meets the same constraints");
     combined.validate(&g, &lib).unwrap();
     assert!(combined.peak_power <= 15.0 + 1e-9);
 }
@@ -39,7 +53,7 @@ fn combined_design_is_smaller_when_power_binds() {
     let c = SynthesisConstraints::new(17, 12.0);
 
     let two = two_step_bind(&g, &lib, c, SelectionPolicy::Fastest).expect("latency feasible");
-    let combined = synthesize(&g, &lib, c, &SynthesisOptions::default()).expect("feasible");
+    let combined = synth(&g, c).expect("feasible");
     assert!(two.met_power, "baseline meets power at this point");
     assert!(
         combined.area < two.design.area,
@@ -55,12 +69,14 @@ fn combined_never_reports_a_violating_design() {
     // with `met_power = false`), the combined algorithm either meets
     // both constraints or returns an error — across a whole grid.
     let lib = paper_library();
+    let engine = Engine::new(lib.clone());
     for g in benchmarks::paper_set() {
+        // One compile per benchmark, shared by the whole constraint grid.
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
         for t in [10u32, 15, 22, 30] {
             for p in [9.0, 15.0, 30.0, 80.0] {
-                if let Ok(d) = synthesize(
-                    &g,
-                    &lib,
+                if let Ok(d) = session.synthesize(
                     SynthesisConstraints::new(t, p),
                     &SynthesisOptions::default(),
                 ) {
@@ -81,13 +97,7 @@ fn unconstrained_baseline_shows_the_spikes() {
     let g = benchmarks::hal();
     let oblivious =
         pchls::core::unconstrained_bind(&g, &lib, 20, SelectionPolicy::Fastest).unwrap();
-    let constrained = synthesize(
-        &g,
-        &lib,
-        SynthesisConstraints::new(20, 12.0),
-        &SynthesisOptions::default(),
-    )
-    .unwrap();
+    let constrained = synth(&g, SynthesisConstraints::new(20, 12.0)).unwrap();
     assert!(
         oblivious.power_profile().peak_to_average() > constrained.power_profile().peak_to_average()
     );

@@ -4,11 +4,22 @@
 
 use pchls::battery::{compare_profiles, BatteryModel, RateCapacityBattery};
 use pchls::cdfg::{benchmarks, Cdfg, Interpreter, Stimulus};
-use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{
+    Engine, SynthesisConstraints, SynthesisError, SynthesisOptions, SynthesizedDesign,
+};
 use pchls::fulib::paper_library;
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// One-shot combined synthesis through the session API.
+fn synth(graph: &Cdfg, c: SynthesisConstraints) -> Result<SynthesizedDesign, SynthesisError> {
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .synthesize(c, &SynthesisOptions::default())
+}
 
 fn random_stimulus(graph: &Cdfg, rng: &mut StdRng) -> Stimulus {
     graph
@@ -21,13 +32,8 @@ fn random_stimulus(graph: &Cdfg, rng: &mut StdRng) -> Stimulus {
 /// equivalence of the generated datapath on random stimuli.
 fn full_pipeline(graph: &Cdfg, latency: u32, power: f64) {
     let lib = paper_library();
-    let design = synthesize(
-        graph,
-        &lib,
-        SynthesisConstraints::new(latency, power),
-        &SynthesisOptions::default(),
-    )
-    .unwrap_or_else(|e| panic!("{} T={latency} P={power}: {e}", graph.name()));
+    let design = synth(graph, SynthesisConstraints::new(latency, power))
+        .unwrap_or_else(|e| panic!("{} T={latency} P={power}: {e}", graph.name()));
     design.validate(graph, &lib).expect("all invariants hold");
     assert!(design.latency <= latency);
     assert!(design.peak_power <= power + 1e-9);
@@ -87,13 +93,7 @@ fn flattened_designs_extend_battery_life() {
     let oblivious =
         pchls::core::unconstrained_bind(&g, &lib, latency, pchls::fulib::SelectionPolicy::Fastest)
             .expect("latency is generous");
-    let constrained = synthesize(
-        &g,
-        &lib,
-        SynthesisConstraints::new(latency, 12.0),
-        &SynthesisOptions::default(),
-    )
-    .expect("feasible");
+    let constrained = synth(&g, SynthesisConstraints::new(latency, 12.0)).expect("feasible");
     let battery = RateCapacityBattery::low_quality(1_000_000.0);
     let cmp = compare_profiles(
         &battery,
@@ -113,17 +113,10 @@ fn flattened_designs_extend_battery_life() {
 
 #[test]
 fn infeasible_corner_is_rejected_not_mangled() {
-    let lib = paper_library();
     for g in benchmarks::paper_set() {
         // A power budget below every multiplier's draw can never work
         // for graphs containing multiplications.
-        let err = synthesize(
-            &g,
-            &lib,
-            SynthesisConstraints::new(1000, 2.0),
-            &SynthesisOptions::default(),
-        )
-        .unwrap_err();
+        let err = synth(&g, SynthesisConstraints::new(1000, 2.0)).unwrap_err();
         assert!(matches!(
             err,
             pchls::core::SynthesisError::Infeasible { .. }
@@ -138,11 +131,18 @@ fn cse_before_synthesis_never_costs_area() {
     // against the *optimized* graph's interpreter.
     let lib = paper_library();
     let g = benchmarks::hal();
-    let (o, stats) = pchls::cdfg::optimize(&g);
+    // `compile_optimized` runs CSE/DCE and keeps the report.
+    let engine = Engine::new(lib.clone());
+    let compiled = engine.compile_optimized(&g).unwrap();
+    let stats = compiled.optimize_stats().unwrap();
     assert!(stats.merged >= 1);
+    let o = compiled.graph().clone();
     let c = SynthesisConstraints::new(17, 25.0);
-    let plain = synthesize(&g, &lib, c, &SynthesisOptions::default()).unwrap();
-    let optimized = synthesize(&o, &lib, c, &SynthesisOptions::default()).unwrap();
+    let plain = synth(&g, c).unwrap();
+    let optimized = engine
+        .session(&compiled)
+        .synthesize(c, &SynthesisOptions::default())
+        .unwrap();
     assert!(
         optimized.area <= plain.area,
         "optimized {} > plain {}",

@@ -3,19 +3,21 @@
 //! garbage would silently void the whole correctness story.
 
 use pchls::cdfg::{benchmarks, OpKind};
-use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions, SynthesizedDesign};
+use pchls::core::{Engine, SynthesisConstraints, SynthesisOptions, SynthesizedDesign};
 use pchls::fulib::paper_library;
 use pchls::sched::{OpTiming, Schedule};
 
 fn valid_design() -> (pchls::cdfg::Cdfg, SynthesizedDesign) {
     let g = benchmarks::hal();
-    let d = synthesize(
-        &g,
-        &paper_library(),
-        SynthesisConstraints::new(17, 25.0),
-        &SynthesisOptions::default(),
-    )
-    .expect("feasible");
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&g);
+    let d = engine
+        .session(&compiled)
+        .synthesize(
+            SynthesisConstraints::new(17, 25.0),
+            &SynthesisOptions::default(),
+        )
+        .expect("feasible");
     (g, d)
 }
 

@@ -4,10 +4,21 @@
 use proptest::prelude::*;
 
 use pchls::cdfg::{random_dag, Cdfg, Interpreter, RandomDagConfig, Stimulus};
-use pchls::core::{synthesize, SynthesisConstraints, SynthesisOptions};
+use pchls::core::{
+    Engine, SynthesisConstraints, SynthesisError, SynthesisOptions, SynthesizedDesign,
+};
 use pchls::fulib::{paper_library, SelectionPolicy};
 use pchls::rtl::{simulate, Datapath};
 use pchls::sched::{asap, PowerProfile, TimingMap};
+
+/// One-shot combined synthesis through the session API.
+fn synth(graph: &Cdfg, c: SynthesisConstraints) -> Result<SynthesizedDesign, SynthesisError> {
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .synthesize(c, &SynthesisOptions::default())
+}
 
 prop_compose! {
     fn config()(
@@ -43,8 +54,7 @@ proptest! {
         let g = random_dag(&cfg);
         let lib = paper_library();
         let c = generous(&g);
-        let d = synthesize(&g, &lib, c, &SynthesisOptions::default())
-            .expect("generous constraints are feasible");
+        let d = synth(&g, c).expect("generous constraints are feasible");
         d.validate(&g, &lib).expect("invariants hold");
         prop_assert!(d.binding.is_complete());
         prop_assert!(d.latency <= c.latency);
@@ -58,8 +68,7 @@ proptest! {
     ) {
         let g = random_dag(&cfg);
         let lib = paper_library();
-        let d = synthesize(&g, &lib, generous(&g), &SynthesisOptions::default())
-            .expect("feasible");
+        let d = synth(&g, generous(&g)).expect("feasible");
         let dp = Datapath::build(&g, &d, &lib);
         let stim: Stimulus = g
             .inputs()
@@ -78,10 +87,16 @@ proptest! {
         let g = random_dag(&cfg);
         let lib = paper_library();
         let c = generous(&g);
-        let d = synthesize(&g, &lib, c, &SynthesisOptions::default()).expect("feasible");
+        // One compile, both constraint points — the session API's
+        // intended shape for re-tightening loops.
+        let engine = Engine::new(lib.clone());
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
+        let d = session.synthesize(c, &SynthesisOptions::default()).expect("feasible");
         // The achieved peak is itself a feasible bound.
         let c2 = SynthesisConstraints::new(c.latency, d.peak_power);
-        let d2 = synthesize(&g, &lib, c2, &SynthesisOptions::default())
+        let d2 = session
+            .synthesize(c2, &SynthesisOptions::default())
             .expect("achieved peak is feasible");
         prop_assert!(d2.peak_power <= d.peak_power + 1e-9);
         d2.validate(&g, &lib).expect("invariants hold");

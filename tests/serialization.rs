@@ -3,21 +3,27 @@
 
 use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg};
 use pchls::core::{
-    power_sweep, synthesize, SweepPoint, SynthesisConstraints, SynthesisOptions, SynthesizedDesign,
+    Engine, SweepPoint, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesizedDesign,
 };
 use pchls::fulib::{paper_library, parse_library, write_library};
+
+/// One sweep through the session API.
+fn sweep(graph: &Cdfg, latency: u32, powers: Vec<f64>) -> Vec<SweepPoint> {
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .sweep(
+            &SweepSpec::power(latency, powers),
+            &SynthesisOptions::default(),
+        )
+        .into_points()
+}
 
 #[test]
 fn sweep_points_round_trip_through_json() {
     let g = benchmarks::hal();
-    let lib = paper_library();
-    let points = power_sweep(
-        &g,
-        &lib,
-        17,
-        &[5.0, 12.0, 40.0],
-        &SynthesisOptions::default(),
-    );
+    let points = sweep(&g, 17, vec![5.0, 12.0, 40.0]);
     let json = serde_json::to_string_pretty(&points).unwrap();
     let back: Vec<SweepPoint> = serde_json::from_str(&json).unwrap();
     assert_eq!(back, points);
@@ -29,13 +35,15 @@ fn sweep_points_round_trip_through_json() {
 fn designs_round_trip_through_json() {
     let g = benchmarks::hal();
     let lib = paper_library();
-    let d = synthesize(
-        &g,
-        &lib,
-        SynthesisConstraints::new(17, 25.0),
-        &SynthesisOptions::default(),
-    )
-    .unwrap();
+    let engine = Engine::new(lib.clone());
+    let compiled = engine.compile(&g);
+    let d = engine
+        .session(&compiled)
+        .synthesize(
+            SynthesisConstraints::new(17, 25.0),
+            &SynthesisOptions::default(),
+        )
+        .unwrap();
     let json = serde_json::to_string(&d).unwrap();
     let back: SynthesizedDesign = serde_json::from_str(&json).unwrap();
     assert_eq!(back, d);
@@ -69,14 +77,7 @@ fn libraries_round_trip_through_both_formats() {
 fn figure2_json_artifact_is_loadable() {
     // The exact pipeline the harness uses for results/figure2.json.
     let g = benchmarks::elliptic();
-    let lib = paper_library();
-    let points = power_sweep(
-        &g,
-        &lib,
-        22,
-        &[10.0, 20.0, 40.0],
-        &SynthesisOptions::default(),
-    );
+    let points = sweep(&g, 22, vec![10.0, 20.0, 40.0]);
     let json = serde_json::to_vec(&points).unwrap();
     let back: Vec<SweepPoint> = serde_json::from_slice(&json).unwrap();
     assert_eq!(back.len(), 3);

@@ -2,7 +2,7 @@
 //! latency-curve dominance, and feasibility-threshold ordering.
 
 use pchls::cdfg::benchmarks;
-use pchls::core::{power_sweep, SweepPoint, SynthesisOptions};
+use pchls::core::{Engine, SweepPoint, SweepSpec, SynthesisOptions};
 use pchls::fulib::paper_library;
 
 fn grid() -> Vec<f64> {
@@ -10,13 +10,15 @@ fn grid() -> Vec<f64> {
 }
 
 fn curve(graph: &pchls::cdfg::Cdfg, latency: u32) -> Vec<SweepPoint> {
-    power_sweep(
-        graph,
-        &paper_library(),
-        latency,
-        &grid(),
-        &SynthesisOptions::default(),
-    )
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(graph);
+    engine
+        .session(&compiled)
+        .sweep(
+            &SweepSpec::power(latency, grid()),
+            &SynthesisOptions::default(),
+        )
+        .into_points()
 }
 
 /// Index of the first feasible point, i.e. the curve's power threshold.
