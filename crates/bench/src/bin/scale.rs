@@ -5,6 +5,11 @@
 //! `synthesis-kernel`). A second workload, `engine-amortized`, times a
 //! whole constraint sweep through one compile-once [`Session`] against
 //! the per-point-recompute free-function path and writes `BENCH_3.json`.
+//! A third workload, `service-throughput`, drives M concurrent clients
+//! × K requests each through the `pchls-serve` [`Service`] (bounded
+//! queue, worker pool, content-addressed compile cache) over a
+//! repeated-graph mix, asserts every response is **byte-identical** to
+//! direct [`Session::synthesize`] output, and writes `BENCH_4.json`.
 //!
 //! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
 //! so CI can keep the workloads from rotting.
@@ -25,6 +30,7 @@ use pchls_cdfg::{benchmarks, random_dag, Cdfg, RandomDagConfig};
 use pchls_core::{Engine, Session, SynthesisConstraints, SynthesisOptions, SynthesizedDesign};
 use pchls_fulib::{paper_library, ModuleLibrary, SelectionPolicy};
 use pchls_sched::TimingMap;
+use pchls_serve::{Service, ServiceConfig, SubmitRequest};
 
 /// One timed case of the kernel workload.
 struct Case {
@@ -418,10 +424,200 @@ fn amortized_workload(smoke: bool, opts: &SynthesisOptions) {
     eprintln!("wrote BENCH_3.json");
 }
 
+/// The `service-throughput` trajectory record (`BENCH_4.json`).
+#[derive(Debug, Serialize)]
+struct ServiceRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Total requests served (clients × requests-per-client).
+    points: usize,
+    /// Worker threads the service ran.
+    threads: usize,
+    /// Host cores.
+    host_cores: usize,
+    /// Concurrent client threads.
+    clients: usize,
+    /// Requests each client submitted.
+    requests_per_client: usize,
+    /// Wall-clock seconds from first submission to last reply.
+    wall_secs: f64,
+    /// `points / wall_secs`.
+    throughput_rps: f64,
+    /// Compile-cache lookups served from a completed compile.
+    cache_hits: u64,
+    /// Compile-cache lookups that compiled a new entry.
+    cache_misses: u64,
+    /// Compile-cache lookups that joined an in-flight compile.
+    cache_coalesced: u64,
+    /// `cache_hits / lookups` — the repeated-graph mix must keep this
+    /// above zero.
+    cache_hit_rate: f64,
+    /// Median accept→reply latency in seconds (bucketed).
+    p50_latency_secs: f64,
+    /// 99th-percentile accept→reply latency in seconds (bucketed).
+    p99_latency_secs: f64,
+    /// Whether every served point was byte-identical to a direct
+    /// `Session::synthesize` call.
+    outputs_identical: bool,
+}
+
+/// The request of client `c`, position `r`, over `mix`: graphs cycle
+/// per client offset, power bounds cycle over a fixed grid. Pure, so
+/// the reference side enumerates the identical set.
+fn service_request(
+    mix: &[(&str, u32)],
+    c: usize,
+    r: usize,
+    per_client: usize,
+) -> (String, u32, f64) {
+    const POWERS: [f64; 4] = [15.0, 25.0, 40.0, 60.0];
+    let (graph, latency) = mix[(c + r) % mix.len()];
+    let power = POWERS[(c * per_client + r) % POWERS.len()];
+    (graph.to_owned(), latency, power)
+}
+
+/// The `service-throughput` workload: M concurrent clients × K requests
+/// through a running [`Service`], byte-diffed against the direct
+/// session path (BENCH_4.json).
+fn service_workload(smoke: bool, opts: &SynthesisOptions) {
+    let (clients, per_client, mix): (usize, usize, Vec<(&str, u32)>) = if smoke {
+        (4, 12, vec![("hal", 17), ("cosine", 15)])
+    } else {
+        (8, 50, vec![("hal", 17), ("cosine", 15), ("elliptic", 22)])
+    };
+
+    // Direct-engine reference for every distinct request, serialized
+    // the same way the service serializes its `point` field. Computed
+    // up front so the timed section is pure service traffic.
+    let engine = Engine::new(paper_library());
+    let mut reference: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
+    for c in 0..clients {
+        for r in 0..per_client {
+            let (graph, latency, power) = service_request(&mix, c, r, per_client);
+            let key = format!("{graph}/{latency}/{power}");
+            if reference.contains_key(&key) {
+                continue;
+            }
+            let g = benchmarks::all()
+                .into_iter()
+                .find(|g| g.name() == graph)
+                .unwrap();
+            let compiled = engine.compile(&g);
+            let constraints = SynthesisConstraints::new(latency, power);
+            let point = pchls_core::SynthesisResult {
+                request: pchls_core::SynthesisRequest::new(constraints).with_options(*opts),
+                outcome: engine.session(&compiled).synthesize(constraints, opts),
+            }
+            .to_point(compiled.name());
+            reference.insert(
+                key,
+                serde_json::to_string(&point).expect("point serializes"),
+            );
+        }
+    }
+
+    let service = Service::start(
+        Engine::new(paper_library()),
+        ServiceConfig {
+            options: *opts,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // M clients, each pipelining K requests and collecting K replies.
+    let start = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (service, mix, reference) = (&service, &mix, &reference);
+                scope.spawn(move || {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    for r in 0..per_client {
+                        let (graph, latency, power) = service_request(mix, c, r, per_client);
+                        let id = (c * per_client + r) as u64;
+                        service
+                            .submit(SubmitRequest::synth(id, &graph, latency, power), tx.clone())
+                            .expect("service accepts while running");
+                    }
+                    drop(tx);
+                    let mut bad = 0usize;
+                    for resp in rx {
+                        let r = (resp.id as usize) % per_client;
+                        let (graph, latency, power) = service_request(mix, c, r, per_client);
+                        let served = resp
+                            .point
+                            .as_ref()
+                            .map(|p| serde_json::to_string(p).expect("point serializes"));
+                        let expected = &reference[&format!("{graph}/{latency}/{power}")];
+                        if !resp.ok || served.as_deref() != Some(expected.as_str()) {
+                            bad += 1;
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    let points = clients * per_client;
+    let record = ServiceRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "service-throughput".into(),
+        points,
+        threads: stats.workers,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        clients,
+        requests_per_client: per_client,
+        wall_secs,
+        throughput_rps: points as f64 / wall_secs,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_coalesced: stats.cache_coalesced,
+        cache_hit_rate: stats.cache_hit_rate,
+        p50_latency_secs: stats.p50_latency_secs,
+        p99_latency_secs: stats.p99_latency_secs,
+        outputs_identical: mismatches == 0,
+    };
+    println!(
+        "\nservice: {} clients x {} requests | {:.3}s wall | {:.0} req/s | \
+         cache {}h/{}m/{}c (hit rate {:.2}) | p50 {:.4}s p99 {:.4}s | identical: {}",
+        clients,
+        per_client,
+        record.wall_secs,
+        record.throughput_rps,
+        record.cache_hits,
+        record.cache_misses,
+        record.cache_coalesced,
+        record.cache_hit_rate,
+        record.p50_latency_secs,
+        record.p99_latency_secs,
+        record.outputs_identical,
+    );
+    assert!(
+        record.outputs_identical,
+        "{mismatches} service response(s) diverged from direct Session::synthesize output"
+    );
+    assert!(
+        record.cache_hit_rate > 0.0,
+        "a repeated-graph mix must produce compile-cache hits"
+    );
+    service.shutdown();
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_4.json", json).expect("write BENCH_4.json");
+    eprintln!("wrote BENCH_4.json");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let engine = Engine::new(paper_library());
     let opts = SynthesisOptions::default();
     kernel_workload(smoke, &engine, &opts);
     amortized_workload(smoke, &opts);
+    service_workload(smoke, &opts);
 }

@@ -35,6 +35,7 @@ pub mod benchmarks;
 mod builder;
 mod dot;
 mod error;
+mod fingerprint;
 mod graph;
 mod interp;
 mod op;
@@ -46,6 +47,7 @@ mod text;
 pub use analysis::{AnalysisCache, CriticalPath, Reachability};
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
+pub use fingerprint::graph_fingerprint;
 pub use graph::{Cdfg, Edge, Node, NodeId};
 pub use interp::{Interpreter, Stimulus, Value};
 pub use op::OpKind;

@@ -7,6 +7,181 @@ use pchls_cdfg::{
     Reachability, Stimulus,
 };
 
+mod fingerprint_props {
+    use super::*;
+    use pchls_cdfg::{graph_fingerprint, Cdfg, Edge, NodeId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0usize..i + 1);
+            v.swap(i, j);
+        }
+    }
+
+    /// Rebuilds `g` with node insertion order permuted by `seed` (a
+    /// full relabeling — every `NodeId` changes) and the edge list
+    /// independently shuffled. Structurally the same graph.
+    fn permuted(g: &Cdfg, seed: u64) -> Cdfg {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        shuffle(&mut perm, &mut rng);
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let nodes: Vec<(OpKind, String)> = perm
+            .iter()
+            .map(|&old| {
+                let nd = &g.nodes()[old];
+                (nd.kind(), nd.label().to_owned())
+            })
+            .collect();
+        let mut edges: Vec<Edge> = g
+            .edges()
+            .iter()
+            .map(|e| Edge {
+                from: NodeId::new(inv[e.from.index()] as u32),
+                to: NodeId::new(inv[e.to.index()] as u32),
+                port: e.port,
+            })
+            .collect();
+        shuffle(&mut edges, &mut rng);
+        Cdfg::from_parts(g.name(), nodes, edges).expect("permutation preserves validity")
+    }
+
+    /// The raw parts of `g`, for rebuilding mutated variants.
+    fn parts(g: &Cdfg) -> (Vec<(OpKind, String)>, Vec<Edge>) {
+        (
+            g.nodes()
+                .iter()
+                .map(|n| (n.kind(), n.label().to_owned()))
+                .collect(),
+            g.edges().to_vec(),
+        )
+    }
+
+    /// A corpus of structurally mutated variants of `g` (each one a
+    /// valid graph that differs from `g` under full structural
+    /// equality): kind flips, io renames, graph rename, operand-port
+    /// swaps.
+    fn mutations(g: &Cdfg, seed: u64) -> Vec<Cdfg> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d75_7461_7465);
+        let mut out = Vec::new();
+
+        // Graph rename.
+        let (nodes, edges) = parts(g);
+        out.push(Cdfg::from_parts(format!("{}_m", g.name()), nodes, edges).unwrap());
+
+        // Flip the kind of one random compute op (all compute kinds are
+        // binary, so validity is preserved).
+        let compute: Vec<usize> = g
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.kind().is_io())
+            .map(|(i, _)| i)
+            .collect();
+        if !compute.is_empty() {
+            let victim = compute[rng.gen_range(0usize..compute.len())];
+            let (mut nodes, edges) = parts(g);
+            let old = nodes[victim].0;
+            let new = OpKind::COMPUTE
+                .into_iter()
+                .find(|&k| k != old)
+                .expect("more than one compute kind exists");
+            nodes[victim].0 = new;
+            out.push(Cdfg::from_parts(g.name(), nodes, edges).unwrap());
+        }
+
+        // Rename one io port.
+        let io: Vec<usize> = g
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind().is_io())
+            .map(|(i, _)| i)
+            .collect();
+        if !io.is_empty() {
+            let victim = io[rng.gen_range(0usize..io.len())];
+            let (mut nodes, edges) = parts(g);
+            nodes[victim].1 = format!("{}_renamed", nodes[victim].1);
+            out.push(Cdfg::from_parts(g.name(), nodes, edges).unwrap());
+        }
+
+        // Swap the operand ports of one binary node whose two operands
+        // differ (a structural change even for commutative ops: the
+        // port assignment is part of the graph).
+        if let Some(victim) = g
+            .node_ids()
+            .find(|&id| g.operands(id).len() == 2 && g.operands(id)[0] != g.operands(id)[1])
+        {
+            let (nodes, mut edges) = parts(g);
+            for e in &mut edges {
+                if e.to == victim {
+                    e.port = 1 - e.port;
+                }
+            }
+            out.push(Cdfg::from_parts(g.name(), nodes, edges).unwrap());
+        }
+
+        out
+    }
+
+    proptest! {
+        /// The fingerprint is invariant under op/edge insertion-order
+        /// permutation (which full equality is not), and distinguishes
+        /// a corpus of structural mutations — differential against full
+        /// structural equality in both directions.
+        #[test]
+        fn fingerprint_is_permutation_invariant_and_mutation_sensitive(
+            cfg in config(),
+            seed in any::<u64>(),
+        ) {
+            let g = random_dag(&cfg);
+            let fp = graph_fingerprint(&g);
+
+            // Same structure, different insertion order: same print.
+            let p = permuted(&g, seed);
+            prop_assert_eq!(graph_fingerprint(&p), fp, "permutation changed the fingerprint");
+            // (Full equality sees the permutation whenever it actually
+            // moved something; the fingerprint must not.)
+
+            // Structural mutations: different print, no collisions
+            // among the corpus either.
+            let corpus = mutations(&g, seed);
+            for (i, m) in corpus.iter().enumerate() {
+                prop_assert!(m != &g, "mutation {i} must differ structurally");
+                prop_assert!(
+                    graph_fingerprint(m) != fp,
+                    "mutation {i} fingerprinted like the original"
+                );
+            }
+            for (i, a) in corpus.iter().enumerate() {
+                for (j, b) in corpus.iter().enumerate().skip(i + 1) {
+                    if a != b {
+                        prop_assert!(
+                            graph_fingerprint(a) != graph_fingerprint(b),
+                            "mutations {i} and {j} collide"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Serialization round trips preserve the fingerprint: the text
+        /// format is just another insertion order.
+        #[test]
+        fn fingerprint_survives_text_round_trip(cfg in config()) {
+            let g = random_dag(&cfg);
+            let back = parse_cdfg(&write_cdfg(&g)).expect("round trip");
+            prop_assert_eq!(graph_fingerprint(&back), graph_fingerprint(&g));
+        }
+    }
+}
+
 prop_compose! {
     fn config()(
         ops in 1usize..60,

@@ -179,6 +179,48 @@ impl Engine {
         self.try_compile(graph).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// [`compile`](Engine::compile) wrapped in an [`Arc`](std::sync::Arc),
+    /// for sharing one compiled graph across threads — worker pools,
+    /// compile caches, anything that outlives a single borrow.
+    /// [`CompiledGraph`] is `Send + Sync`, so the clones are free and
+    /// every thread reads the same warmed artifacts.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pchls_cdfg::benchmarks::hal;
+    /// use pchls_core::{Engine, SynthesisConstraints, SynthesisOptions};
+    /// use pchls_fulib::paper_library;
+    ///
+    /// let engine = Engine::new(paper_library());
+    /// let compiled = engine.compile_arc(&hal());
+    /// let opts = SynthesisOptions::default();
+    ///
+    /// // Two threads synthesize different points over ONE compile.
+    /// std::thread::scope(|s| {
+    ///     for latency in [17u32, 10] {
+    ///         let compiled = std::sync::Arc::clone(&compiled);
+    ///         let (engine, opts) = (&engine, &opts);
+    ///         s.spawn(move || {
+    ///             let session = engine.session(&compiled);
+    ///             let d = session
+    ///                 .synthesize(SynthesisConstraints::new(latency, 40.0), opts)
+    ///                 .expect("feasible");
+    ///             assert!(d.latency <= latency);
+    ///         });
+    ///     }
+    /// });
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`compile`](Engine::compile): panics if the library does not
+    /// cover every operation kind in the graph.
+    #[must_use]
+    pub fn compile_arc(&self, graph: &Cdfg) -> std::sync::Arc<CompiledGraph> {
+        std::sync::Arc::new(self.compile(graph))
+    }
+
     /// Runs the CDFG optimizer (CSE + dead-code elimination) first, then
     /// compiles the cleaned graph; the optimizer report is kept on the
     /// compiled graph ([`CompiledGraph::optimize_stats`]).
@@ -752,6 +794,37 @@ mod tests {
     use super::*;
     use pchls_cdfg::benchmarks;
     use pchls_fulib::paper_library;
+
+    #[test]
+    fn engine_and_compiled_graph_are_shareable_across_threads() {
+        // The service layer (`pchls-serve`) hands `Arc<CompiledGraph>`s
+        // to a worker pool; these bounds are its load-bearing contract.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<CompiledGraph>();
+        assert_send_sync::<std::sync::Arc<CompiledGraph>>();
+
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile_arc(&benchmarks::hal());
+        let opts = SynthesisOptions::default();
+        let single = engine
+            .session(&compiled)
+            .synthesize(SynthesisConstraints::new(17, 25.0), &opts)
+            .unwrap();
+        let from_thread = std::thread::scope(|s| {
+            let compiled = std::sync::Arc::clone(&compiled);
+            let (engine, opts) = (&engine, &opts);
+            s.spawn(move || {
+                engine
+                    .session(&compiled)
+                    .synthesize(SynthesisConstraints::new(17, 25.0), opts)
+                    .unwrap()
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(single, from_thread, "sharing the compile changed output");
+    }
 
     #[test]
     fn session_reuses_one_compiled_graph_across_points() {

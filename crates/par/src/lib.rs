@@ -56,6 +56,120 @@ pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Permanently marks the current thread as a dedicated worker: every
+/// [`par_map`] call on it runs serially from now on.
+///
+/// A long-lived pool (e.g. [`WorkerPool`]) already provides the
+/// machine-wide fan-out; letting each of its workers fan out *again*
+/// through the kernel-level `par_map`s would oversubscribe the machine
+/// with `workers²` threads. [`par_map`] protects nested calls within
+/// one thread tree via a thread-local, but pool workers are fresh
+/// threads that inherit nothing — they opt in with this call instead.
+pub fn dedicate_thread() {
+    IN_PARALLEL_REGION.with(|c| c.set(true));
+}
+
+/// A fixed-size pool of named, dedicated worker threads.
+///
+/// The complement of [`par_map`]: where `par_map` fans one finite work
+/// list out and joins, a `WorkerPool` keeps `workers` threads alive for
+/// the lifetime of a long-running component (a request-serving loop, a
+/// queue consumer). Each thread runs `body(worker_index)` once; the
+/// loop — typically "pop a job, process, repeat until the queue closes"
+/// — lives in the body. Worker threads are [dedicated]
+/// (nested `par_map` calls inside them run serially), so a pool of N
+/// workers uses N threads total no matter how parallel the work items'
+/// internals are.
+///
+/// [dedicated]: dedicate_thread
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let pool = {
+///     let done = Arc::clone(&done);
+///     pchls_par::WorkerPool::spawn(4, move |_worker| {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     })
+/// };
+/// pool.join();
+/// assert_eq!(done.load(Ordering::Relaxed), 4);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` dedicated threads (at least one), each running
+    /// `body(worker_index)` to completion. The body is responsible for
+    /// its own termination condition (e.g. a closed job queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating system refuses to spawn a thread.
+    #[must_use]
+    pub fn spawn<F>(workers: usize, body: F) -> WorkerPool
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let body = std::sync::Arc::new(body);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let body = std::sync::Arc::clone(&body);
+                std::thread::Builder::new()
+                    .name(format!("pchls-worker-{i}"))
+                    .spawn(move || {
+                        dedicate_thread();
+                        body(i);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no workers (never true: `spawn` clamps to
+    /// at least one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Blocks until every worker body returns.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic.
+    pub fn join(self) {
+        for h in self.handles {
+            h.join().expect("pool worker panicked");
+        }
+    }
+
+    /// Blocks until every worker body returns, swallowing worker
+    /// panics; returns how many workers panicked. For teardown paths
+    /// that may themselves run during unwinding (e.g. a `Drop` impl),
+    /// where a propagated panic would abort the process.
+    pub fn join_lossy(self) -> usize {
+        self.handles
+            .into_iter()
+            .map(std::thread::JoinHandle::join)
+            .filter(Result::is_err)
+            .count()
+    }
+}
+
 /// The number of worker threads [`par_map`] uses.
 ///
 /// Defaults to [`std::thread::available_parallelism`], clamped to the
@@ -192,6 +306,53 @@ mod tests {
         for (i, row) in out.iter().enumerate() {
             assert_eq!(row, &(0..16).map(|j| i * 100 + j).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_every_body_and_dedicates_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let ran = Arc::new(AtomicUsize::new(0));
+        let nested_fanned_out = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let ran = Arc::clone(&ran);
+            let nested = Arc::clone(&nested_fanned_out);
+            WorkerPool::spawn(3, move |worker| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                // Inside a dedicated worker, par_map must not fan out.
+                if would_parallelize(1000) {
+                    nested.fetch_add(1, Ordering::SeqCst);
+                }
+                let items: Vec<usize> = (0..100).collect();
+                let out = par_map(&items, |&x| x + worker);
+                assert_eq!(out[0], worker);
+            })
+        };
+        assert_eq!(pool.len(), 3);
+        pool.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            nested_fanned_out.load(Ordering::SeqCst),
+            0,
+            "pool workers must run nested par_map serially"
+        );
+    }
+
+    #[test]
+    fn join_lossy_counts_panicked_workers_without_propagating() {
+        let pool = WorkerPool::spawn(3, |worker| {
+            assert!(worker != 1, "worker 1 panics on purpose");
+        });
+        assert_eq!(pool.join_lossy(), 1);
+    }
+
+    #[test]
+    fn worker_pool_clamps_to_one_worker() {
+        let pool = WorkerPool::spawn(0, |_| {});
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        pool.join();
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The content-addressed compiled-graph cache.
+//!
+//! Clients of a long-running synthesis service resubmit the same
+//! dataflow graphs over and over — the whole point of the session API
+//! is that compiling ([`Engine::try_compile`]) is the expensive step
+//! worth amortizing. This cache keys compiled graphs by
+//! [`graph_fingerprint`] — a stable, structural, insertion-order-
+//! insensitive 64-bit hash — so *any* client submitting a structurally
+//! identical graph shares one [`Arc<CompiledGraph>`], no matter how the
+//! graph reached the service (benchmark name, inline text, different
+//! process).
+//!
+//! Three properties matter for correctness and are enforced here:
+//!
+//! * **Collision-checked**: a fingerprint match is only a bucket hint;
+//!   the cache verifies full [`Cdfg`] equality before sharing an entry.
+//!   Two different graphs colliding on the hash simply occupy two slots
+//!   of one bucket.
+//! * **Coalesced compiles**: when N clients submit the same uncached
+//!   graph concurrently, exactly one compile runs; the other N−1 block
+//!   on the same [`OnceLock`] cell and share the result ([`CacheLookup::Coalesced`]).
+//! * **Bounded**: at most `cap` entries live in the map, evicted least-
+//!   recently-used. Evicting an in-flight entry is safe — waiters hold
+//!   their own [`Arc`] to the cell and still complete.
+//!
+//! [`Engine::try_compile`]: pchls_core::Engine::try_compile
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pchls_cdfg::{graph_fingerprint, Cdfg};
+use pchls_core::{CompiledGraph, Engine, SynthesisError};
+use serde::{Deserialize, Serialize};
+
+/// What one compile request costs: a shared compiled graph, or the
+/// compile-time error (also cached, so repeated bad submissions stay
+/// cheap).
+pub type CompileOutcome = Result<Arc<CompiledGraph>, SynthesisError>;
+
+/// How a [`CompileCache::get_or_compile`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// The graph was cached and compiled: zero work.
+    Hit,
+    /// The graph was in the cache but its compile was still in flight:
+    /// this call joined the existing compile instead of starting one.
+    Coalesced,
+    /// The graph was not cached: this call inserted the entry (and
+    /// typically runs the compile).
+    Miss,
+}
+
+/// Counter snapshot of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups satisfied by a completed cached compile.
+    pub hits: u64,
+    /// Lookups that inserted a new entry.
+    pub misses: u64,
+    /// Lookups that joined an in-flight compile of the same graph.
+    pub coalesced: u64,
+    /// Entries removed by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without compiling (completed hits
+    /// over all lookups); `0.0` before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.coalesced;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One cached (or in-flight) compile.
+#[derive(Debug)]
+struct Slot {
+    /// The exact graph this slot answers for (full-equality verify).
+    graph: Cdfg,
+    /// The compile result, filled exactly once; waiters block on it.
+    cell: Arc<OnceLock<CompileOutcome>>,
+    /// LRU tick of the last lookup that touched this slot.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// fingerprint → slots whose graphs share that fingerprint.
+    map: HashMap<u64, Vec<Slot>>,
+    /// Total slots across all buckets.
+    len: usize,
+    /// Monotone lookup clock for LRU ordering.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe, content-addressed LRU cache of compiled
+/// graphs: collision-checked fingerprint addressing, coalesced
+/// in-flight compiles, LRU eviction (see the module-level docs above
+/// for the full guarantees).
+#[derive(Debug)]
+pub struct CompileCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl CompileCache {
+    /// A cache holding at most `cap` compiled graphs (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> CompileCache {
+        CompileCache {
+            inner: Mutex::new(Inner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The compiled form of `graph`, from cache when present, compiling
+    /// (or joining an in-flight compile) otherwise. The compile itself
+    /// runs *outside* the cache lock, so a slow compile never blocks
+    /// unrelated lookups.
+    pub fn get_or_compile(&self, engine: &Engine, graph: &Cdfg) -> (CompileOutcome, CacheLookup) {
+        let fingerprint = graph_fingerprint(graph);
+        let (cell, lookup) = {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let bucket = inner.map.entry(fingerprint).or_default();
+            // Fingerprint equality is a hint; the slot's stored graph is
+            // the collision check.
+            if let Some(slot) = bucket.iter_mut().find(|s| s.graph == *graph) {
+                slot.last_used = tick;
+                let lookup = if slot.cell.get().is_some() {
+                    CacheLookup::Hit
+                } else {
+                    CacheLookup::Coalesced
+                };
+                let cell = Arc::clone(&slot.cell);
+                match lookup {
+                    CacheLookup::Hit => inner.hits += 1,
+                    _ => inner.coalesced += 1,
+                }
+                (cell, lookup)
+            } else {
+                let cell = Arc::new(OnceLock::new());
+                bucket.push(Slot {
+                    graph: graph.clone(),
+                    cell: Arc::clone(&cell),
+                    last_used: tick,
+                });
+                inner.len += 1;
+                inner.misses += 1;
+                if inner.len > self.cap {
+                    evict_lru(&mut inner);
+                }
+                (cell, CacheLookup::Miss)
+            }
+        };
+        // Exactly one caller runs the closure; everyone else blocks
+        // here until the result lands, then clones the Arc.
+        let outcome = cell
+            .get_or_init(|| engine.try_compile(graph).map(Arc::new))
+            .clone();
+        (outcome, lookup)
+    }
+
+    /// Counter snapshot (consistent: taken under the cache lock).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+            evictions: inner.evictions,
+            entries: inner.len,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of resident entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Removes the least-recently-used slot. Called right after an insert
+/// pushed `len` over `cap`, so at least two slots exist and the fresh
+/// insert (carrying the newest tick) is never the victim.
+fn evict_lru(inner: &mut Inner) {
+    let victim = inner
+        .map
+        .iter()
+        .flat_map(|(&fp, bucket)| bucket.iter().map(move |s| (fp, s.last_used)))
+        .min_by_key(|&(_, used)| used);
+    if let Some((fp, used)) = victim {
+        let bucket = inner.map.get_mut(&fp).expect("victim bucket exists");
+        let idx = bucket
+            .iter()
+            .position(|s| s.last_used == used)
+            .expect("victim slot exists");
+        bucket.remove(idx);
+        if bucket.is_empty() {
+            inner.map.remove(&fp);
+        }
+        inner.len -= 1;
+        inner.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pchls_cdfg::benchmarks;
+    use pchls_fulib::paper_library;
+
+    fn engine() -> Engine {
+        Engine::new(paper_library())
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_sharing_the_same_arc() {
+        let engine = engine();
+        let cache = CompileCache::new(4);
+        let g = benchmarks::hal();
+        let (a, first) = cache.get_or_compile(&engine, &g);
+        let (b, second) = cache.get_or_compile(&engine, &g);
+        assert_eq!(first, CacheLookup::Miss);
+        assert_eq!(second, CacheLookup::Hit);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()), "hit must share");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_hot_entry() {
+        let engine = engine();
+        let cache = CompileCache::new(2);
+        let (hal, cosine, ar) = (
+            benchmarks::hal(),
+            benchmarks::cosine(),
+            benchmarks::ar_filter(),
+        );
+        let _ = cache.get_or_compile(&engine, &hal);
+        let _ = cache.get_or_compile(&engine, &cosine);
+        // Touch hal so cosine is the LRU victim when ar arrives.
+        let _ = cache.get_or_compile(&engine, &hal);
+        let _ = cache.get_or_compile(&engine, &ar);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(
+            cache.get_or_compile(&engine, &hal).1,
+            CacheLookup::Hit,
+            "hot entry survived"
+        );
+        assert_eq!(
+            cache.get_or_compile(&engine, &cosine).1,
+            CacheLookup::Miss,
+            "cold entry was evicted"
+        );
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_compile_once() {
+        let engine = engine();
+        let cache = CompileCache::new(4);
+        let g = benchmarks::elliptic();
+        let compiled: Vec<Arc<CompiledGraph>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (engine, cache, g) = (&engine, &cache, &g);
+                    s.spawn(move || cache.get_or_compile(engine, g).0.unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for c in &compiled[1..] {
+            assert!(
+                Arc::ptr_eq(&compiled[0], c),
+                "all callers share one compile"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one insert");
+        assert_eq!(s.hits + s.coalesced, 7, "everyone else joined or hit");
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_cached_too() {
+        use pchls_cdfg::OpKind;
+        use pchls_fulib::{ModuleLibrary, ModuleSpec};
+        // A library without a multiplier cannot compile hal.
+        let lib = ModuleLibrary::new([
+            ModuleSpec::new("add", [OpKind::Add], 87, 1, 2.5),
+            ModuleSpec::new("sub", [OpKind::Sub], 87, 1, 2.5),
+            ModuleSpec::new("comp", [OpKind::Comp], 8, 1, 2.5),
+            ModuleSpec::new("input", [OpKind::Input], 16, 1, 0.2),
+            ModuleSpec::new("output", [OpKind::Output], 16, 1, 1.7),
+        ])
+        .unwrap();
+        let engine = Engine::new(lib);
+        let cache = CompileCache::new(4);
+        let g = benchmarks::hal();
+        let (first, _) = cache.get_or_compile(&engine, &g);
+        let (second, lookup) = cache.get_or_compile(&engine, &g);
+        assert!(matches!(first, Err(SynthesisError::Uncovered { .. })));
+        assert_eq!(first.err(), second.err());
+        assert_eq!(lookup, CacheLookup::Hit, "the error is served from cache");
+    }
+
+    #[test]
+    fn fingerprint_collision_bucket_still_distinguishes_graphs() {
+        // Force both graphs through the same bucket path by checking
+        // that two different graphs never share an entry even when the
+        // cache is big enough for both.
+        let engine = engine();
+        let cache = CompileCache::new(4);
+        let a = cache.get_or_compile(&engine, &benchmarks::hal()).0.unwrap();
+        let b = cache
+            .get_or_compile(&engine, &benchmarks::cosine())
+            .0
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! `pchls-serve` — the long-running synthesis service over the session
+//! engine.
+//!
+//! The paper's workflow is request-shaped: a client submits a dataflow
+//! graph plus a `(latency, power)` constraint point and receives a
+//! synthesized design. The session API (`pchls-core`'s
+//! [`Engine`](pchls_core::Engine) → `CompiledGraph` → `Session`)
+//! already splits state by lifetime exactly the way a server needs;
+//! this crate adds the subsystem that accepts many concurrent requests
+//! and amortizes compilation *across clients*:
+//!
+//! * [`CompileCache`] — compiled graphs addressed by **content**
+//!   ([`pchls_cdfg::graph_fingerprint`], a stable structural hash),
+//!   verified by full equality, bounded LRU, with identical in-flight
+//!   compiles coalesced so N clients submitting the same graph trigger
+//!   one compile.
+//! * [`Service`] — a bounded MPMC job queue feeding a dedicated
+//!   [`pchls_par::WorkerPool`], with per-request deadlines and
+//!   cancellation through the engine's progress hook
+//!   (`SynthesisError::Cancelled`).
+//! * [`SubmitRequest`]/[`SubmitResponse`] — a JSON-lines protocol
+//!   served over stdin/stdout ([`serve_stdio`]) or a `std::net` TCP
+//!   listener, thread per connection ([`serve_tcp`]); exposed on the
+//!   command line as `pchls serve`.
+//! * [`ServiceStats`] — a snapshot of requests, p50/p99 latency (from
+//!   a fixed-bucket [`LatencyHistogram`]), cache hit rate and queue
+//!   depth.
+//!
+//! Service responses are **byte-identical** to what a direct
+//! [`Session::synthesize`](pchls_core::Session::synthesize) /
+//! `Session::batch` emits for the same constraint points — the cache
+//! and the scheduler are pure plumbing around the deterministic kernel
+//! (enforced by this crate's integration tests and the
+//! `service-throughput` benchmark workload).
+//!
+//! # Example
+//!
+//! ```
+//! use pchls_core::Engine;
+//! use pchls_fulib::paper_library;
+//! use pchls_serve::{Service, ServiceConfig, SubmitRequest};
+//!
+//! let service = Service::start(
+//!     Engine::new(paper_library()),
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//! );
+//!
+//! // Same graph, two constraint points: one compile, one cache hit.
+//! let a = service.call(SubmitRequest::synth(1, "hal", 17, 25.0));
+//! let b = service.call(SubmitRequest::synth(2, "hal", 10, 40.0));
+//! assert!(a.ok && b.ok);
+//! let stats = service.stats();
+//! assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod net;
+mod protocol;
+mod queue;
+mod service;
+mod stats;
+
+pub use cache::{CacheLookup, CacheStats, CompileCache, CompileOutcome};
+pub use net::{handle_connection, serve_stdio, serve_tcp};
+pub use protocol::{SubmitRequest, SubmitResponse};
+pub use queue::JobQueue;
+pub use service::{Service, ServiceConfig};
+pub use stats::{LatencyHistogram, ServiceStats};

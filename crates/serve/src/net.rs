@@ -1,0 +1,256 @@
+//! Wire front-ends: the JSON-lines protocol over stdio and TCP.
+//!
+//! Both front-ends share [`handle_connection`]: a reader loop parses
+//! one [`SubmitRequest`] per line and dispatches it, while a dedicated
+//! writer thread owns the output half and serializes every
+//! [`SubmitResponse`] as one line. Responses flow through a channel, so
+//! synthesis replies (which arrive from worker threads, possibly out of
+//! order) and immediate replies (stats, errors) interleave safely on
+//! one stream.
+//!
+//! Connection teardown is graceful by construction: when the reader
+//! sees EOF it drops its channel sender; each in-flight job holds its
+//! own sender clone, so the writer drains until the last reply landed
+//! and only then hangs up.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+use crate::protocol::{SubmitRequest, SubmitResponse};
+use crate::service::Service;
+
+/// Serves one already-connected peer: `reader` supplies request lines,
+/// `writer` receives response lines. Returns when the peer closes its
+/// half and every accepted job has been answered.
+///
+/// # Errors
+///
+/// Propagates read errors from `reader`; write errors end the writer
+/// thread (the remaining replies are dropped, like a peer that hung
+/// up).
+pub fn handle_connection<R, W>(service: &Service, reader: R, writer: W) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<SubmitResponse>();
+    let writer_thread = std::thread::Builder::new()
+        .name("pchls-serve-writer".to_owned())
+        .spawn(move || {
+            let mut writer = writer;
+            while let Ok(response) = rx.recv() {
+                let line = match serde_json::to_string(&response) {
+                    Ok(line) => line,
+                    Err(_) => continue, // unserializable replies don't exist
+                };
+                if writeln!(writer, "{line}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break; // peer hung up; drain and drop the rest
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    // In-flight cancellation flags of this connection, by request id.
+    let mut cancels: HashMap<u64, Arc<AtomicBool>> = HashMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: SubmitRequest = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = tx.send(SubmitResponse::error(0, format!("bad request: {e}")));
+                continue;
+            }
+        };
+        match request.op.as_str() {
+            "" | "synth" => {
+                let id = request.id;
+                // Lazily prune flags of finished requests (the worker
+                // dropped its clone, leaving ours the only one) so a
+                // long-lived connection's map stays bounded by its
+                // in-flight window, not its lifetime request count.
+                if cancels.len() >= 64 {
+                    cancels.retain(|_, flag| Arc::strong_count(flag) > 1);
+                }
+                match service.submit(request, tx.clone()) {
+                    Ok(cancel) => {
+                        cancels.insert(id, cancel);
+                    }
+                    Err(_) => {
+                        let _ = tx.send(SubmitResponse::error(id, "service is shutting down"));
+                    }
+                }
+            }
+            "cancel" => {
+                // Best effort: unknown or finished ids are a no-op; the
+                // cancelled request sends its own reply.
+                if let Some(flag) = cancels.get(&request.id) {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            }
+            "stats" => {
+                let _ = tx.send(SubmitResponse::stats(request.id, service.stats()));
+            }
+            other => {
+                let _ = tx.send(SubmitResponse::error(
+                    request.id,
+                    format!("unknown op `{other}`"),
+                ));
+            }
+        }
+    }
+
+    // EOF: drop our sender; the writer exits after the last in-flight
+    // job (each holds its own clone) delivers its reply.
+    drop(tx);
+    let _ = writer_thread.join();
+    Ok(())
+}
+
+/// Serves the process's stdin/stdout as one connection — the `pchls
+/// serve --stdio` mode. Returns at stdin EOF, after every accepted job
+/// answered.
+///
+/// # Errors
+///
+/// As [`handle_connection`].
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    handle_connection(service, io::stdin().lock(), io::stdout())
+}
+
+/// Accepts connections forever, one handler thread per peer, all
+/// multiplexing onto the same [`Service`] (and therefore sharing its
+/// compile cache and worker pool).
+///
+/// # Errors
+///
+/// Never returns `Ok`; returns early only if the listener itself
+/// fails. Per-connection errors are contained to their handler thread.
+pub fn serve_tcp(service: &Service, listener: &TcpListener) -> io::Result<()> {
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            scope.spawn(move || {
+                let peer_reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(_) => return, // connection died before first byte
+                };
+                let _ = handle_connection(service, peer_reader, stream);
+            });
+        }
+        unreachable!("TcpListener::incoming never ends")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use pchls_core::Engine;
+    use pchls_fulib::paper_library;
+
+    /// Runs a full scripted connection over in-memory pipes and returns
+    /// the parsed response lines.
+    fn drive(service: &Service, script: &str) -> Vec<SubmitResponse> {
+        let (mut read_half, write_half) = io_pipe();
+        handle_connection(service, script.as_bytes(), write_half).unwrap();
+        let mut out = String::new();
+        read_half.read_to_string(&mut out).unwrap();
+        out.lines()
+            .map(|l| serde_json::from_str(l).expect("well-formed response line"))
+            .collect()
+    }
+
+    /// A tiny in-memory pipe: the writer half is `Write + Send`, the
+    /// reader half collects everything written.
+    fn io_pipe() -> (SharedBuf, SharedBuf) {
+        let buf = Arc::new(std::sync::Mutex::new(Vec::new()));
+        (SharedBuf(Arc::clone(&buf)), SharedBuf(buf))
+    }
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn read_to_string(&mut self, out: &mut String) -> io::Result<()> {
+            out.push_str(std::str::from_utf8(&self.0.lock().unwrap()).unwrap());
+            Ok(())
+        }
+    }
+
+    fn service() -> Service {
+        Service::start(
+            Engine::new(paper_library()),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn scripted_connection_answers_every_line() {
+        let service = service();
+        let script = concat!(
+            r#"{"op":"synth","id":1,"graph":"hal","latency":17,"power":25}"#,
+            "\n",
+            "\n", // blank lines are ignored
+            r#"{"op":"stats","id":2}"#,
+            "\n",
+            r#"{"op":"frobnicate","id":3}"#,
+            "\n",
+            "this is not json\n",
+        );
+        let mut responses = drive(&service, script);
+        assert_eq!(responses.len(), 4);
+        // Synthesis replies may arrive out of order; sort by id.
+        responses.sort_by_key(|r| r.id);
+        let synth = responses.iter().find(|r| r.id == 1).unwrap();
+        assert!(synth.ok && synth.point.is_some());
+        let stats = responses.iter().find(|r| r.id == 2).unwrap();
+        assert!(stats.ok && stats.stats.is_some());
+        let unknown = responses.iter().find(|r| r.id == 3).unwrap();
+        assert!(!unknown.ok);
+        assert!(unknown.error.as_ref().unwrap().contains("frobnicate"));
+        let bad = responses.iter().find(|r| r.id == 0).unwrap();
+        assert!(!bad.ok);
+        assert!(bad.error.as_ref().unwrap().contains("bad request"));
+    }
+
+    #[test]
+    fn eof_waits_for_in_flight_jobs() {
+        let service = service();
+        // Three jobs, then immediate EOF: all three must still answer.
+        let script = concat!(
+            r#"{"id":1,"graph":"hal","latency":17,"power":25}"#,
+            "\n",
+            r#"{"id":2,"graph":"hal","latency":17,"power":40}"#,
+            "\n",
+            r#"{"id":3,"graph":"cosine","latency":15,"power":40}"#,
+            "\n",
+        );
+        let responses = drive(&service, script);
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(responses.iter().all(|r| r.ok));
+    }
+}

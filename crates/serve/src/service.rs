@@ -1,0 +1,540 @@
+//! The request scheduler: a bounded job queue feeding a dedicated
+//! worker pool, with per-request deadlines and cancellation.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pchls_cdfg::{benchmarks, parse_cdfg, Cdfg};
+use pchls_core::{
+    Engine, SynthesisConstraints, SynthesisError, SynthesisOptions, SynthesisRequest,
+    SynthesisResult,
+};
+use pchls_par::WorkerPool;
+
+use crate::cache::CompileCache;
+use crate::protocol::{SubmitRequest, SubmitResponse};
+use crate::queue::JobQueue;
+use crate::stats::{LatencyHistogram, ServiceStats};
+
+/// Tuning knobs of a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads consuming the job queue (0 = one per available
+    /// core, i.e. [`pchls_par::thread_count`]).
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue before [`Service::submit`]
+    /// blocks (backpressure).
+    pub queue_cap: usize,
+    /// Maximum compiled graphs resident in the cache.
+    pub cache_cap: usize,
+    /// Synthesis options applied to every request (the CLI and batch
+    /// path use the default paper configuration).
+    pub options: SynthesisOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_cap: 256,
+            cache_cap: 64,
+            options: SynthesisOptions::default(),
+        }
+    }
+}
+
+/// One queued synthesis job.
+struct Job {
+    request: SubmitRequest,
+    cancel: Arc<AtomicBool>,
+    reply: Sender<SubmitResponse>,
+    accepted: Instant,
+}
+
+/// How a processed job ended, for the counters.
+enum Disposition {
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+/// State shared between the front-ends, the queue and the workers.
+struct Shared {
+    engine: Engine,
+    options: SynthesisOptions,
+    cache: CompileCache,
+    queue: JobQueue<Job>,
+    latency: LatencyHistogram,
+    /// The built-in graphs, constructed once so the per-request
+    /// named-graph lookup is a scan + clone-free borrow, not a rebuild
+    /// of the whole benchmark suite.
+    builtin_graphs: Vec<Cdfg>,
+    workers: usize,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+/// A running synthesis service: an [`Engine`] fronted by the
+/// content-addressed [`CompileCache`] and a bounded queue of synthesis
+/// jobs consumed by a dedicated [`WorkerPool`].
+///
+/// Requests enter through [`submit`](Service::submit) (asynchronous,
+/// replies over a channel) or [`call`](Service::call) (synchronous
+/// convenience); the stdio/TCP front-ends
+/// ([`serve_stdio`](crate::serve_stdio) / [`serve_tcp`](crate::serve_tcp))
+/// adapt the wire protocol onto `submit`. Dropping the service closes
+/// the queue, drains in-flight jobs and joins the workers.
+///
+/// # Example
+///
+/// ```
+/// use pchls_fulib::paper_library;
+/// use pchls_serve::{Service, ServiceConfig, SubmitRequest};
+///
+/// let service = Service::start(
+///     pchls_core::Engine::new(paper_library()),
+///     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+/// );
+/// let response = service.call(SubmitRequest::synth(1, "hal", 17, 25.0));
+/// assert!(response.ok);
+/// assert!(response.point.unwrap().is_feasible());
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    pool: Option<WorkerPool>,
+}
+
+impl Service {
+    /// Starts the worker pool over `engine` and begins accepting jobs.
+    #[must_use]
+    pub fn start(engine: Engine, config: ServiceConfig) -> Service {
+        let workers = if config.workers == 0 {
+            pchls_par::thread_count()
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            options: config.options,
+            cache: CompileCache::new(config.cache_cap),
+            queue: JobQueue::new(config.queue_cap),
+            latency: LatencyHistogram::new(),
+            builtin_graphs: benchmarks::all(),
+            workers,
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+        });
+        let pool = {
+            let shared = Arc::clone(&shared);
+            WorkerPool::spawn(workers, move |_worker| {
+                while let Some(job) = shared.queue.pop() {
+                    shared.process(job);
+                }
+            })
+        };
+        Service {
+            shared,
+            pool: Some(pool),
+        }
+    }
+
+    /// The engine answering this service's requests.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Enqueues a `synth` request; the reply arrives on `reply` when a
+    /// worker finishes it. Blocks while the queue is full
+    /// (backpressure). Returns the request's cancellation flag — store
+    /// `true` to abort the run mid-iteration.
+    ///
+    /// # Errors
+    ///
+    /// Hands the request back when the service is shutting down.
+    pub fn submit(
+        &self,
+        request: SubmitRequest,
+        reply: Sender<SubmitResponse>,
+    ) -> Result<Arc<AtomicBool>, SubmitRequest> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            request,
+            cancel: Arc::clone(&cancel),
+            reply,
+            accepted: Instant::now(),
+        };
+        self.shared.queue.push(job).map_err(|job| job.request)?;
+        // Count only after the push: a request rejected at shutdown was
+        // never "accepted into the queue" (the documented meaning).
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(cancel)
+    }
+
+    /// Submits and waits for the reply — the one-liner for tests,
+    /// benchmarks and simple clients.
+    #[must_use]
+    pub fn call(&self, request: SubmitRequest) -> SubmitResponse {
+        let id = request.id;
+        let (tx, rx) = std::sync::mpsc::channel();
+        match self.submit(request, tx) {
+            Ok(_) => rx
+                .recv()
+                .unwrap_or_else(|_| SubmitResponse::error(id, "worker dropped the reply")),
+            Err(_) => SubmitResponse::error(id, "service is shutting down"),
+        }
+    }
+
+    /// A consistent metrics snapshot (served immediately; never queued
+    /// behind synthesis jobs).
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let cache = self.shared.cache.stats();
+        ServiceStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len(),
+            workers: self.shared.workers,
+            cache_entries: cache.entries,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_coalesced: cache.coalesced,
+            cache_evictions: cache.evictions,
+            cache_hit_rate: cache.hit_rate(),
+            p50_latency_secs: self.shared.latency.quantile(0.50),
+            p99_latency_secs: self.shared.latency.quantile(0.99),
+        }
+    }
+
+    /// Stops accepting new jobs, drains the queue and joins the
+    /// workers. Also runs on drop; call explicitly to control when the
+    /// blocking happens.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        if let Some(pool) = self.pool.take() {
+            // `join_lossy`, not `join`: this also runs from Drop, which
+            // may execute while already unwinding from the very failure
+            // that killed a worker — propagating there would double-
+            // panic and abort. Surface worker panics only when it is
+            // safe to do so.
+            let panicked = pool.join_lossy();
+            if panicked > 0 && !std::thread::panicking() {
+                panic!("{panicked} service worker(s) panicked");
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.shared.workers)
+            .field("queue_depth", &self.shared.queue.len())
+            .field("cache_entries", &self.shared.cache.len())
+            .finish()
+    }
+}
+
+impl Shared {
+    /// Processes one job on a worker thread and sends the reply.
+    fn process(&self, job: Job) {
+        let (response, disposition) = self.respond(&job);
+        match disposition {
+            Disposition::Completed => &self.completed,
+            Disposition::Failed => &self.failed,
+            Disposition::Cancelled => &self.cancelled,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency.record(job.accepted.elapsed());
+        // A client that hung up stops caring about its reply; nothing
+        // to do about the send failing.
+        let _ = job.reply.send(response);
+    }
+
+    fn respond(&self, job: &Job) -> (SubmitResponse, Disposition) {
+        let req = &job.request;
+        let fail = |msg: String| (SubmitResponse::error(req.id, msg), Disposition::Failed);
+
+        // Validate the constraint point up front — the constraints
+        // constructor panics on nonsense, a worker must not.
+        if req.latency == 0 {
+            return fail("latency must be a positive cycle count".into());
+        }
+        if req.power.is_nan() || req.power < 0.0 {
+            return fail("power bound must be non-negative".into());
+        }
+        let graph = match self.resolve_graph(req) {
+            Ok(g) => g,
+            Err(msg) => return fail(msg),
+        };
+
+        let compiled = match self.cache.get_or_compile(&self.engine, graph.as_ref()).0 {
+            Ok(c) => c,
+            Err(e) => return fail(format!("compile failed: {e}")),
+        };
+
+        let deadline =
+            (req.deadline_ms > 0).then(|| job.accepted + Duration::from_millis(req.deadline_ms));
+        let constraints = SynthesisConstraints::new(req.latency, req.power);
+        let session = self.engine.session(&compiled);
+        let outcome = session.synthesize_with_progress(constraints, &self.options, &mut |_| {
+            if job.cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+
+        match outcome {
+            Err(SynthesisError::Cancelled) => {
+                let why = if job.cancel.load(Ordering::Relaxed) {
+                    "cancelled"
+                } else {
+                    "deadline exceeded"
+                };
+                (SubmitResponse::error(req.id, why), Disposition::Cancelled)
+            }
+            // Feasible or not, the point is exactly what a direct
+            // `Session::batch` would emit — including the null-field
+            // shape for infeasible constraints.
+            outcome => {
+                let point = SynthesisResult {
+                    request: SynthesisRequest::new(constraints).with_options(self.options),
+                    outcome,
+                }
+                .to_point(compiled.name());
+                (SubmitResponse::point(req.id, point), Disposition::Completed)
+            }
+        }
+    }
+
+    /// Materializes the request's graph: inline text first, then the
+    /// built-in benchmark namespace. Named graphs borrow from the
+    /// service's prebuilt list — nothing is constructed on the hot
+    /// path; only inline text allocates.
+    fn resolve_graph(&self, req: &SubmitRequest) -> Result<std::borrow::Cow<'_, Cdfg>, String> {
+        if !req.graph_text.is_empty() {
+            return parse_cdfg(&req.graph_text)
+                .map(std::borrow::Cow::Owned)
+                .map_err(|e| format!("parsing graph_text: {e}"));
+        }
+        if req.graph.is_empty() {
+            return Err("request names no graph (set `graph` or `graph_text`)".into());
+        }
+        self.builtin_graphs
+            .iter()
+            .find(|g| g.name() == req.graph)
+            .map(std::borrow::Cow::Borrowed)
+            .ok_or_else(|| format!("unknown graph `{}`", req.graph))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pchls_core::SweepPoint;
+    use pchls_fulib::paper_library;
+
+    fn service(workers: usize) -> Service {
+        Service::start(
+            Engine::new(paper_library()),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// The direct-engine reference for one constraint point.
+    fn direct_point(engine: &Engine, graph: &str, latency: u32, power: f64) -> SweepPoint {
+        let g = benchmarks::all()
+            .into_iter()
+            .find(|g| g.name() == graph)
+            .unwrap();
+        let compiled = engine.compile(&g);
+        let session = engine.session(&compiled);
+        let constraints = SynthesisConstraints::new(latency, power);
+        SynthesisResult {
+            request: SynthesisRequest::new(constraints),
+            outcome: session.synthesize(constraints, &SynthesisOptions::default()),
+        }
+        .to_point(compiled.name())
+    }
+
+    #[test]
+    fn served_point_is_byte_identical_to_direct_synthesis() {
+        let service = service(2);
+        for (id, (graph, t, p)) in [("hal", 17, 25.0), ("hal", 10, 40.0), ("cosine", 15, 40.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let resp = service.call(SubmitRequest::synth(id as u64, graph, t, p));
+            assert!(resp.ok, "{graph} T={t} P={p}: {:?}", resp.error);
+            let served = serde_json::to_string(&resp.point.unwrap()).unwrap();
+            let direct =
+                serde_json::to_string(&direct_point(service.engine(), graph, t, p)).unwrap();
+            assert_eq!(served, direct, "{graph} T={t} P={p}");
+        }
+    }
+
+    #[test]
+    fn infeasible_points_answer_ok_with_null_fields() {
+        let service = service(1);
+        let resp = service.call(SubmitRequest::synth(1, "hal", 17, 1.0));
+        assert!(resp.ok, "infeasible is a served outcome, not a failure");
+        let point = resp.point.unwrap();
+        assert!(!point.is_feasible());
+        let served = serde_json::to_string(&point).unwrap();
+        let direct =
+            serde_json::to_string(&direct_point(service.engine(), "hal", 17, 1.0)).unwrap();
+        assert_eq!(served, direct);
+    }
+
+    #[test]
+    fn repeated_graphs_hit_the_cache() {
+        let service = service(2);
+        for id in 0..6 {
+            let resp = service.call(SubmitRequest::synth(id, "hal", 17, 20.0 + id as f64));
+            assert!(resp.ok);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits + stats.cache_coalesced, 5);
+        assert!(stats.cache_hit_rate > 0.0);
+        assert!(stats.p50_latency_secs > 0.0);
+    }
+
+    #[test]
+    fn bad_requests_fail_without_panicking_a_worker() {
+        let service = service(1);
+        for (req, needle) in [
+            (SubmitRequest::synth(1, "hal", 0, 25.0), "latency"),
+            (SubmitRequest::synth(2, "hal", 17, -1.0), "power"),
+            (SubmitRequest::synth(3, "hal", 17, f64::NAN), "power"),
+            (
+                SubmitRequest::synth(4, "nonexistent", 17, 25.0),
+                "unknown graph",
+            ),
+            (SubmitRequest::synth(5, "", 17, 25.0), "names no graph"),
+            (
+                SubmitRequest::synth_text(6, "this is not a dfg", 17, 25.0),
+                "parsing graph_text",
+            ),
+        ] {
+            let id = req.id;
+            let resp = service.call(req);
+            assert!(!resp.ok);
+            assert_eq!(resp.id, id);
+            let msg = resp.error.unwrap();
+            assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
+        }
+        // The workers survived all of it.
+        assert!(service.call(SubmitRequest::synth(9, "hal", 17, 25.0)).ok);
+        assert_eq!(service.stats().failed, 6);
+    }
+
+    #[test]
+    fn inline_graph_text_round_trips_through_the_service() {
+        let g = benchmarks::hal();
+        let text = pchls_cdfg::write_cdfg(&g);
+        let service = service(1);
+        let via_text = service.call(SubmitRequest::synth_text(1, &text, 17, 25.0));
+        let via_name = service.call(SubmitRequest::synth(2, "hal", 17, 25.0));
+        assert_eq!(via_text.point, via_name.point);
+        // Same structure ⇒ same fingerprint ⇒ the second call hit the
+        // cache even though it arrived by a different route.
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    /// A graph big enough that synthesis takes many iterations (and
+    /// well over a millisecond), so cancellation paths are exercised
+    /// deterministically.
+    fn chunky_graph_text() -> String {
+        let g = pchls_cdfg::random_dag(&pchls_cdfg::RandomDagConfig {
+            ops: 150,
+            inputs: 6,
+            outputs: 3,
+            mul_permille: 300,
+            depth_bias: 2,
+            seed: 42,
+        });
+        pchls_cdfg::write_cdfg(&g)
+    }
+
+    /// A latency bound comfortably inside the feasible region of the
+    /// chunky graph (twice its critical path), so a cancelled run was
+    /// genuinely in progress rather than rejected as infeasible.
+    fn chunky_latency(service: &Service, text: &str) -> u32 {
+        let g = parse_cdfg(text).unwrap();
+        service.engine().compile(&g).min_latency() * 2
+    }
+
+    #[test]
+    fn cancel_flag_aborts_a_run() {
+        let service = service(1);
+        let text = chunky_graph_text();
+        let latency = chunky_latency(&service, &text);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cancel = service
+            .submit(SubmitRequest::synth_text(1, &text, latency, 60.0), tx)
+            .unwrap();
+        cancel.store(true, Ordering::Relaxed);
+        let resp = rx.recv().unwrap();
+        // The flag was set before the first hook check could pass, so
+        // the run must come back cancelled.
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_deref(), Some("cancelled"));
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn immediate_deadline_cancels() {
+        let service = service(1);
+        let text = chunky_graph_text();
+        let latency = chunky_latency(&service, &text);
+        let resp =
+            service.call(SubmitRequest::synth_text(1, &text, latency, 60.0).with_deadline_ms(1));
+        // A 1ms deadline on a 150-op synthesis must trip the hook.
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_deref(), Some("deadline exceeded"));
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins() {
+        let service = service(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for id in 0..4 {
+            service
+                .submit(SubmitRequest::synth(id, "hal", 17, 25.0), tx.clone())
+                .unwrap();
+        }
+        drop(tx);
+        service.shutdown();
+        // Every queued job was still answered.
+        assert_eq!(rx.iter().count(), 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! Service metrics: a lock-free fixed-bucket latency histogram and the
+//! [`ServiceStats`] snapshot the wire protocol exposes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: powers of two of microseconds, so the
+/// top bucket starts at 2^47 µs (≈ 4.5 years) — effectively +∞.
+const BUCKETS: usize = 48;
+
+/// A fixed-bucket, power-of-two latency histogram.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))` microseconds
+/// (bucket 0 also absorbs sub-microsecond observations; the last bucket
+/// absorbs everything larger). Recording is one relaxed atomic
+/// increment — workers never contend on a lock for metrics — and
+/// quantiles are read by walking the 48 counters.
+///
+/// Fixed buckets trade resolution for bounded memory and wait-free
+/// writes: a quantile is reported as the **upper bound** of the bucket
+/// the rank falls in, i.e. within 2× of the true value, which is ample
+/// for p50/p99 service dashboards.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Index of the bucket covering `d`.
+    fn bucket_of(d: Duration) -> usize {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1);
+        (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation (wait-free).
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds, reported as the
+    /// upper bound of the bucket the rank lands in; `0.0` while empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        // Rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) µs.
+                return (1u64 << (i + 1)) as f64 / 1e6;
+            }
+        }
+        unreachable!("rank ≤ total implies some bucket reaches it")
+    }
+}
+
+/// One consistent snapshot of a running service, serializable onto the
+/// wire (the protocol's `Stats` message payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue since start.
+    pub requests: u64,
+    /// Requests answered with a synthesis point (feasible or not).
+    pub completed: u64,
+    /// Requests answered with an error (bad request, unknown graph,
+    /// compile failure).
+    pub failed: u64,
+    /// Requests cancelled by the client or their deadline.
+    pub cancelled: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Compiled graphs currently resident in the cache.
+    pub cache_entries: usize,
+    /// Cache lookups served by a completed compile.
+    pub cache_hits: u64,
+    /// Cache lookups that inserted (and compiled) a new entry.
+    pub cache_misses: u64,
+    /// Cache lookups that joined an in-flight compile.
+    pub cache_coalesced: u64,
+    /// Cache entries dropped by the LRU bound.
+    pub cache_evictions: u64,
+    /// `cache_hits / (cache_hits + cache_misses + cache_coalesced)`.
+    pub cache_hit_rate: f64,
+    /// Median request latency (accept → response) in seconds, bucketed.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile request latency in seconds, bucketed.
+    pub p99_latency_secs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::new();
+        // 99 fast observations (~100 µs) and one slow (~2 s).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_secs(2));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let p100 = h.quantile(1.0);
+        // 100 µs lands in bucket [64, 128) µs → upper bound 128 µs.
+        assert!((p50 - 128e-6).abs() < 1e-12, "p50={p50}");
+        assert!((p99 - 128e-6).abs() < 1e-12, "p99={p99}");
+        // 2 s lands in bucket [2^21, 2^22) µs → upper bound ≈ 4.19 s.
+        assert!(p100 > 2.0 && p100 < 8.5, "p100={p100}");
+        assert!(p50 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn extreme_durations_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(60 * 60 * 24 * 365 * 10));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0) > 0.0);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let s = ServiceStats {
+            requests: 10,
+            completed: 8,
+            failed: 1,
+            cancelled: 1,
+            queue_depth: 0,
+            workers: 4,
+            cache_entries: 2,
+            cache_hits: 7,
+            cache_misses: 2,
+            cache_coalesced: 1,
+            cache_evictions: 0,
+            cache_hit_rate: 0.7,
+            p50_latency_secs: 0.004,
+            p99_latency_secs: 0.125,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end smoke test of the TCP front-end: a real listener, real
+//! client sockets, a small request mix, and a byte-level diff of every
+//! served point against direct engine output — the in-process twin of
+//! the CI service-smoke step.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use pchls_cdfg::benchmarks;
+use pchls_core::{
+    Engine, SynthesisConstraints, SynthesisOptions, SynthesisRequest, SynthesisResult,
+};
+use pchls_fulib::paper_library;
+use pchls_serve::{serve_tcp, Service, ServiceConfig, SubmitRequest, SubmitResponse};
+
+/// Starts a service on an ephemeral port; returns the shared service
+/// and the address to dial. The acceptor thread serves until the test
+/// process exits.
+fn spawn_server() -> (Arc<Service>, std::net::SocketAddr) {
+    let service = Arc::new(Service::start(
+        Engine::new(paper_library()),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&service);
+    std::thread::spawn(move || {
+        let _ = serve_tcp(&server, &listener);
+    });
+    (service, addr)
+}
+
+/// The request mix both sides evaluate: repeated graphs (cache
+/// exercise) plus one infeasible point.
+fn mix() -> Vec<(String, u32, f64)> {
+    vec![
+        ("hal".to_owned(), 17, 25.0),
+        ("hal".to_owned(), 10, 40.0),
+        ("cosine".to_owned(), 15, 40.0),
+        ("hal".to_owned(), 17, 1.0), // infeasible
+        ("cosine".to_owned(), 15, 60.0),
+        ("hal".to_owned(), 17, 25.0), // exact repeat
+    ]
+}
+
+/// Serialized direct-engine point for one request of the mix.
+fn direct_line(engine: &Engine, graph: &str, latency: u32, power: f64) -> String {
+    let g = benchmarks::all()
+        .into_iter()
+        .find(|g| g.name() == graph)
+        .unwrap();
+    let compiled = engine.compile(&g);
+    let constraints = SynthesisConstraints::new(latency, power);
+    let point = SynthesisResult {
+        request: SynthesisRequest::new(constraints),
+        outcome: engine
+            .session(&compiled)
+            .synthesize(constraints, &SynthesisOptions::default()),
+    }
+    .to_point(compiled.name());
+    serde_json::to_string(&point).expect("point serializes")
+}
+
+#[test]
+fn tcp_round_trip_is_byte_identical_to_direct_engine_output() {
+    let (service, addr) = spawn_server();
+    let stream = TcpStream::connect(addr).expect("dial the service");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Fire the whole mix pipelined, then collect all replies.
+    for (id, (graph, latency, power)) in mix().into_iter().enumerate() {
+        let req = SubmitRequest::synth(id as u64, &graph, latency, power);
+        writeln!(writer, "{}", serde_json::to_string(&req).unwrap()).unwrap();
+    }
+    let mut responses: Vec<SubmitResponse> = Vec::new();
+    while responses.len() < mix().len() {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        responses.push(serde_json::from_str(&line).expect("response parses"));
+    }
+
+    // Every reply diffs clean against the direct engine, byte for byte.
+    for (id, (graph, latency, power)) in mix().into_iter().enumerate() {
+        let resp = responses
+            .iter()
+            .find(|r| r.id == id as u64)
+            .unwrap_or_else(|| panic!("no reply for id {id}"));
+        assert!(resp.ok, "id {id}: {:?}", resp.error);
+        let served = serde_json::to_string(resp.point.as_ref().unwrap()).unwrap();
+        let direct = direct_line(service.engine(), &graph, latency, power);
+        assert_eq!(served, direct, "{graph} T={latency} P={power}");
+    }
+
+    // The repeated-graph mix left a warm cache and live counters.
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&SubmitRequest::stats(99)).unwrap()
+    )
+    .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let stats_resp: SubmitResponse = serde_json::from_str(&line).unwrap();
+    let stats = stats_resp.stats.expect("stats payload");
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.cache_entries, 2, "hal + cosine");
+    assert_eq!(stats.cache_misses, 2);
+    assert!(stats.cache_hit_rate > 0.0, "repeats must hit the cache");
+}
+
+#[test]
+fn two_connections_share_one_cache() {
+    let (service, addr) = spawn_server();
+    let point_of = |id: u64| {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let req = SubmitRequest::synth(id, "elliptic", 22, 30.0);
+        writeln!(writer, "{}", serde_json::to_string(&req).unwrap()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: SubmitResponse = serde_json::from_str(&line).unwrap();
+        assert!(resp.ok);
+        resp.point.unwrap()
+    };
+    let a = point_of(1);
+    let b = point_of(2);
+    assert_eq!(a, b);
+    let stats = service.stats();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "second connection reused the compile"
+    );
+    assert_eq!(stats.cache_hits, 1);
+}

@@ -7,6 +7,7 @@
 //! pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile]
 //! pchls sweep <graph> -T <cycles> [--steps <n>]
 //! pchls batch <graph> --points <file>
+//! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
 //! ```
@@ -27,6 +28,7 @@ use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg, GraphStats, Interpre
 use pchls::core::{Engine, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesisRequest};
 use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
+use pchls::serve::{serve_stdio, serve_tcp, Service, ServiceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +52,7 @@ usage:
   pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
   pchls sweep <graph> -T <cycles> [--steps <n>]
   pchls batch <graph> --points <file>   # one `T P` pair per line; emits one JSON line per point
+  pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
   pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]";
 
@@ -62,6 +65,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "synth" => synth(rest),
         "sweep" => sweep(rest),
         "batch" => batch(rest),
+        "serve" => serve(rest),
         "simulate" => run_simulation(rest),
         "vcd" => run_vcd(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -133,7 +137,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let v = it.next().ok_or("-P needs a value")?;
                 f.options.insert("power".into(), v.clone());
             }
-            "--library" | "--steps" | "--out" | "--points" => {
+            "--library" | "--steps" | "--out" | "--points" | "--addr" | "--workers"
+            | "--cache-cap" | "--queue-cap" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -173,6 +178,20 @@ fn required_f64(flags: &Flags, key: &str, flag: &str) -> Result<f64, String> {
         .map_err(|_| format!("{flag} must be a number"))
 }
 
+/// The `(T, P<)` pair of a command line, validated so the constraints
+/// constructor can never panic on user input.
+fn required_constraints(flags: &Flags) -> Result<SynthesisConstraints, String> {
+    let latency = required_u32(flags, "latency", "-T <cycles>")?;
+    if latency == 0 {
+        return Err("-T must be at least 1 cycle".into());
+    }
+    let power = required_f64(flags, "power", "-P <power>")?;
+    if power.is_nan() || power < 0.0 {
+        return Err("-P must be a non-negative power bound".into());
+    }
+    Ok(SynthesisConstraints::new(latency, power))
+}
+
 fn dump(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
@@ -205,9 +224,7 @@ fn synth(args: &[String]) -> Result<String, String> {
     };
     let session = engine.session(&compiled);
     let (g, lib) = (compiled.graph(), engine.library());
-    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
-    let power = required_f64(&flags, "power", "-P <power>")?;
-    let constraints = SynthesisConstraints::new(latency, power);
+    let constraints = required_constraints(&flags)?;
     let design = if flags.switches.iter().any(|s| s == "refine") {
         session.synthesize_refined(constraints, &SynthesisOptions::default())
     } else {
@@ -259,6 +276,9 @@ fn sweep(args: &[String]) -> Result<String, String> {
     let g = load_graph(spec)?;
     let lib = load_library(&flags)?;
     let latency = required_u32(&flags, "latency", "-T <cycles>")?;
+    if latency == 0 {
+        return Err("-T must be at least 1 cycle".into());
+    }
     let steps: usize = flags
         .options
         .get("steps")
@@ -298,9 +318,24 @@ fn parse_points(text: &str) -> Result<Vec<SynthesisConstraints>, String> {
         let t: u32 = t
             .parse()
             .map_err(|_| format!("line {}: `{t}` is not a latency", lineno + 1))?;
+        // Validate the parsed values here, with the line number: the
+        // constraints constructor asserts on nonsense and a malformed
+        // points file must be a clean error, not a panic.
+        if t == 0 {
+            return Err(format!(
+                "line {}: latency must be at least 1 cycle",
+                lineno + 1
+            ));
+        }
         let p: f64 = p
             .parse()
             .map_err(|_| format!("line {}: `{p}` is not a power bound", lineno + 1))?;
+        if p.is_nan() || p < 0.0 {
+            return Err(format!(
+                "line {}: power bound `{p}` must be non-negative",
+                lineno + 1
+            ));
+        }
         points.push(SynthesisConstraints::new(t, p));
     }
     if points.is_empty() {
@@ -339,23 +374,57 @@ fn batch(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `pchls serve`: the long-running synthesis service (JSON-lines
+/// protocol over stdio or TCP; see `pchls-serve`). Returns at stdin EOF
+/// in `--stdio` mode; serves forever in `--addr` mode.
+fn serve(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let stdio = flags.switches.iter().any(|s| s == "stdio");
+    let addr = flags.options.get("addr");
+    if stdio == addr.is_some() {
+        return Err("serve needs exactly one of --stdio or --addr <host:port>".into());
+    }
+    let usize_option = |key: &str, default: usize| -> Result<usize, String> {
+        flags.options.get(key).map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| format!("--{key} must be a non-negative integer"))
+        })
+    };
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: usize_option("workers", defaults.workers)?,
+        cache_cap: usize_option("cache-cap", defaults.cache_cap)?,
+        queue_cap: usize_option("queue-cap", defaults.queue_cap)?,
+        ..defaults
+    };
+    let lib = load_library(&flags)?;
+    let service = Service::start(Engine::new(lib), config);
+    match addr {
+        None => serve_stdio(&service).map_err(|e| format!("serving stdio: {e}"))?,
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("pchls serve: listening on {local}");
+            serve_tcp(&service, &listener).map_err(|e| format!("serving {local}: {e}"))?;
+        }
+    }
+    Ok(String::new())
+}
+
 fn run_simulation(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
     let g = load_graph(spec)?;
     let lib = load_library(&flags)?;
-    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
-    let power = required_f64(&flags, "power", "-P <power>")?;
+    let constraints = required_constraints(&flags)?;
     let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
 
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
     let design = engine
         .session(&compiled)
-        .synthesize(
-            SynthesisConstraints::new(latency, power),
-            &SynthesisOptions::default(),
-        )
+        .synthesize(constraints, &SynthesisOptions::default())
         .map_err(|e| e.to_string())?;
     let dp = Datapath::build(&g, &design, engine.library());
     let run = simulate(&g, &dp, &stim).map_err(|e| e.to_string())?;
@@ -386,18 +455,14 @@ fn run_vcd(args: &[String]) -> Result<String, String> {
     let spec = flags.positionals.first().ok_or("missing graph")?;
     let g = load_graph(spec)?;
     let lib = load_library(&flags)?;
-    let latency = required_u32(&flags, "latency", "-T <cycles>")?;
-    let power = required_f64(&flags, "power", "-P <power>")?;
+    let constraints = required_constraints(&flags)?;
     let stim: pchls::cdfg::Stimulus = flags.sets.iter().cloned().collect();
 
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
     let design = engine
         .session(&compiled)
-        .synthesize(
-            SynthesisConstraints::new(latency, power),
-            &SynthesisOptions::default(),
-        )
+        .synthesize(constraints, &SynthesisOptions::default())
         .map_err(|e| e.to_string())?;
     let dp = Datapath::build(&g, &design, engine.library());
     let wave = pchls::rtl::trace(&g, &dp, &stim).map_err(|e| e.to_string())?;
@@ -531,6 +596,50 @@ mod tests {
         let err = run(&argv(&format!("batch hal --points {}", path.display()))).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         assert!(run(&argv("batch hal")).unwrap_err().contains("--points"));
+    }
+
+    #[test]
+    fn batch_reports_invalid_values_with_line_numbers_instead_of_panicking() {
+        let dir = std::env::temp_dir().join("pchls-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Values that parse as numbers but violate the constraint
+        // domain used to reach the asserting constructor and abort the
+        // process; they must be line-numbered errors.
+        for (name, content, needle) in [
+            ("zero_latency.txt", "17 25\n0 25\n", "line 2"),
+            ("negative_power.txt", "17 25\n10 40\n17 -5\n", "line 3"),
+            ("nan_power.txt", "17 NaN\n", "line 1"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let err =
+                run(&argv(&format!("batch hal --points {}", path.display()))).expect_err(name);
+            assert!(err.contains(needle), "{name}: `{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn synth_rejects_out_of_domain_constraints_cleanly() {
+        assert!(run(&argv("synth hal -T 0 -P 25"))
+            .unwrap_err()
+            .contains("-T"));
+        assert!(run(&argv("synth hal -T 17 -P -3"))
+            .unwrap_err()
+            .contains("-P"));
+        assert!(run(&argv("sweep hal -T 0")).unwrap_err().contains("-T"));
+    }
+
+    #[test]
+    fn serve_validates_its_flags() {
+        // Exactly one transport must be chosen.
+        let err = run(&argv("serve")).unwrap_err();
+        assert!(err.contains("--stdio") && err.contains("--addr"), "{err}");
+        let err = run(&argv("serve --stdio --addr 127.0.0.1:0")).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = run(&argv("serve --addr 127.0.0.1:0 --workers two")).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = run(&argv("serve --addr not-an-address")).unwrap_err();
+        assert!(err.contains("binding"), "{err}");
     }
 
     #[test]

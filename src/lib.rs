@@ -85,3 +85,6 @@ pub use pchls_fulib as fulib;
 pub use pchls_rtl as rtl;
 /// Time- and power-constrained scheduling algorithms.
 pub use pchls_sched as sched;
+/// Concurrent synthesis service: compile cache, request scheduler,
+/// JSON-lines wire protocol (`pchls serve`).
+pub use pchls_serve as serve;

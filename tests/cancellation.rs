@@ -1,0 +1,126 @@
+//! Cross-thread cancellation of a synthesis run: the progress hook's
+//! `ControlFlow::Break` path must surface as
+//! `SynthesisError::Cancelled`, and — because sessions share only
+//! immutable compiled artifacts — an aborted run must leave **no
+//! partial state** behind: re-running the same point on the same
+//! session afterwards stays byte-identical to a fresh engine.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use pchls::cdfg::{random_dag, RandomDagConfig};
+use pchls::core::{Engine, SynthesisConstraints, SynthesisError, SynthesisOptions};
+use pchls::fulib::paper_library;
+
+/// A graph big enough that synthesis runs for many greedy iterations,
+/// leaving a wide window to cancel mid-run.
+fn chunky() -> pchls::cdfg::Cdfg {
+    random_dag(&RandomDagConfig {
+        ops: 150,
+        inputs: 6,
+        outputs: 3,
+        mul_permille: 300,
+        depth_bias: 2,
+        seed: 7,
+    })
+}
+
+#[test]
+fn cancelling_mid_run_from_another_thread_leaves_no_partial_state() {
+    let graph = chunky();
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let session = engine.session(&compiled);
+    let opts = SynthesisOptions::default();
+    let constraints = SynthesisConstraints::new(compiled.min_latency() * 2, 60.0);
+
+    // The reference outcome, computed before anything was cancelled.
+    let reference = session.synthesize(constraints, &opts).expect("feasible");
+
+    // Cancel from another thread, deterministically mid-run: the hook
+    // signals the canceller at iteration 5 and waits for the flag, so
+    // the abort always lands while operations are still being bound.
+    let cancel = AtomicBool::new(false);
+    let iterations = AtomicUsize::new(0);
+    let (ping, pong) = mpsc::channel::<()>();
+    let err = std::thread::scope(|scope| {
+        let cancel = &cancel;
+        scope.spawn(move || {
+            pong.recv().expect("hook pings mid-run");
+            cancel.store(true, Ordering::SeqCst);
+        });
+        session
+            .synthesize_with_progress(constraints, &opts, &mut |progress| {
+                if cancel.load(Ordering::SeqCst) {
+                    return ControlFlow::Break(());
+                }
+                let n = iterations.fetch_add(1, Ordering::SeqCst) + 1;
+                assert!(progress.bound_ops <= progress.total_ops);
+                if n == 5 {
+                    ping.send(()).expect("canceller is listening");
+                    // Hold this iteration open until the other thread
+                    // has actually cancelled.
+                    while !cancel.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+            .expect_err("cancelled run must not produce a design")
+    });
+    assert!(matches!(err, SynthesisError::Cancelled), "{err:?}");
+    let seen = iterations.load(Ordering::SeqCst);
+    assert!(
+        seen >= 5,
+        "cancellation landed before the mid-run window ({seen} iterations)"
+    );
+    assert!(
+        seen < graph.len(),
+        "cancellation landed only after the run finished ({seen} iterations)"
+    );
+
+    // The same session, the same point, after the abort: byte-identical
+    // design *and* identical decision-trace statistics, twice over.
+    for attempt in 0..2 {
+        let again = session.synthesize(constraints, &opts).expect("feasible");
+        assert_eq!(again, reference, "attempt {attempt}: design drifted");
+        assert_eq!(
+            again.stats, reference.stats,
+            "attempt {attempt}: decision trace drifted"
+        );
+    }
+
+    // And a completely fresh engine agrees, proving the abort corrupted
+    // nothing shared.
+    let fresh_engine = Engine::new(paper_library());
+    let fresh_compiled = fresh_engine.compile(&graph);
+    let fresh = fresh_engine
+        .session(&fresh_compiled)
+        .synthesize(constraints, &opts)
+        .expect("feasible");
+    assert_eq!(fresh, reference);
+    assert_eq!(fresh.stats, reference.stats);
+}
+
+#[test]
+fn cancellation_applies_to_every_constraint_point_independently() {
+    // Cancel one point of a session, then run a different point on the
+    // same session: the second point must equal a never-cancelled run.
+    let graph = chunky();
+    let engine = Engine::new(paper_library());
+    let compiled = engine.compile(&graph);
+    let session = engine.session(&compiled);
+    let opts = SynthesisOptions::default();
+    let tight = SynthesisConstraints::new(compiled.min_latency(), 60.0);
+    let loose = SynthesisConstraints::new(compiled.min_latency() * 3, 60.0);
+
+    let err = session
+        .synthesize_with_progress(tight, &opts, &mut |_| ControlFlow::Break(()))
+        .expect_err("immediate break cancels");
+    assert!(matches!(err, SynthesisError::Cancelled));
+
+    let after = session.synthesize(loose, &opts).expect("feasible");
+    let reference = engine.session(&compiled).synthesize(loose, &opts).unwrap();
+    assert_eq!(after, reference);
+}
