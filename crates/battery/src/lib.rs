@@ -24,6 +24,15 @@
 //! Lifetimes are measured in *iterations*: the per-cycle profile of one
 //! schedule execution is replayed until the battery cuts off.
 //!
+//! The crate also couples the models back into synthesis:
+//! [`budget_from_model`] derives a sagging per-cycle
+//! [`PowerBudget`](pchls_sched::PowerBudget) envelope from a model's
+//! state-of-charge trajectory, which `SynthesisConstraints` accepts
+//! directly — the battery chemistry, not a hand-picked scalar, sets the
+//! per-cycle power constraint. [`battery_report`] summarizes a
+//! synthesized design's lifetime across the model trio (the
+//! `pchls battery` subcommand).
+//!
 //! # Example
 //!
 //! ```
@@ -40,14 +49,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod ideal;
 mod models;
 mod peukert;
 mod rate_capacity;
 mod report;
 
+pub use budget::budget_from_model;
 pub use ideal::IdealBattery;
 pub use models::{BatteryModel, Lifetime};
 pub use peukert::PeukertBattery;
 pub use rate_capacity::RateCapacityBattery;
-pub use report::{compare_profiles, LifetimeComparison};
+pub use report::{battery_report, compare_profiles, BatteryReport, LifetimeComparison};

@@ -42,6 +42,70 @@ pub fn compare_profiles(
     }
 }
 
+/// Lifetime of one synthesized design's power profile across the three
+/// battery models — the report `pchls battery` prints: how many
+/// complete schedule executions each chemistry survives, and the
+/// lifetime extension a power-constrained profile buys over its
+/// power-oblivious baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatteryReport {
+    /// Battery capacity every model was instantiated with.
+    pub capacity: f64,
+    /// One comparison per model (ideal, Peukert, rate-capacity), in
+    /// that order.
+    pub entries: Vec<LifetimeComparison>,
+}
+
+/// Runs `baseline` (the power-oblivious profile) and `flattened` (the
+/// power-constrained profile) through the standard model trio — an
+/// ideal coulomb counter, Peukert's law at exponent 1.2, and a
+/// low-quality rate-capacity cell — all at `capacity`.
+///
+/// # Panics
+///
+/// Panics unless `capacity` is finite and positive (the models'
+/// constructors enforce it).
+#[must_use]
+pub fn battery_report(capacity: f64, baseline: &[f64], flattened: &[f64]) -> BatteryReport {
+    let models: [&dyn BatteryModel; 3] = [
+        &crate::IdealBattery::new(capacity),
+        &crate::PeukertBattery::new(capacity, 1.2),
+        &crate::RateCapacityBattery::low_quality(capacity),
+    ];
+    BatteryReport {
+        capacity,
+        entries: models
+            .iter()
+            .map(|m| compare_profiles(*m, baseline, flattened))
+            .collect(),
+    }
+}
+
+impl BatteryReport {
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self, profile_len: usize, baseline_len: usize) -> String {
+        let mut out = format!(
+            "battery lifetime at capacity {} (cycles survived; extension vs power-oblivious):\n",
+            self.capacity
+        );
+        out.push_str(&format!(
+            "  {:<14} {:>16} {:>16} {:>10}\n",
+            "model", "baseline", "constrained", "extension"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "  {:<14} {:>16} {:>16} {:>9.2}x\n",
+                e.model,
+                e.baseline.total_cycles(baseline_len),
+                e.flattened.total_cycles(profile_len),
+                e.extension
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +128,21 @@ mod tests {
         let cmp = compare_profiles(&m, &spiky, &flat);
         assert!(cmp.extension > 1.05, "extension {}", cmp.extension);
         assert_eq!(cmp.model, "rate-capacity");
+    }
+
+    #[test]
+    fn report_covers_the_model_trio_in_order() {
+        let spiky = vec![30.0, 0.0, 0.0];
+        let flat = vec![10.0, 10.0, 10.0];
+        let r = battery_report(50_000.0, &spiky, &flat);
+        let names: Vec<&str> = r.entries.iter().map(|e| e.model.as_str()).collect();
+        assert_eq!(names, ["ideal", "peukert", "rate-capacity"]);
+        // The rate-capacity cell rewards flattening; the ideal one
+        // cannot.
+        assert!(r.entries[2].extension > r.entries[0].extension);
+        let text = r.to_text(flat.len(), spiky.len());
+        assert!(text.contains("rate-capacity"));
+        assert!(text.lines().count() >= 5);
     }
 
     #[test]

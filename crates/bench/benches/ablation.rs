@@ -35,7 +35,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, opts) in variants {
         group.bench_with_input(BenchmarkId::new("elliptic-T26", name), &session, |b, s| {
             b.iter(|| {
-                let _ = s.synthesize(constraints, &opts);
+                let _ = s.synthesize(constraints.clone(), &opts);
             });
         });
     }

@@ -17,7 +17,7 @@ fn bench_synthesis(c: &mut Criterion) {
         let constraints = SynthesisConstraints::new(t, 40.0);
         group.bench_with_input(BenchmarkId::new("combined", &id), &session, |b, s| {
             b.iter(|| {
-                s.synthesize(constraints, &SynthesisOptions::default())
+                s.synthesize(constraints.clone(), &SynthesisOptions::default())
                     .unwrap()
             });
         });
@@ -25,7 +25,7 @@ fn bench_synthesis(c: &mut Criterion) {
             b.iter(|| {
                 // The baseline may fail power at tight latencies; timing
                 // cost is what is measured.
-                let _ = s.two_step(constraints, SelectionPolicy::Fastest);
+                let _ = s.two_step(constraints.clone(), SelectionPolicy::Fastest);
             });
         });
     }

@@ -39,16 +39,16 @@ fn main() {
         let c = SynthesisConstraints::new(t, 40.0);
         print!("{:<14}", format!("{}-T{t}", g.name()));
         for (_, opts) in &variants {
-            match session.synthesize(c, opts) {
+            match session.synthesize(c.clone(), opts) {
                 Ok(d) => print!("{:>9}", d.area),
                 Err(_) => print!("{:>9}", "-"),
             }
         }
-        match session.synthesize_refined(c, &SynthesisOptions::default()) {
+        match session.synthesize_refined(c.clone(), &SynthesisOptions::default()) {
             Ok(d) => print!("{:>9}", d.area),
             Err(_) => print!("{:>9}", "-"),
         }
-        match session.two_step(c, SelectionPolicy::Fastest) {
+        match session.two_step(c.clone(), SelectionPolicy::Fastest) {
             Ok(b) if b.met_power => print!("{:>9}", b.design.area),
             Ok(_) => print!("{:>9}", "miss"),
             Err(_) => print!("{:>9}", "-"),

@@ -11,6 +11,12 @@
 //! repeated-graph mix, asserts every response is **byte-identical** to
 //! direct [`Session::synthesize`] output, and writes `BENCH_4.json`.
 //!
+//! A fourth workload, `envelope-kernel`, measures the [`PowerBudget`]
+//! generalization (`BENCH_5.json`): the scalar path vs. an equal-bound
+//! constant envelope (which must collapse to the scalar fast path —
+//! byte-identical designs, parity wall clock) and a genuinely stepwise
+//! envelope driving the slack-min ledger mode.
+//!
 //! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
 //! so CI can keep the workloads from rotting.
 //!
@@ -27,7 +33,9 @@ use serde::Serialize;
 
 use pchls_bench::figure2_power_grid;
 use pchls_cdfg::{benchmarks, random_dag, Cdfg, RandomDagConfig};
-use pchls_core::{Engine, Session, SynthesisConstraints, SynthesisOptions, SynthesizedDesign};
+use pchls_core::{
+    Engine, PowerBudget, Session, SynthesisConstraints, SynthesisOptions, SynthesizedDesign,
+};
 use pchls_fulib::{paper_library, ModuleLibrary, SelectionPolicy};
 use pchls_sched::TimingMap;
 use pchls_serve::{Service, ServiceConfig, SubmitRequest};
@@ -206,13 +214,13 @@ fn kernel_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
         let compiled = engine.compile(&case.graph);
         let session = engine.session(&compiled);
         // Warm-up (untimed) run so allocator state is comparable.
-        let _ = session.synthesize(case.constraints, opts);
+        let _ = session.synthesize(case.constraints.clone(), opts);
 
         let start = Instant::now();
         let mut serial = Vec::new();
         for _ in 0..reps {
             serial.push(pchls_par::with_serial(|| {
-                session.synthesize(case.constraints, opts)
+                session.synthesize(case.constraints.clone(), opts)
             }));
         }
         let serial_secs = start.elapsed().as_secs_f64();
@@ -220,7 +228,7 @@ fn kernel_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
         let start = Instant::now();
         let mut parallel = Vec::new();
         for _ in 0..reps {
-            parallel.push(session.synthesize(case.constraints, opts));
+            parallel.push(session.synthesize(case.constraints.clone(), opts));
         }
         let parallel_secs = start.elapsed().as_secs_f64();
 
@@ -236,7 +244,7 @@ fn kernel_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
             case.name,
             case.graph.len(),
             case.constraints.latency,
-            case.constraints.max_power,
+            case.constraints.max_power(),
             serial_secs,
             parallel_secs,
             serial_secs / parallel_secs,
@@ -246,7 +254,7 @@ fn kernel_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
             name: case.name.clone(),
             nodes: case.graph.len(),
             latency_bound: case.constraints.latency,
-            power_bound: case.constraints.max_power,
+            power_bound: case.constraints.max_power(),
             reps,
             serial_secs,
             parallel_secs,
@@ -508,7 +516,7 @@ fn service_workload(smoke: bool, opts: &SynthesisOptions) {
             let compiled = engine.compile(&g);
             let constraints = SynthesisConstraints::new(latency, power);
             let point = pchls_core::SynthesisResult {
-                request: pchls_core::SynthesisRequest::new(constraints).with_options(*opts),
+                request: pchls_core::SynthesisRequest::new(constraints.clone()).with_options(*opts),
                 outcome: engine.session(&compiled).synthesize(constraints, opts),
             }
             .to_point(compiled.name());
@@ -613,6 +621,214 @@ fn service_workload(smoke: bool, opts: &SynthesisOptions) {
     eprintln!("wrote BENCH_4.json");
 }
 
+/// Per-case record of the `envelope-kernel` workload (`BENCH_5.json`).
+#[derive(Debug, Serialize)]
+struct EnvelopeCaseRecord {
+    /// Case label.
+    name: String,
+    /// Node count of the CDFG.
+    nodes: usize,
+    /// Latency constraint `T`.
+    latency_bound: u32,
+    /// The scalar bound the envelopes derive from.
+    power_bound: f64,
+    /// Timing repetitions (minimum taken per side).
+    reps: usize,
+    /// Best wall-clock seconds under the scalar `f64` bound (the
+    /// pre-envelope fast path).
+    scalar_secs: f64,
+    /// Best wall-clock seconds under an equal-bound `per_cycle`
+    /// envelope — must collapse to the same constant-mode ledger.
+    constant_budget_secs: f64,
+    /// Best wall-clock seconds under a stepwise envelope (loose first
+    /// half, the scalar bound after), driving the slack-min tree.
+    stepwise_secs: f64,
+    /// Whether the constant-envelope design is byte-identical to the
+    /// scalar one (it must be).
+    constant_identical: bool,
+    /// Whether the stepwise envelope was feasible.
+    stepwise_feasible: bool,
+    /// Whether the stepwise design differs from the scalar one (the
+    /// early headroom is allowed to change the schedule).
+    stepwise_differs: bool,
+}
+
+/// The `envelope-kernel` trajectory record (`BENCH_5.json`).
+#[derive(Debug, Serialize)]
+struct EnvelopeRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Synthesis runs per side (cases × reps).
+    points: usize,
+    /// All sides run serially.
+    threads: usize,
+    /// Host cores.
+    host_cores: usize,
+    /// Sum of per-case best scalar seconds.
+    scalar_secs: f64,
+    /// Sum of per-case best constant-envelope seconds.
+    constant_budget_secs: f64,
+    /// `constant_budget_secs / scalar_secs` — the envelope plumbing's
+    /// overhead on the scalar path (must stay ≈ 1.0).
+    constant_overhead: f64,
+    /// Sum of per-case best stepwise-envelope seconds.
+    stepwise_secs: f64,
+    /// Whether every constant-envelope design matched its scalar twin
+    /// byte for byte.
+    outputs_identical: bool,
+    /// Per-case breakdown.
+    cases: Vec<EnvelopeCaseRecord>,
+}
+
+/// The `envelope-kernel` workload: scalar vs. constant-envelope parity
+/// plus a stepwise-envelope run through the slack-min ledger
+/// (BENCH_5.json).
+fn envelope_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
+    let (cases, reps) = if smoke {
+        (
+            vec![
+                paper_case(benchmarks::hal(), 17, 25.0),
+                random_case(30, 11, 60.0),
+            ],
+            2,
+        )
+    } else {
+        (
+            vec![
+                paper_case(benchmarks::hal(), 17, 25.0),
+                paper_case(benchmarks::cosine(), 15, 40.0),
+                paper_case(benchmarks::elliptic(), 22, 30.0),
+                random_case(120, 12, 60.0),
+                random_case(200, 13, 60.0),
+            ],
+            3,
+        )
+    };
+
+    println!(
+        "\n{:<12} {:>5} {:>4} {:>6} | {:>9} {:>9} {:>9} {:>5} {:>7}",
+        "envelope", "nodes", "T", "P<", "scalar_s", "const_s", "steps_s", "ident", "differs"
+    );
+    println!("{}", "-".repeat(78));
+    let mut records = Vec::new();
+    let mut outputs_identical = true;
+    for case in &cases {
+        let compiled = engine.compile(&case.graph);
+        let session = engine.session(&compiled);
+        let t = case.constraints.latency;
+        let p = case.constraints.max_power();
+        let scalar_c = SynthesisConstraints::new(t, p);
+        // Equal bound in every cycle, spelled as an envelope: must be
+        // detected and run on the constant-mode (scalar) ledger.
+        let constant_c = SynthesisConstraints::new(t, PowerBudget::per_cycle(vec![p; t as usize]));
+        // Loose first half, the scalar bound after — a genuine
+        // envelope, feasible whenever the scalar point is.
+        let stepwise_c =
+            SynthesisConstraints::new(t, PowerBudget::steps(vec![(0, p * 1.5), (t / 2, p)]));
+
+        let scalar_d = pchls_par::with_serial(|| session.synthesize(scalar_c.clone(), opts));
+        let constant_d = pchls_par::with_serial(|| session.synthesize(constant_c.clone(), opts));
+        let stepwise_d = pchls_par::with_serial(|| session.synthesize(stepwise_c.clone(), opts));
+        // Everything but the `constraints` field (which rightly records
+        // the request's own budget spelling) must match bit for bit.
+        let constant_identical = match (&scalar_d, &constant_d) {
+            (Ok(a), Ok(b)) => {
+                a.schedule == b.schedule
+                    && a.timing == b.timing
+                    && a.binding == b.binding
+                    && a.area == b.area
+                    && a.latency == b.latency
+                    && a.peak_power.to_bits() == b.peak_power.to_bits()
+                    && a.stats == b.stats
+            }
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        outputs_identical &= constant_identical;
+        let stepwise_feasible = stepwise_d.is_ok();
+        let stepwise_differs = match (&scalar_d, &stepwise_d) {
+            (Ok(a), Ok(b)) => a.schedule != b.schedule || a.binding != b.binding,
+            _ => true,
+        };
+
+        let mut best = [f64::INFINITY; 3];
+        for _ in 0..reps {
+            for (i, c) in [&scalar_c, &constant_c, &stepwise_c]
+                .into_iter()
+                .enumerate()
+            {
+                let start = Instant::now();
+                let out = pchls_par::with_serial(|| session.synthesize(c.clone(), opts));
+                best[i] = best[i].min(start.elapsed().as_secs_f64());
+                drop(out);
+            }
+        }
+        println!(
+            "{:<12} {:>5} {:>4} {:>6} | {:>9.4} {:>9.4} {:>9.4} {:>5} {:>7}",
+            case.name,
+            case.graph.len(),
+            t,
+            p,
+            best[0],
+            best[1],
+            best[2],
+            constant_identical,
+            stepwise_differs,
+        );
+        records.push(EnvelopeCaseRecord {
+            name: case.name.clone(),
+            nodes: case.graph.len(),
+            latency_bound: t,
+            power_bound: p,
+            reps,
+            scalar_secs: best[0],
+            constant_budget_secs: best[1],
+            stepwise_secs: best[2],
+            constant_identical,
+            stepwise_feasible,
+            stepwise_differs,
+        });
+    }
+
+    let scalar_secs: f64 = records.iter().map(|r| r.scalar_secs).sum();
+    let constant_budget_secs: f64 = records.iter().map(|r| r.constant_budget_secs).sum();
+    let stepwise_secs: f64 = records.iter().map(|r| r.stepwise_secs).sum();
+    let record = EnvelopeRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "envelope-kernel".into(),
+        points: records.len() * reps,
+        threads: 1,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        scalar_secs,
+        constant_budget_secs,
+        constant_overhead: constant_budget_secs / scalar_secs,
+        stepwise_secs,
+        outputs_identical,
+        cases: records,
+    };
+    println!(
+        "\ntotal: scalar {:.3}s | constant envelope {:.3}s (overhead {:.2}x) | stepwise {:.3}s | identical: {}",
+        record.scalar_secs,
+        record.constant_budget_secs,
+        record.constant_overhead,
+        record.stepwise_secs,
+        record.outputs_identical
+    );
+    assert!(
+        record.outputs_identical,
+        "a constant envelope diverged from the scalar fast path"
+    );
+    assert!(
+        record.cases.iter().all(|c| c.stepwise_feasible),
+        "a stepwise envelope that dominates the scalar bound must stay feasible"
+    );
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_5.json", json).expect("write BENCH_5.json");
+    eprintln!("wrote BENCH_5.json");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let engine = Engine::new(paper_library());
@@ -620,4 +836,5 @@ fn main() {
     kernel_workload(smoke, &engine, &opts);
     amortized_workload(smoke, &opts);
     service_workload(smoke, &opts);
+    envelope_workload(smoke, &engine, &opts);
 }

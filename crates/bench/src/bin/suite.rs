@@ -87,8 +87,8 @@ fn main() {
         // compiled graph's minimum latency), a power budget of 40.
         let t = compiled.min_latency() * 3 / 2;
         let c = SynthesisConstraints::new(t, 40.0);
-        let paper = session.synthesize(c, &opts);
-        let refined = session.synthesize_refined(c, &opts);
+        let paper = session.synthesize(c.clone(), &opts);
+        let refined = session.synthesize_refined(c.clone(), &opts);
         let portfolio = session.synthesize_portfolio(c, &opts);
         let fmt = |r: &Result<pchls_core::SynthesizedDesign, _>| match r {
             Ok(d) => d.area.to_string(),

@@ -91,7 +91,7 @@ fn kernel_parallel_scoring_reproduces_serial_trace_on_figure2_curves() {
         let session = engine.session(&compiled);
         for power in thinned_grid() {
             let constraints = pchls_core::SynthesisConstraints::new(latency, power);
-            let serial = pchls_par::with_serial(|| session.synthesize(constraints, &opts));
+            let serial = pchls_par::with_serial(|| session.synthesize(constraints.clone(), &opts));
             let parallel = session.synthesize(constraints, &opts);
             match (serial, parallel) {
                 (Ok(a), Ok(b)) => {
@@ -140,8 +140,8 @@ fn kernel_parallel_scoring_reproduces_serial_trace_on_large_random_graphs() {
         let constraints = pchls_core::SynthesisConstraints::new(latency, 60.0);
         let compiled = engine.compile(&graph);
         let session = engine.session(&compiled);
-        let serial =
-            pchls_par::with_serial(|| session.synthesize(constraints, &opts)).expect("feasible");
+        let serial = pchls_par::with_serial(|| session.synthesize(constraints.clone(), &opts))
+            .expect("feasible");
         let parallel = session.synthesize(constraints, &opts).expect("feasible");
         assert_eq!(serial, parallel, "seed {seed} design");
         assert_eq!(serial.stats, parallel.stats, "seed {seed} trace");

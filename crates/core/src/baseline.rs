@@ -3,7 +3,7 @@
 use pchls_bind::{bind_schedule, CostWeights};
 use pchls_cdfg::Cdfg;
 use pchls_fulib::{ModuleLibrary, SelectionPolicy};
-use pchls_sched::{asap, two_step, PowerProfile, TimingMap};
+use pchls_sched::{asap, two_step_budget, PowerProfile, TimingMap};
 
 use crate::constraints::SynthesisConstraints;
 use crate::design::SynthesizedDesign;
@@ -39,7 +39,7 @@ pub fn two_step_bind(
     policy: SelectionPolicy,
 ) -> Result<BaselineDesign, SynthesisError> {
     let timing = TimingMap::from_policy(graph, library, policy);
-    let outcome = two_step(graph, &timing, constraints.latency, constraints.max_power)
+    let outcome = two_step_budget(graph, &timing, constraints.latency, &constraints.budget)
         .map_err(|cause| SynthesisError::Infeasible { cause })?;
     let binding = bind_schedule(
         graph,
@@ -112,7 +112,7 @@ pub fn trimmed_allocation_bind(
     constraints: SynthesisConstraints,
     policy: SelectionPolicy,
 ) -> Result<SynthesizedDesign, SynthesisError> {
-    use pchls_sched::{list_schedule, Allocation};
+    use pchls_sched::{list_schedule_budget, Allocation};
 
     let modules: Vec<pchls_fulib::ModuleId> = graph
         .nodes()
@@ -136,7 +136,7 @@ pub fn trimmed_allocation_bind(
     let timing = TimingMap::from_modules(graph, library, &modules);
     let feasible = |counts: &std::collections::BTreeMap<pchls_fulib::ModuleId, usize>| {
         let alloc = Allocation::from_pairs(counts.iter().map(|(&m, &c)| (m, c)));
-        list_schedule(graph, library, &modules, &alloc, constraints.max_power)
+        list_schedule_budget(graph, library, &modules, &alloc, &constraints.budget)
             .ok()
             .filter(|s| s.latency(&timing) <= constraints.latency)
     };
@@ -145,7 +145,7 @@ pub fn trimmed_allocation_bind(
             cause: pchls_sched::ScheduleError::Infeasible {
                 node: graph.node_ids().next().expect("non-empty graph"),
                 horizon: constraints.latency,
-                max_power: constraints.max_power,
+                max_power: constraints.max_power(),
             },
         });
     };

@@ -52,7 +52,7 @@ use std::ops::ControlFlow;
 
 use pchls_cdfg::{optimize, AnalysisCache, Cdfg, OpKind, OptimizeStats, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary, SelectionPolicy};
-use pchls_sched::{alap, asap, PowerProfile, Schedule, TimingMap};
+use pchls_sched::{alap, asap, PowerBudget, PowerProfile, Schedule, TimingMap};
 
 use crate::baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, BaselineDesign};
 use crate::constraints::SynthesisConstraints;
@@ -424,7 +424,7 @@ impl<'e> Session<'e> {
         constraints: SynthesisConstraints,
         options: &SynthesisOptions,
     ) -> Result<SynthesizedDesign, SynthesisError> {
-        synthesize_session(self.engine, self.compiled, constraints, options, None)
+        synthesize_session(self.engine, self.compiled, &constraints, options, None)
     }
 
     /// [`synthesize`](Session::synthesize) with a progress/cancel hook:
@@ -441,7 +441,13 @@ impl<'e> Session<'e> {
         options: &SynthesisOptions,
         hook: &mut dyn FnMut(Progress) -> ControlFlow<()>,
     ) -> Result<SynthesizedDesign, SynthesisError> {
-        synthesize_session(self.engine, self.compiled, constraints, options, Some(hook))
+        synthesize_session(
+            self.engine,
+            self.compiled,
+            &constraints,
+            options,
+            Some(hook),
+        )
     }
 
     /// The self-tightening refinement loop
@@ -456,7 +462,7 @@ impl<'e> Session<'e> {
         constraints: SynthesisConstraints,
         options: &SynthesisOptions,
     ) -> Result<SynthesizedDesign, SynthesisError> {
-        refined_session(self.engine, self.compiled, constraints, options)
+        refined_session(self.engine, self.compiled, &constraints, options)
     }
 
     /// The portfolio entry point
@@ -471,7 +477,7 @@ impl<'e> Session<'e> {
         constraints: SynthesisConstraints,
         options: &SynthesisOptions,
     ) -> Result<SynthesizedDesign, SynthesisError> {
-        portfolio_session(self.engine, self.compiled, constraints, options)
+        portfolio_session(self.engine, self.compiled, &constraints, options)
     }
 
     /// Sweeps one constraint axis, reusing the compiled graph for every
@@ -498,7 +504,7 @@ impl<'e> Session<'e> {
     ) -> Vec<SynthesisResult> {
         let requests: Vec<SynthesisRequest> = requests.into_iter().collect();
         let outcomes = pchls_par::par_map(&requests, |r| {
-            synthesize_session(self.engine, self.compiled, r.constraints, &r.options, None)
+            synthesize_session(self.engine, self.compiled, &r.constraints, &r.options, None)
         });
         requests
             .into_iter()
@@ -619,6 +625,13 @@ fn finish_sweep(compiled: &CompiledGraph, spec: &SweepSpec, raw: Vec<SweepPoint>
         SweepSpec::Latency { latencies, .. } => {
             envelope(raw, &latency_order(latencies), SweepAxis::Latency)
         }
+        // A design feasible at scale `s` stays feasible at every larger
+        // scale (the envelope only grows pointwise), so the monotone
+        // carry applies along ascending scales; the carried label is
+        // the point's own peak bound (`SweepAxis::Power`).
+        SweepSpec::BudgetScale { scales, .. } => {
+            envelope(raw, &power_order(scales), SweepAxis::Power)
+        }
     };
     SweepResult {
         benchmark: compiled.name().to_owned(),
@@ -643,6 +656,19 @@ pub enum SweepSpec {
         /// Latency bounds of the grid.
         latencies: Vec<u32>,
     },
+    /// Fixed latency, one budget *envelope* swept over scale factors:
+    /// grid point `i` synthesizes under `budget.scaled(scales[i])`. The
+    /// envelope generalization of a power sweep — the x-axis is "how
+    /// much of the envelope the supply can actually deliver" (battery
+    /// ageing, derating), not a scalar bound.
+    BudgetScale {
+        /// Latency constraint `T` for every point.
+        latency: u32,
+        /// The envelope being scaled.
+        budget: PowerBudget,
+        /// Scale factors of the grid (each ≥ 0).
+        scales: Vec<f64>,
+    },
 }
 
 impl SweepSpec {
@@ -658,12 +684,24 @@ impl SweepSpec {
         SweepSpec::Latency { power, latencies }
     }
 
+    /// An envelope-scale sweep at fixed `latency`: point `i` runs under
+    /// `budget.scaled(scales[i])`.
+    #[must_use]
+    pub fn budget_scale(latency: u32, budget: PowerBudget, scales: Vec<f64>) -> SweepSpec {
+        SweepSpec::BudgetScale {
+            latency,
+            budget,
+            scales,
+        }
+    }
+
     /// Number of grid points.
     #[must_use]
     pub fn len(&self) -> usize {
         match self {
             SweepSpec::Power { powers, .. } => powers.len(),
             SweepSpec::Latency { latencies, .. } => latencies.len(),
+            SweepSpec::BudgetScale { scales, .. } => scales.len(),
         }
     }
 
@@ -685,6 +723,11 @@ impl SweepSpec {
             SweepSpec::Latency { power, latencies } => {
                 SynthesisConstraints::new(latencies[i], *power)
             }
+            SweepSpec::BudgetScale {
+                latency,
+                budget,
+                scales,
+            } => SynthesisConstraints::new(*latency, budget.scaled(scales[i])),
         }
     }
 }
@@ -718,7 +761,7 @@ pub struct SweepJob<'a> {
 }
 
 /// One point of a [`Session::batch`] request list.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisRequest {
     /// The constraint point.
     pub constraints: SynthesisConstraints,
@@ -765,12 +808,12 @@ impl SynthesisResult {
     /// [`CompiledGraph::name`]).
     #[must_use]
     pub fn to_point(&self, benchmark: &str) -> SweepPoint {
-        let c = self.request.constraints;
+        let c = &self.request.constraints;
         match &self.outcome {
             Ok(d) => SweepPoint {
                 benchmark: benchmark.to_owned(),
                 latency_bound: c.latency,
-                power_bound: c.max_power,
+                power_bound: c.max_power(),
                 area: Some(d.area),
                 latency: Some(d.latency),
                 peak_power: Some(d.peak_power),
@@ -779,7 +822,7 @@ impl SynthesisResult {
             Err(_) => SweepPoint {
                 benchmark: benchmark.to_owned(),
                 latency_bound: c.latency,
-                power_bound: c.max_power,
+                power_bound: c.max_power(),
                 area: None,
                 latency: None,
                 peak_power: None,
@@ -923,14 +966,18 @@ mod tests {
 
         let mut events = 0usize;
         let d = session
-            .synthesize_with_progress(c, &opts, &mut |p| {
+            .synthesize_with_progress(c.clone(), &opts, &mut |p| {
                 events += 1;
                 assert!(p.bound_ops <= p.total_ops);
                 ControlFlow::Continue(())
             })
             .unwrap();
         assert!(events > 0, "hook never ran");
-        assert_eq!(d, session.synthesize(c, &opts).unwrap(), "hook is pure");
+        assert_eq!(
+            d,
+            session.synthesize(c.clone(), &opts).unwrap(),
+            "hook is pure"
+        );
 
         let err = session
             .synthesize_with_progress(c, &opts, &mut |_| ControlFlow::Break(()))

@@ -305,7 +305,7 @@ pub(crate) fn run_point(
     options: &SynthesisOptions,
 ) -> SweepPoint {
     use crate::engine::{SynthesisRequest, SynthesisResult};
-    let outcome = synthesize_session(engine, compiled, constraints, options, None);
+    let outcome = synthesize_session(engine, compiled, &constraints, options, None);
     SynthesisResult {
         request: SynthesisRequest::new(constraints).with_options(*options),
         outcome,

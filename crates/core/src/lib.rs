@@ -81,6 +81,7 @@ pub use explore::{
 #[allow(deprecated)]
 pub use explore::{latency_sweep, power_sweep, sweep_many};
 pub use options::{SynthesisOptions, SynthesisOptionsBuilder};
+pub use pchls_sched::PowerBudget;
 #[allow(deprecated)]
 pub use refine::{synthesize_portfolio, synthesize_refined};
 #[allow(deprecated)]

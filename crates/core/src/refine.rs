@@ -46,7 +46,7 @@ pub fn synthesize_refined(
 ) -> Result<SynthesizedDesign, SynthesisError> {
     let engine = Engine::new(library.clone());
     let compiled = engine.compile(graph);
-    refined_session(&engine, &compiled, constraints, options)
+    refined_session(&engine, &compiled, &constraints, options)
 }
 
 /// [`synthesize_refined`] over precompiled session artifacts: every
@@ -54,7 +54,7 @@ pub fn synthesize_refined(
 pub(crate) fn refined_session(
     engine: &Engine,
     compiled: &CompiledGraph,
-    constraints: SynthesisConstraints,
+    constraints: &SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> Result<SynthesizedDesign, SynthesisError> {
     let (graph, library) = (compiled.graph(), engine.library());
@@ -66,10 +66,15 @@ pub(crate) fn refined_session(
         if tighter <= 0.0 {
             break;
         }
+        // Cap the caller's budget at the ratchet bound instead of
+        // replacing it: an envelope constraint keeps every tighter
+        // phase, so the candidate stays feasible under the original
+        // envelope (for a scalar budget this is the historical constant
+        // `tighter`).
         let Ok(candidate) = synthesize_session(
             engine,
             compiled,
-            SynthesisConstraints::new(constraints.latency, tighter),
+            &SynthesisConstraints::new(constraints.latency, constraints.budget.clamped(tighter)),
             options,
             None,
         ) else {
@@ -78,7 +83,7 @@ pub(crate) fn refined_session(
         let next_bound = candidate.peak_power;
         if candidate.area < best.area {
             best = SynthesizedDesign {
-                constraints,
+                constraints: constraints.clone(),
                 ..candidate
             };
         }
@@ -112,14 +117,14 @@ pub fn synthesize_portfolio(
 ) -> Result<SynthesizedDesign, SynthesisError> {
     let engine = Engine::new(library.clone());
     let compiled = engine.compile(graph);
-    portfolio_session(&engine, &compiled, constraints, options)
+    portfolio_session(&engine, &compiled, &constraints, options)
 }
 
 /// [`synthesize_portfolio`] over precompiled session artifacts.
 pub(crate) fn portfolio_session(
     engine: &Engine,
     compiled: &CompiledGraph,
-    constraints: SynthesisConstraints,
+    constraints: &SynthesisConstraints,
     options: &SynthesisOptions,
 ) -> Result<SynthesizedDesign, SynthesisError> {
     use crate::baseline::trimmed_allocation_bind;
@@ -144,13 +149,13 @@ pub(crate) fn portfolio_session(
     consider(trimmed_allocation_bind(
         graph,
         library,
-        constraints,
+        constraints.clone(),
         SelectionPolicy::Fastest,
     ));
     consider(trimmed_allocation_bind(
         graph,
         library,
-        constraints,
+        constraints.clone(),
         SelectionPolicy::MinArea,
     ));
     match best {
@@ -179,9 +184,9 @@ mod tests {
         for g in benchmarks::paper_set() {
             for (t, p) in [(30u32, 1e6), (20, 50.0)] {
                 let c = SynthesisConstraints::new(t, p);
-                let plain = synthesize(&g, &lib, c, &SynthesisOptions::default()).unwrap();
+                let plain = synthesize(&g, &lib, c.clone(), &SynthesisOptions::default()).unwrap();
                 let refined =
-                    synthesize_refined(&g, &lib, c, &SynthesisOptions::default()).unwrap();
+                    synthesize_refined(&g, &lib, c.clone(), &SynthesisOptions::default()).unwrap();
                 assert!(
                     refined.area <= plain.area,
                     "{}: refined {} > plain {}",
@@ -202,7 +207,7 @@ mod tests {
         let lib = paper_library();
         let g = benchmarks::hal();
         let c = SynthesisConstraints::new(30, 1e6);
-        let plain = synthesize(&g, &lib, c, &SynthesisOptions::default()).unwrap();
+        let plain = synthesize(&g, &lib, c.clone(), &SynthesisOptions::default()).unwrap();
         let refined = synthesize_refined(&g, &lib, c, &SynthesisOptions::default()).unwrap();
         assert!(refined.area <= plain.area);
         // The refined design must still satisfy the caller's bound
@@ -224,16 +229,17 @@ mod tests {
         for g in benchmarks::paper_set() {
             for (t, p) in [(25u32, 40.0), (30, 12.0)] {
                 let c = SynthesisConstraints::new(t, p);
-                let port = synthesize_portfolio(&g, &lib, c, &SynthesisOptions::default())
+                let port = synthesize_portfolio(&g, &lib, c.clone(), &SynthesisOptions::default())
                     .unwrap_or_else(|e| panic!("{} T={t} P={p}: {e}", g.name()));
                 port.validate(&g, &lib).unwrap();
-                if let Ok(d) = synthesize_refined(&g, &lib, c, &SynthesisOptions::default()) {
+                if let Ok(d) = synthesize_refined(&g, &lib, c.clone(), &SynthesisOptions::default())
+                {
                     assert!(port.area <= d.area, "{}: portfolio > refined", g.name());
                 }
                 if let Ok(d) = crate::baseline::trimmed_allocation_bind(
                     &g,
                     &lib,
-                    c,
+                    c.clone(),
                     pchls_fulib::SelectionPolicy::Fastest,
                 ) {
                     assert!(port.area <= d.area, "{}: portfolio > trim", g.name());

@@ -4,8 +4,8 @@ use pchls_bind::{Binding, InstanceId};
 use pchls_cdfg::{Cdfg, NodeId, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary};
 use pchls_sched::{
-    palap_locked, pasap_locked, LockedStarts, OpTiming, PowerLedger, Schedule, ScheduleError,
-    TimingMap,
+    palap_locked_budget, pasap_locked_budget, LockedStarts, OpTiming, PowerLedger, Schedule,
+    ScheduleError, TimingMap,
 };
 
 use std::ops::ControlFlow;
@@ -74,7 +74,7 @@ pub fn synthesize(
 ) -> Result<SynthesizedDesign, SynthesisError> {
     let engine = Engine::new(library.clone());
     let compiled = engine.compile(graph);
-    synthesize_session(&engine, &compiled, constraints, options, None)
+    synthesize_session(&engine, &compiled, &constraints, options, None)
 }
 
 /// The combined loop over precompiled shared artifacts — the engine's
@@ -85,7 +85,7 @@ pub fn synthesize(
 pub(crate) fn synthesize_session(
     engine: &Engine,
     compiled: &CompiledGraph,
-    constraints: SynthesisConstraints,
+    constraints: &SynthesisConstraints,
     options: &SynthesisOptions,
     mut hook: Option<&mut dyn FnMut(Progress) -> ControlFlow<()>>,
 ) -> Result<SynthesizedDesign, SynthesisError> {
@@ -99,7 +99,15 @@ pub(crate) fn synthesize_session(
     let kind_modules = engine.kind_modules();
     let kind_compat = engine.kind_compat();
     let n = graph.len();
-    let (mut timing, est_modules) = bootstrap(graph, library, constraints, reach, compiled)?;
+    // Normalize the budget once: a value-constant envelope (however it
+    // was spelled) becomes the scalar `Constant`, so the thousands of
+    // per-probe ledger constructions below take the O(1) collapse path
+    // instead of re-scanning the envelope each time. Semantics within
+    // the horizon are identical; the design still records the caller's
+    // own constraints.
+    let budget = constraints.budget.normalized(constraints.latency);
+    let (mut timing, est_modules) =
+        bootstrap(graph, library, constraints, &budget, reach, compiled)?;
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
@@ -114,7 +122,7 @@ pub(crate) fn synthesize_session(
     // incrementally: candidate attempts reserve on apply and restore a
     // bit-exact snapshot on undo, instead of rebuilding the ledger from
     // the whole locked set every iteration.
-    let mut ledger = PowerLedger::new(constraints.latency, constraints.max_power);
+    let mut ledger = PowerLedger::with_budget(constraints.latency, &budget);
 
     // Power-feasible early starts under the current commitments. A
     // commitment that locks operations exactly at their provisional
@@ -123,14 +131,9 @@ pub(crate) fn synthesize_session(
     // put them, and placement order is timing-determined), so the
     // schedule is only recomputed when a commit actually displaced an
     // operation or changed its module timing — the "dirty" commits.
-    let mut provisional = pasap_locked(
-        graph,
-        &timing,
-        constraints.max_power,
-        constraints.latency,
-        &locked,
-    )
-    .map_err(|cause| SynthesisError::Infeasible { cause })?;
+    let mut provisional =
+        pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
+            .map_err(|cause| SynthesisError::Infeasible { cause })?;
     let mut dirty = false;
 
     while unbound_count > 0 {
@@ -148,14 +151,9 @@ pub(crate) fn synthesize_session(
             }
         }
         if dirty {
-            provisional = pasap_locked(
-                graph,
-                &timing,
-                constraints.max_power,
-                constraints.latency,
-                &locked,
-            )
-            .map_err(|cause| SynthesisError::Infeasible { cause })?;
+            provisional =
+                pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
+                    .map_err(|cause| SynthesisError::Infeasible { cause })?;
             dirty = false;
         }
         // The soft deadlines must track every lock, so the reversed
@@ -163,14 +161,7 @@ pub(crate) fn synthesize_session(
         // forward one succeeded; fall back to zero mobility (late =
         // early, the provisional schedule itself), which is always safe
         // — borrowed, not cloned.
-        let palap = palap_locked(
-            graph,
-            &timing,
-            constraints.max_power,
-            constraints.latency,
-            &locked,
-        )
-        .ok();
+        let palap = palap_locked_budget(graph, &timing, &budget, constraints.latency, &locked).ok();
         let late = palap.as_ref().unwrap_or(&provisional);
 
         let unbound_vec: Vec<NodeId> = (0..n)
@@ -211,6 +202,7 @@ pub(crate) fn synthesize_session(
             provisional: &provisional,
             late,
             constraints,
+            peak_power: constraints.max_power(),
             start0: Vec::new(),
             avoided: Vec::new(),
         };
@@ -261,14 +253,8 @@ pub(crate) fn synthesize_session(
             // and the expensive re-schedule is skipped.
             let clean = is_clean(cand, &saved, &provisional);
             let feasible = clean
-                || pasap_locked(
-                    graph,
-                    &timing,
-                    constraints.max_power,
-                    constraints.latency,
-                    &locked,
-                )
-                .is_ok();
+                || pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
+                    .is_ok();
             if feasible {
                 unbound[cand.op.index()] = false;
                 unbound_count -= 1;
@@ -308,7 +294,7 @@ pub(crate) fn synthesize_session(
                     cause: ScheduleError::Infeasible {
                         node: unbound_vec[0],
                         horizon: constraints.latency,
-                        max_power: constraints.max_power,
+                        max_power: constraints.max_power(),
                     },
                 });
             }
@@ -317,27 +303,26 @@ pub(crate) fn synthesize_session(
             }
             // Rebuild the ledger from the full locked set (the newly
             // locked operations were not reserved incrementally).
-            ledger = locked_ledger(graph, &timing, &locked, constraints)?;
+            ledger = locked_ledger(graph, &timing, &locked, constraints.latency, &budget)?;
             stats.backtracks += 1;
         }
     }
 
     // All operations bound and locked: the locked schedule is final.
     let final_schedule = if dirty {
-        pasap_locked(
-            graph,
-            &timing,
-            constraints.max_power,
-            constraints.latency,
-            &locked,
-        )
-        .map_err(SynthesisError::Schedule)?
+        pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
+            .map_err(SynthesisError::Schedule)?
     } else {
         provisional
     };
     binding.prune_empty();
-    let mut design =
-        SynthesizedDesign::assemble(final_schedule, timing, binding, library, constraints);
+    let mut design = SynthesizedDesign::assemble(
+        final_schedule,
+        timing,
+        binding,
+        library,
+        constraints.clone(),
+    );
     design.stats = stats;
     design.validate(graph, library)?;
     Ok(design)
@@ -401,7 +386,10 @@ struct Context<'a> {
     kind_compat: &'a KindCompat,
     provisional: &'a Schedule,
     late: &'a Schedule,
-    constraints: SynthesisConstraints,
+    constraints: &'a SynthesisConstraints,
+    /// Cached `constraints.max_power()` — the peak per-cycle bound any
+    /// cycle can see (the bound itself for scalar constraints).
+    peak_power: f64,
     /// Tabulated `candidate_start(op, m, 0)`, flattened as
     /// `op.index() * library.len() + m.index()`; filled for every unbound
     /// op over its kind's candidate modules (the only entries scoring
@@ -417,17 +405,24 @@ fn locked_ledger(
     graph: &Cdfg,
     timing: &TimingMap,
     locked: &LockedStarts,
-    constraints: SynthesisConstraints,
+    latency: u32,
+    budget: &pchls_sched::PowerBudget,
 ) -> Result<PowerLedger, SynthesisError> {
-    let mut ledger = PowerLedger::new(constraints.latency, constraints.max_power);
+    let mut ledger = PowerLedger::with_budget(latency, budget);
     for id in graph.node_ids() {
         if let Some(s) = locked.get(id) {
             let t = timing.of(id);
             if !ledger.fits(s, t.delay, t.power) {
+                // As in `pasap`'s locked pass: name the cycle that
+                // actually rejects the reservation, not the interval's
+                // start (they differ under an envelope).
+                let v = ledger
+                    .first_unfit_cycle(s, t.delay, t.power)
+                    .expect("fits just failed");
                 return Err(SynthesisError::Schedule(ScheduleError::PowerExceeded {
-                    cycle: s,
-                    power: ledger.used(s) + t.power,
-                    bound: constraints.max_power,
+                    cycle: v,
+                    power: ledger.used(v) + t.power,
+                    bound: ledger.bound(v),
                 }));
             }
             ledger.reserve(s, t.delay, t.power);
@@ -546,7 +541,7 @@ impl Context<'_> {
         }
         let delay = spec.latency();
         let power = spec.power();
-        if power > self.constraints.max_power + 1e-9 {
+        if power > self.peak_power + 1e-9 {
             return None;
         }
         let ready = self
@@ -928,7 +923,8 @@ fn undo(
 fn bootstrap(
     graph: &Cdfg,
     library: &ModuleLibrary,
-    constraints: SynthesisConstraints,
+    constraints: &SynthesisConstraints,
+    budget: &pchls_sched::PowerBudget,
     reach: &Reachability,
     compiled: &CompiledGraph,
 ) -> Result<(TimingMap, Vec<ModuleId>), SynthesisError> {
@@ -938,12 +934,12 @@ fn bootstrap(
     // rebuilding it on every constraint point.
     let mut timing = compiled.min_area_timing().clone();
 
+    let peak_power = constraints.max_power();
     loop {
-        let err =
-            match pchls_sched::pasap(graph, &timing, constraints.max_power, constraints.latency) {
-                Ok(_) => return Ok((timing, modules)),
-                Err(e) => e,
-            };
+        let err = match pchls_sched::pasap_budget(graph, &timing, budget, constraints.latency) {
+            Ok(_) => return Ok((timing, modules)),
+            Err(e) => e,
+        };
         // Power alone can never be fixed by a faster (more power-hungry)
         // module.
         if matches!(err, ScheduleError::OpExceedsBudget { .. }) {
@@ -961,7 +957,7 @@ fn bootstrap(
                 .candidates(graph.node(v).kind())
                 .filter(|&m| {
                     library.module(m).latency() < cur
-                        && library.module(m).power() <= constraints.max_power + 1e-9
+                        && library.module(m).power() <= peak_power + 1e-9
                 })
                 .min_by_key(|&m| (library.module(m).latency(), library.module(m).area()))
         };
@@ -1016,7 +1012,7 @@ mod tests {
         synthesize_session(
             &engine,
             &compiled,
-            SynthesisConstraints::new(latency, power),
+            &SynthesisConstraints::new(latency, power),
             options,
             None,
         )

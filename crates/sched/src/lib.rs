@@ -48,6 +48,7 @@
 
 mod alap;
 mod asap;
+mod budget;
 mod error;
 mod exact;
 mod fds;
@@ -61,13 +62,17 @@ mod twostep;
 
 pub use alap::alap;
 pub use asap::asap;
+pub use budget::PowerBudget;
 pub use error::ScheduleError;
 pub use exact::{minimal_latency_exact, ExactLimits};
 pub use fds::{force_directed, force_directed_with};
-pub use list::{latency_lower_bound, list_schedule, Allocation};
+pub use list::{latency_lower_bound, list_schedule, list_schedule_budget, Allocation};
 pub use mobility::Mobility;
-pub use pasap::{palap, palap_locked, pasap, pasap_locked, LockedStarts};
+pub use pasap::{
+    palap, palap_budget, palap_locked, palap_locked_budget, pasap, pasap_budget, pasap_locked,
+    pasap_locked_budget, LockedStarts,
+};
 pub use power::{NaivePowerLedger, PowerLedger, PowerProfile};
 pub use schedule::Schedule;
 pub use timing::{OpTiming, TimingMap};
-pub use twostep::{two_step, TwoStepOutcome};
+pub use twostep::{two_step, two_step_budget, TwoStepOutcome};

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use pchls_cdfg::{Cdfg, CriticalPath, NodeId};
 use pchls_fulib::{ModuleId, ModuleLibrary};
 
+use crate::budget::PowerBudget;
 use crate::error::ScheduleError;
 use crate::power::{PowerLedger, POWER_EPS};
 use crate::schedule::Schedule;
@@ -85,6 +86,34 @@ pub fn list_schedule(
     allocation: &Allocation,
     max_power: f64,
 ) -> Result<Schedule, ScheduleError> {
+    list_schedule_budget(
+        graph,
+        library,
+        modules,
+        allocation,
+        &PowerBudget::constant(max_power),
+    )
+}
+
+/// [`list_schedule`] under a time-varying [`PowerBudget`] envelope: the
+/// per-cycle sum is checked against each cycle's own bound. A constant
+/// budget reproduces [`list_schedule`] bit for bit.
+///
+/// # Errors
+///
+/// As [`list_schedule`]; `OpExceedsBudget` fires only when an
+/// operation's power exceeds the envelope's **peak** bound.
+///
+/// # Panics
+///
+/// As [`list_schedule`].
+pub fn list_schedule_budget(
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    modules: &[ModuleId],
+    allocation: &Allocation,
+    budget: &PowerBudget,
+) -> Result<Schedule, ScheduleError> {
     assert_eq!(modules.len(), graph.len(), "one module per node required");
     for id in graph.node_ids() {
         let m = library.module(modules[id.index()]);
@@ -99,15 +128,6 @@ pub fn list_schedule(
         }
     }
     let timing = TimingMap::from_modules(graph, library, modules);
-    for id in graph.node_ids() {
-        if timing.power(id) > max_power + POWER_EPS {
-            return Err(ScheduleError::OpExceedsBudget {
-                node: id,
-                power: timing.power(id),
-                max_power,
-            });
-        }
-    }
 
     // Priority: longest delay-weighted path from the node to any sink.
     let mut priority = vec![0u64; graph.len()];
@@ -127,7 +147,20 @@ pub fn list_schedule(
         .map(|id| timing.delay(id))
         .sum::<u32>()
         .max(1);
-    let mut ledger = PowerLedger::new(horizon, max_power);
+    let mut ledger = PowerLedger::with_budget(horizon, budget);
+    // The can-never-fit pre-check compares against the peak *within the
+    // reachable horizon* (the value the ledger materialized) — a loose
+    // phase past every schedulable cycle must not mask the error.
+    let max_power = ledger.max_power();
+    for id in graph.node_ids() {
+        if timing.power(id) > max_power + POWER_EPS {
+            return Err(ScheduleError::OpExceedsBudget {
+                node: id,
+                power: timing.power(id),
+                max_power,
+            });
+        }
+    }
 
     let mut remaining_preds: Vec<usize> = graph
         .node_ids()

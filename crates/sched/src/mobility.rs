@@ -55,6 +55,25 @@ impl Mobility {
         Ok(Mobility { early, late })
     }
 
+    /// [`power_aware`](Mobility::power_aware) under a time-varying
+    /// [`PowerBudget`](crate::PowerBudget) envelope; a constant budget
+    /// reproduces the scalar variant exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pasap_budget`'s infeasibility.
+    pub fn power_aware_budget(
+        graph: &Cdfg,
+        timing: &TimingMap,
+        latency: u32,
+        budget: &crate::PowerBudget,
+    ) -> Result<Mobility, ScheduleError> {
+        let early = crate::pasap_budget(graph, timing, budget, latency)?;
+        let late =
+            crate::palap_budget(graph, timing, budget, latency).unwrap_or_else(|_| early.clone());
+        Ok(Mobility { early, late })
+    }
+
     /// The `[earliest, latest]` start window of `id`. The window can be
     /// inverted (`latest < earliest`) only in the power-aware variant,
     /// where both ends are heuristic; callers should clamp.
@@ -149,6 +168,32 @@ mod tests {
             total_tight <= total_free,
             "power pressure must not create slack: {total_tight} > {total_free}"
         );
+    }
+
+    #[test]
+    fn power_aware_budget_matches_scalar_for_constant_budgets() {
+        let (g, t) = setup();
+        let scalar = Mobility::power_aware(&g, &t, 20, 12.0).unwrap();
+        let budget =
+            Mobility::power_aware_budget(&g, &t, 20, &crate::PowerBudget::constant(12.0)).unwrap();
+        for id in g.node_ids() {
+            assert_eq!(budget.window(id), scalar.window(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn power_aware_budget_windows_respect_the_envelope() {
+        let (g, t) = setup();
+        let budget = crate::PowerBudget::steps(vec![(0, 40.0), (10, 9.0)]);
+        let m = Mobility::power_aware_budget(&g, &t, 20, &budget).unwrap();
+        // Both window ends are genuine schedules under the envelope.
+        m.earliest().validate_budget(&g, &t, None, &budget).unwrap();
+        m.latest()
+            .validate_budget(&g, &t, Some(20), &budget)
+            .unwrap();
+        // An infeasible envelope propagates pasap's error.
+        let hopeless = crate::PowerBudget::constant(1.0);
+        assert!(Mobility::power_aware_budget(&g, &t, 20, &hopeless).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use pchls_cdfg::{Cdfg, NodeId};
 
+use crate::budget::PowerBudget;
 use crate::error::ScheduleError;
 use crate::power::PowerLedger;
 use crate::schedule::Schedule;
@@ -104,6 +105,30 @@ pub fn pasap(
     )
 }
 
+/// [`pasap`] under a time-varying [`PowerBudget`] envelope: each cycle
+/// of an operation's execution interval must fit under *that cycle's*
+/// bound. A constant budget reproduces [`pasap`] bit for bit.
+///
+/// # Errors
+///
+/// As [`pasap`]; `OpExceedsBudget` fires only when an operation's power
+/// exceeds the envelope's **peak** bound (it could fit in no cycle at
+/// all).
+pub fn pasap_budget(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    budget: &PowerBudget,
+    horizon: u32,
+) -> Result<Schedule, ScheduleError> {
+    pasap_locked_budget(
+        graph,
+        timing,
+        budget,
+        horizon,
+        &LockedStarts::none(graph.len()),
+    )
+}
+
 /// Power-constrained ASAP honouring locked start times.
 ///
 /// Locked operations reserve their power up front and are never moved;
@@ -126,13 +151,34 @@ pub fn pasap_locked(
     horizon: u32,
     locked: &LockedStarts,
 ) -> Result<Schedule, ScheduleError> {
+    pasap_locked_budget(
+        graph,
+        timing,
+        &PowerBudget::constant(max_power),
+        horizon,
+        locked,
+    )
+}
+
+/// [`pasap_locked`] under a [`PowerBudget`] envelope.
+///
+/// # Errors
+///
+/// As [`pasap_locked`].
+pub fn pasap_locked_budget(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    budget: &PowerBudget,
+    horizon: u32,
+    locked: &LockedStarts,
+) -> Result<Schedule, ScheduleError> {
     let starts = schedule_directed(
         |id| graph.operands(id),
         |id| graph.successors(id),
         graph.topological().iter().copied(),
         graph.len(),
         timing,
-        max_power,
+        budget,
         horizon,
         |id| locked.get(id),
     )?;
@@ -163,6 +209,27 @@ pub fn palap(
     )
 }
 
+/// [`palap`] under a [`PowerBudget`] envelope. A constant budget
+/// reproduces [`palap`] bit for bit.
+///
+/// # Errors
+///
+/// As [`palap`].
+pub fn palap_budget(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    budget: &PowerBudget,
+    latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    palap_locked_budget(
+        graph,
+        timing,
+        budget,
+        latency,
+        &LockedStarts::none(graph.len()),
+    )
+}
+
 /// Power-constrained ALAP honouring locked start times.
 ///
 /// Implemented by running the `pasap` placement on the time-reversed
@@ -180,6 +247,30 @@ pub fn palap_locked(
     latency: u32,
     locked: &LockedStarts,
 ) -> Result<Schedule, ScheduleError> {
+    palap_locked_budget(
+        graph,
+        timing,
+        &PowerBudget::constant(max_power),
+        latency,
+        locked,
+    )
+}
+
+/// [`palap_locked`] under a [`PowerBudget`] envelope: the reversed
+/// placement runs against the **time-mirrored** envelope
+/// ([`PowerBudget::reversed`]), so a forward cycle's bound constrains
+/// exactly the reversed cycle it maps to.
+///
+/// # Errors
+///
+/// As [`pasap_locked`].
+pub fn palap_locked_budget(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    budget: &PowerBudget,
+    latency: u32,
+    locked: &LockedStarts,
+) -> Result<Schedule, ScheduleError> {
     // A forward start `s` with delay `d` maps to the reversed start
     // `latency - s - d`; a lock outside `[0, latency - d]` can never fit.
     for i in 0..graph.len() {
@@ -189,12 +280,13 @@ pub fn palap_locked(
                 return Err(ScheduleError::Infeasible {
                     node: id,
                     horizon: latency,
-                    max_power,
+                    max_power: budget.peak_within(latency),
                 });
             }
         }
     }
     let rev = graph.reversed();
+    let rev_budget = budget.reversed(latency);
     let flip = |start: u32, delay: u32| -> Option<u32> { (latency - start).checked_sub(delay) };
     let rev_starts = schedule_directed(
         |id| rev.preds(id),
@@ -202,7 +294,7 @@ pub fn palap_locked(
         rev.topological(),
         graph.len(),
         timing,
-        max_power,
+        &rev_budget,
         latency,
         |id| {
             locked
@@ -218,7 +310,7 @@ pub fn palap_locked(
             flip(rs, timing.delay(id)).ok_or(ScheduleError::Infeasible {
                 node: id,
                 horizon: latency,
-                max_power,
+                max_power: budget.peak_within(latency),
             })
         })
         .collect::<Result<_, _>>()?;
@@ -246,11 +338,15 @@ fn schedule_directed<'a>(
     order: impl Iterator<Item = NodeId>,
     len: usize,
     timing: &TimingMap,
-    max_power: f64,
+    budget: &PowerBudget,
     horizon: u32,
     locked: impl Fn(NodeId) -> Option<u32>,
 ) -> Result<Vec<u32>, ScheduleError> {
-    let mut ledger = PowerLedger::new(horizon, max_power);
+    let mut ledger = PowerLedger::with_budget(horizon, budget);
+    // The scalar every error message (and the can-never-fit test)
+    // compares against: the bound itself in constant mode, the
+    // envelope's peak otherwise.
+    let max_power = ledger.max_power();
     let mut starts = vec![0u32; len];
     let order: Vec<NodeId> = order.collect();
 
@@ -267,10 +363,16 @@ fn schedule_directed<'a>(
                 });
             }
             if !ledger.fits(s, t.delay, t.power) {
+                // Point at the cycle that actually rejects the lock —
+                // under an envelope that can be deep inside the
+                // interval, with a tighter bound than the start's.
+                let v = ledger
+                    .first_unfit_cycle(s, t.delay, t.power)
+                    .expect("fits just failed");
                 return Err(ScheduleError::PowerExceeded {
-                    cycle: s,
-                    power: ledger.used(s) + t.power,
-                    bound: max_power,
+                    cycle: v,
+                    power: ledger.used(v) + t.power,
+                    bound: ledger.bound(v),
                 });
             }
             ledger.reserve(s, t.delay, t.power);
@@ -536,5 +638,89 @@ mod tests {
         locked.lock(victim, 100);
         let err = palap_locked(&g, &t, f64::INFINITY, 12, &locked).unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn budget_variants_reproduce_the_scalar_path_for_constant_budgets() {
+        let (g, t) = hal_timing();
+        let budget = PowerBudget::constant(12.0);
+        assert_eq!(
+            pasap_budget(&g, &t, &budget, 100).unwrap(),
+            pasap(&g, &t, 12.0, 100).unwrap()
+        );
+        assert_eq!(
+            palap_budget(&g, &t, &budget, 16).unwrap(),
+            palap(&g, &t, 12.0, 16).unwrap()
+        );
+    }
+
+    #[test]
+    fn pasap_budget_stretches_into_the_loose_phase() {
+        let (g, t) = hal_timing();
+        // Nearly closed opening phase (only single cheap ops fit), wide
+        // open afterwards: the schedule must shift its heavy cycles past
+        // the breakpoint, unlike the scalar run at the loose bound.
+        let budget = PowerBudget::steps(vec![(0, 9.0), (6, 100.0)]);
+        let s = pasap_budget(&g, &t, &budget, 200).unwrap();
+        s.validate_budget(&g, &t, None, &budget).unwrap();
+        let loose = pasap(&g, &t, 100.0, 200).unwrap();
+        assert_ne!(
+            s, loose,
+            "the tight opening phase must reshape the schedule"
+        );
+        let profile = PowerProfile::of(&s, &t);
+        for c in 0..6u32.min(profile.cycles()) {
+            assert!(profile.per_cycle()[c as usize] <= 9.0 + 1e-9, "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn locked_envelope_violations_name_the_violating_cycle() {
+        use pchls_cdfg::CdfgBuilder;
+        // A 6-cycle op locked at 0 under [(0,40),(5,15)]: the rejection
+        // happens at cycle 5 (bound 15), and the diagnostic must say
+        // so rather than reporting the start cycle's loose 40 bound.
+        let mut b = CdfgBuilder::new("one");
+        let x = b.input("x");
+        b.output("o", x);
+        let g = b.finish().unwrap();
+        let t = TimingMap::from_entries(vec![
+            crate::OpTiming {
+                delay: 6,
+                power: 20.0,
+            },
+            crate::OpTiming {
+                delay: 1,
+                power: 1.0,
+            },
+        ]);
+        let budget = PowerBudget::steps(vec![(0, 40.0), (5, 15.0)]);
+        let mut locked = LockedStarts::none(g.len());
+        locked.lock(g.topological()[0], 0);
+        let err = pasap_locked_budget(&g, &t, &budget, 20, &locked).unwrap_err();
+        match err {
+            ScheduleError::PowerExceeded {
+                cycle,
+                power,
+                bound,
+            } => {
+                assert_eq!(cycle, 5);
+                assert_eq!(bound, 15.0);
+                assert!(power > bound, "diagnostic must be self-consistent");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn palap_budget_mirrors_the_envelope() {
+        let (g, t) = hal_timing();
+        // Tight tail: the latest-start schedule must respect the 9.0
+        // bound in forward cycles [10, 16), which map to the reversed
+        // opening — this only works if the envelope is time-mirrored.
+        let budget = PowerBudget::steps(vec![(0, 40.0), (10, 9.0)]);
+        let latency = 16;
+        let s = palap_budget(&g, &t, &budget, latency).unwrap();
+        s.validate_budget(&g, &t, Some(latency), &budget).unwrap();
     }
 }

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use pchls_cdfg::{Cdfg, NodeId};
 
+use crate::budget::PowerBudget;
 use crate::error::ScheduleError;
 use crate::power::PowerProfile;
 use crate::timing::TimingMap;
@@ -112,6 +113,35 @@ impl Schedule {
                     bound,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// As [`validate`](Schedule::validate), but checking the per-cycle
+    /// power against a [`PowerBudget`] envelope: each cycle's draw must
+    /// stay under *that cycle's* bound. For a constant budget this is
+    /// exactly `validate(graph, timing, latency_bound, Some(bound))`.
+    ///
+    /// # Errors
+    ///
+    /// As [`validate`](Schedule::validate); the reported
+    /// [`ScheduleError::PowerExceeded`] bound is the violated cycle's
+    /// own bound.
+    pub fn validate_budget(
+        &self,
+        graph: &Cdfg,
+        timing: &TimingMap,
+        latency_bound: Option<u32>,
+        budget: &PowerBudget,
+    ) -> Result<(), ScheduleError> {
+        self.validate(graph, timing, latency_bound, None)?;
+        let profile = PowerProfile::of(self, timing);
+        if let Some((cycle, power)) = profile.first_violation_budget(budget) {
+            return Err(ScheduleError::PowerExceeded {
+                cycle,
+                power,
+                bound: budget.bound_at(cycle),
+            });
         }
         Ok(())
     }

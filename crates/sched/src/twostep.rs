@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 use pchls_cdfg::Cdfg;
 
 use crate::asap::asap;
+use crate::budget::PowerBudget;
 use crate::error::ScheduleError;
-use crate::power::{PowerProfile, POWER_EPS};
+use crate::power::PowerProfile;
 use crate::schedule::Schedule;
 use crate::timing::TimingMap;
 
@@ -46,6 +47,24 @@ pub fn two_step(
     latency: u32,
     max_power: f64,
 ) -> Result<TwoStepOutcome, ScheduleError> {
+    two_step_budget(graph, timing, latency, &PowerBudget::constant(max_power))
+}
+
+/// [`two_step`] against a time-varying [`PowerBudget`] envelope: phase 2
+/// flattens the first cycle whose draw exceeds *that cycle's* bound, so
+/// the baseline is comparable on the same scenarios the combined
+/// algorithm now handles. A constant budget reproduces [`two_step`]'s
+/// schedule exactly.
+///
+/// # Errors
+///
+/// As [`two_step`].
+pub fn two_step_budget(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    latency: u32,
+    budget: &PowerBudget,
+) -> Result<TwoStepOutcome, ScheduleError> {
     // Phase 1: time-constrained schedule.
     let schedule = asap(graph, timing);
     let cp = schedule.latency(timing);
@@ -64,7 +83,7 @@ pub fn two_step(
     let mut moves = 0;
     while moves < max_moves {
         let profile = PowerProfile::of(&Schedule::new(starts.clone()), timing);
-        let Some((peak_cycle, _)) = profile.first_violation(max_power) else {
+        let Some((peak_cycle, _)) = profile.first_violation_budget(budget) else {
             return Ok(TwoStepOutcome {
                 schedule: Schedule::new(starts),
                 met_power: true,
@@ -103,9 +122,11 @@ pub fn two_step(
     }
 
     let schedule = Schedule::new(starts);
-    let met_power = schedule
-        .validate(graph, timing, Some(latency), Some(max_power + POWER_EPS))
-        .is_ok();
+    // Same single-ε predicate as the loop, so the claim is consistent
+    // with what a validator would conclude.
+    let met_power = PowerProfile::of(&schedule, timing)
+        .first_violation_budget(budget)
+        .is_none();
     schedule.validate(graph, timing, Some(latency), None)?;
     Ok(TwoStepOutcome {
         schedule,

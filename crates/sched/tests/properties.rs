@@ -41,6 +41,31 @@ proptest! {
         s.validate(&g, &t, None, Some(bound)).unwrap();
     }
 
+    /// pasap under a stepwise budget envelope respects every cycle's
+    /// own bound, and a constant envelope reproduces scalar pasap
+    /// exactly.
+    #[test]
+    fn pasap_budget_respects_the_envelope(cfg in config(), frac in 0.5f64..1.0, split in 1u32..40) {
+        use pchls_sched::{pasap_budget, PowerBudget};
+        let g = random_dag(&cfg);
+        let lib = paper_library();
+        let t = TimingMap::from_policy(&g, &lib, SelectionPolicy::Fastest);
+        let base = asap(&g, &t);
+        let peak = PowerProfile::of(&base, &t).peak();
+        let lo = (peak * frac).max(t.max_single_op_power());
+
+        // Constant envelope ≡ scalar path, bit for bit.
+        let scalar = pasap(&g, &t, lo, 10_000).unwrap();
+        let constant = pasap_budget(&g, &t, &PowerBudget::constant(lo), 10_000).unwrap();
+        prop_assert_eq!(&scalar, &constant);
+
+        // Loose opening phase, tight tail: the schedule must satisfy
+        // the per-cycle bounds everywhere.
+        let budget = PowerBudget::steps(vec![(0, peak * 2.0), (split, lo)]);
+        let s = pasap_budget(&g, &t, &budget, 10_000).unwrap();
+        s.validate_budget(&g, &t, None, &budget).unwrap();
+    }
+
     /// palap respects the latency it is given and the power bound.
     #[test]
     fn palap_respects_latency_and_bound(cfg in config(), slack in 0u32..20) {
@@ -176,7 +201,7 @@ mod locked_props {
 
 mod ledger_props {
     use super::*;
-    use pchls_sched::{NaivePowerLedger, PowerLedger};
+    use pchls_sched::{NaivePowerLedger, PowerBudget, PowerLedger};
 
     /// One random ledger operation: `(opcode, start, delay, power)`.
     type LedgerOp = (u8, u32, u32, f64);
@@ -186,8 +211,28 @@ mod ledger_props {
     /// asserting every query answer matches along the way and that the
     /// final per-cycle reservations are bit-identical.
     fn check_agreement(horizon: u32, budget: f64, ops: &[LedgerOp]) -> Result<(), TestCaseError> {
-        let mut tree = PowerLedger::new(horizon, budget);
-        let mut naive = NaivePowerLedger::new(horizon, budget);
+        let tree = PowerLedger::new(horizon, budget);
+        let naive = NaivePowerLedger::new(horizon, budget);
+        check_ledger_pair(tree, naive, horizon, ops)
+    }
+
+    /// As [`check_agreement`], over an arbitrary budget envelope.
+    fn check_agreement_budget(
+        horizon: u32,
+        budget: &PowerBudget,
+        ops: &[LedgerOp],
+    ) -> Result<(), TestCaseError> {
+        let tree = PowerLedger::with_budget(horizon, budget);
+        let naive = NaivePowerLedger::with_budget(horizon, budget);
+        check_ledger_pair(tree, naive, horizon, ops)
+    }
+
+    fn check_ledger_pair(
+        mut tree: PowerLedger,
+        mut naive: NaivePowerLedger,
+        horizon: u32,
+        ops: &[LedgerOp],
+    ) -> Result<(), TestCaseError> {
         prop_assert_eq!(tree.horizon(), naive.horizon());
         let mut snaps: Vec<(u32, Vec<f64>)> = Vec::new();
         for &(op, start, delay, power) in ops {
@@ -288,6 +333,54 @@ mod ledger_props {
                 b => f64::from(b) * 7.5,
             };
             check_agreement(horizon, budget, &ops)?;
+        }
+
+        /// Under random **stepwise** envelopes, the slack-min tree
+        /// ledger and the naive per-cycle-slack reference agree on every
+        /// operation — across the leaf-scan regime (small horizons) and
+        /// the tree regime, including budgets whose phases are all
+        /// equal (which must collapse to the constant fast path on both
+        /// sides).
+        #[test]
+        fn stepwise_envelope_ledger_agrees_with_naive(
+            horizon in 0u32..200,
+            raw_steps in proptest::collection::vec((0u32..200, 0u8..6), 1..6),
+            ops in proptest::collection::vec(
+                (0u8..15, 0u32..220, 0u32..24, 0f64..12.5),
+                1..80,
+            ),
+        ) {
+            // Strictly increasing cycles, first step at 0; bound levels
+            // quantized so equal-phase (constant-collapse) envelopes
+            // occur often.
+            let mut steps: Vec<(u32, f64)> = Vec::new();
+            for (i, &(c, level)) in raw_steps.iter().enumerate() {
+                let cycle = if i == 0 { 0 } else { c };
+                let bound = match level {
+                    0 => f64::INFINITY,
+                    l => f64::from(l) * 6.25,
+                };
+                if steps.last().is_none_or(|&(prev, _)| cycle > prev) {
+                    steps.push((cycle, bound));
+                }
+            }
+            let budget = PowerBudget::steps(steps);
+            check_agreement_budget(horizon, &budget, &ops)?;
+        }
+
+        /// Under random **per-cycle** envelopes (arbitrary bound per
+        /// cycle), the two ledgers agree on every operation.
+        #[test]
+        fn per_cycle_envelope_ledger_agrees_with_naive(
+            bounds in proptest::collection::vec(0f64..40.0, 1..200),
+            ops in proptest::collection::vec(
+                (0u8..15, 0u32..220, 0u32..24, 0f64..12.5),
+                1..80,
+            ),
+        ) {
+            let horizon = bounds.len() as u32;
+            let budget = PowerBudget::per_cycle(bounds);
+            check_agreement_budget(horizon, &budget, &ops)?;
         }
 
         /// Dedicated large-horizon cases keep the tree-mode descent and

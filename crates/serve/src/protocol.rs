@@ -17,9 +17,14 @@
 //!
 //! * `"synth"` (or empty): synthesize `graph` (a built-in benchmark
 //!   name) or `graph_text` (an inline `.dfg` document) under
-//!   `(latency, power)`. Optional `deadline_ms` bounds the wall-clock
-//!   time from acceptance; an overrun cancels the run mid-iteration.
-//!   The reply's `point` is **byte-identical** to what
+//!   `(latency, power)`. An optional `budget` object — the
+//!   [`PowerBudget`] JSON shape, `{"constant":…}` / `{"steps":[[c,b],…]}`
+//!   / `{"per_cycle":[…]}` — replaces the scalar `power` with a
+//!   time-varying envelope; requests without it (or with it `null`)
+//!   behave exactly as before, keeping the scalar wire format
+//!   compatible byte for byte. Optional `deadline_ms` bounds the
+//!   wall-clock time from acceptance; an overrun cancels the run
+//!   mid-iteration. The reply's `point` is **byte-identical** to what
 //!   `pchls batch` / `Session::synthesize` would emit for the same
 //!   constraint point — infeasible points answer `ok:true` with a
 //!   null-field point, exactly like a sweep does.
@@ -30,7 +35,7 @@
 //! * `"stats"`: immediate [`ServiceStats`] snapshot (does not queue
 //!   behind synthesis jobs).
 
-use pchls_core::SweepPoint;
+use pchls_core::{PowerBudget, SweepPoint};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::ServiceStats;
@@ -57,9 +62,15 @@ pub struct SubmitRequest {
     /// Latency bound `T` in cycles (must be ≥ 1).
     #[serde(default)]
     pub latency: u32,
-    /// Power bound `P<` (must be ≥ 0 and not NaN).
+    /// Power bound `P<` (must be ≥ 0 and not NaN). Ignored when
+    /// `budget` is set.
     #[serde(default)]
     pub power: f64,
+    /// Optional time-varying budget envelope; when set it replaces the
+    /// scalar `power` bound. Absent or `null` keeps the historical
+    /// scalar behaviour (wire-compatible with pre-envelope clients).
+    #[serde(default)]
+    pub budget: Option<PowerBudget>,
     /// Wall-clock deadline in milliseconds from acceptance; `0` means
     /// none.
     #[serde(default)]
@@ -77,6 +88,7 @@ impl SubmitRequest {
             graph_text: String::new(),
             latency,
             power,
+            budget: None,
             deadline_ms: 0,
         }
     }
@@ -113,6 +125,13 @@ impl SubmitRequest {
     #[must_use]
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> SubmitRequest {
         self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Replaces the scalar power bound with a budget envelope.
+    #[must_use]
+    pub fn with_budget(mut self, budget: PowerBudget) -> SubmitRequest {
+        self.budget = Some(budget);
         self
     }
 }
@@ -200,6 +219,41 @@ mod tests {
         assert!(json.contains("\"ok\":false"));
         let back: SubmitResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn budget_field_round_trips_and_defaults_to_none() {
+        let req = SubmitRequest::synth(3, "hal", 17, 0.0)
+            .with_budget(PowerBudget::steps(vec![(0, 30.0), (8, 12.0)]));
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"steps\""), "{json}");
+        let back: SubmitRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Pre-envelope wire lines — no `budget` key at all — still
+        // parse, with the scalar semantics.
+        let sparse: SubmitRequest =
+            serde_json::from_str(r#"{"id":3,"graph":"hal","latency":17,"power":25}"#).unwrap();
+        assert_eq!(sparse.budget, None);
+        // An explicit null is the same as absent.
+        let nulled: SubmitRequest =
+            serde_json::from_str(r#"{"id":3,"graph":"hal","latency":17,"power":25,"budget":null}"#)
+                .unwrap();
+        assert_eq!(nulled.budget, None);
+    }
+
+    #[test]
+    fn invalid_wire_budgets_are_rejected_at_parse_time() {
+        for bad in [
+            r#"{"id":1,"graph":"hal","latency":17,"budget":{"constant":-2}}"#,
+            r#"{"id":1,"graph":"hal","latency":17,"budget":{"per_cycle":[]}}"#,
+            r#"{"id":1,"graph":"hal","latency":17,"budget":{"bogus":1}}"#,
+        ] {
+            assert!(
+                serde_json::from_str::<SubmitRequest>(bad).is_err(),
+                "accepted {bad}"
+            );
+        }
     }
 
     #[test]

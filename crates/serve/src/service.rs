@@ -159,6 +159,10 @@ impl Service {
     /// # Errors
     ///
     /// Hands the request back when the service is shutting down.
+    // The `Err` carries the whole request (now budget-bearing) by
+    // design — it only materializes on the cold shutdown path, and the
+    // caller owns the request it gets back.
+    #[allow(clippy::result_large_err)]
     pub fn submit(
         &self,
         request: SubmitRequest,
@@ -275,12 +279,22 @@ impl Shared {
         let fail = |msg: String| (SubmitResponse::error(req.id, msg), Disposition::Failed);
 
         // Validate the constraint point up front — the constraints
-        // constructor panics on nonsense, a worker must not.
+        // constructor panics on nonsense, a worker must not. (A budget
+        // envelope is already validated by its `Deserialize` impl; only
+        // the horizon fit remains to be checked here.)
         if req.latency == 0 {
             return fail("latency must be a positive cycle count".into());
         }
         if req.power.is_nan() || req.power < 0.0 {
             return fail("power bound must be non-negative".into());
+        }
+        if let Some(budget) = &req.budget {
+            // Shape-vs-horizon rules live on `PowerBudget` itself (one
+            // source of truth with the CLI's `--budget` validation);
+            // value validity was already enforced by the deserializer.
+            if let Err(msg) = budget.check_horizon(req.latency) {
+                return fail(msg);
+            }
         }
         let graph = match self.resolve_graph(req) {
             Ok(g) => g,
@@ -294,15 +308,21 @@ impl Shared {
 
         let deadline =
             (req.deadline_ms > 0).then(|| job.accepted + Duration::from_millis(req.deadline_ms));
-        let constraints = SynthesisConstraints::new(req.latency, req.power);
+        let constraints = match &req.budget {
+            Some(budget) => SynthesisConstraints::new(req.latency, budget.clone()),
+            None => SynthesisConstraints::new(req.latency, req.power),
+        };
         let session = self.engine.session(&compiled);
-        let outcome = session.synthesize_with_progress(constraints, &self.options, &mut |_| {
-            if job.cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d) {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
+        let outcome =
+            session.synthesize_with_progress(constraints.clone(), &self.options, &mut |_| {
+                if job.cancel.load(Ordering::Relaxed)
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
 
         match outcome {
             Err(SynthesisError::Cancelled) => {
@@ -374,7 +394,7 @@ mod tests {
         let session = engine.session(&compiled);
         let constraints = SynthesisConstraints::new(latency, power);
         SynthesisResult {
-            request: SynthesisRequest::new(constraints),
+            request: SynthesisRequest::new(constraints.clone()),
             outcome: session.synthesize(constraints, &SynthesisOptions::default()),
         }
         .to_point(compiled.name())
@@ -452,6 +472,56 @@ mod tests {
         // The workers survived all of it.
         assert!(service.call(SubmitRequest::synth(9, "hal", 17, 25.0)).ok);
         assert_eq!(service.stats().failed, 6);
+    }
+
+    #[test]
+    fn constant_budget_requests_answer_byte_identically_to_scalar_ones() {
+        use pchls_core::PowerBudget;
+        let service = service(1);
+        let scalar = service.call(SubmitRequest::synth(1, "hal", 17, 25.0));
+        let budget = service
+            .call(SubmitRequest::synth(2, "hal", 17, 0.0).with_budget(PowerBudget::constant(25.0)));
+        assert!(scalar.ok && budget.ok);
+        assert_eq!(
+            serde_json::to_string(&scalar.point.unwrap()).unwrap(),
+            serde_json::to_string(&budget.point.unwrap()).unwrap(),
+        );
+    }
+
+    #[test]
+    fn envelope_requests_are_served_and_respect_the_tight_phase() {
+        use pchls_core::PowerBudget;
+        let service = service(1);
+        // Loose early, tight late: still feasible at T=30, but the
+        // design's late cycles must obey the 12.0 phase.
+        let budget = PowerBudget::steps(vec![(0, 40.0), (15, 12.0)]);
+        let resp =
+            service.call(SubmitRequest::synth(1, "hal", 30, 0.0).with_budget(budget.clone()));
+        assert!(resp.ok, "{:?}", resp.error);
+        let point = resp.point.unwrap();
+        assert!(point.is_feasible());
+        // The reported bound is the envelope's peak.
+        assert_eq!(point.power_bound, 40.0);
+    }
+
+    #[test]
+    fn malformed_budget_shapes_fail_cleanly() {
+        use pchls_core::PowerBudget;
+        let service = service(1);
+        let wrong_len = service.call(
+            SubmitRequest::synth(1, "hal", 17, 0.0)
+                .with_budget(PowerBudget::per_cycle(vec![25.0; 5])),
+        );
+        assert!(!wrong_len.ok);
+        assert!(wrong_len.error.unwrap().contains("17"));
+        let late_step = service.call(
+            SubmitRequest::synth(2, "hal", 17, 0.0)
+                .with_budget(PowerBudget::steps(vec![(0, 30.0), (40, 10.0)])),
+        );
+        assert!(!late_step.ok);
+        assert!(late_step.error.unwrap().contains("cycle 40"));
+        // Workers survived.
+        assert!(service.call(SubmitRequest::synth(9, "hal", 17, 25.0)).ok);
     }
 
     #[test]

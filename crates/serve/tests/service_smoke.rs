@@ -56,7 +56,7 @@ fn direct_line(engine: &Engine, graph: &str, latency: u32, power: f64) -> String
     let compiled = engine.compile(&g);
     let constraints = SynthesisConstraints::new(latency, power);
     let point = SynthesisResult {
-        request: SynthesisRequest::new(constraints),
+        request: SynthesisRequest::new(constraints.clone()),
         outcome: engine
             .session(&compiled)
             .synthesize(constraints, &SynthesisOptions::default()),

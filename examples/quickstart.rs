@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let constraints = SynthesisConstraints::new(17, 25.0);
     let design = engine
         .session(&compiled)
-        .synthesize(constraints, &SynthesisOptions::default())?;
+        .synthesize(constraints.clone(), &SynthesisOptions::default())?;
 
     println!("synthesized `{}`: {}", graph.name(), design.summary());
     println!("\nfunctional units:");
@@ -38,9 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nper-cycle power profile (bound {}):",
-        constraints.max_power
+        constraints.max_power()
     );
-    print!("{}", design.power_profile().to_ascii(40));
+    print!(
+        "{}",
+        design
+            .power_profile()
+            .to_ascii_budget(40, &constraints.budget)
+    );
 
     // Every invariant can be re-checked at any time.
     design.validate(&graph, library)?;

@@ -4,9 +4,10 @@
 //! ```text
 //! pchls benchmarks
 //! pchls dump <graph> [--dot]
-//! pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile]
-//! pchls sweep <graph> -T <cycles> [--steps <n>]
-//! pchls batch <graph> --points <file>
+//! pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile]
+//! pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>]
+//! pchls batch <graph> --points <file> [--budget <file>]
+//! pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
 //! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
@@ -16,6 +17,16 @@
 //! `elliptic`, `ar`, `fir16`, `fft_bfly`) or a path to a `.dfg` file in
 //! the textual CDFG format.
 //!
+//! `--budget <file>` replaces the scalar `-P` bound with a
+//! **time-varying power envelope**: a JSON object of one of the shapes
+//! `{"constant": 25.0}`, `{"steps": [[0, 30.0], [8, 12.0]]}` (each
+//! `[cycle, bound]` step holds until the next), or
+//! `{"per_cycle": [30.0, 30.0, 12.0, …]}` (exactly one bound per cycle
+//! of `-T`). Validation rejects NaN, negative and wrong-horizon budgets
+//! with the offending line number. Under `sweep`, the envelope is swept
+//! over *scale factors* instead of a scalar power grid; under `batch`,
+//! the points file's `P` column becomes the per-point scale factor.
+//!
 //! Every synthesis-shaped command compiles the graph once through the
 //! session API ([`Engine::compile`]) and reuses the compiled artifacts
 //! for all constraint points it evaluates — `batch` amortizes one
@@ -24,8 +35,11 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use pchls::battery::battery_report;
 use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg, GraphStats, Interpreter};
-use pchls::core::{Engine, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesisRequest};
+use pchls::core::{
+    Engine, PowerBudget, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesisRequest,
+};
 use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
 use pchls::serve::{serve_stdio, serve_tcp, Service, ServiceConfig};
@@ -49,12 +63,15 @@ const USAGE: &str = "\
 usage:
   pchls benchmarks
   pchls dump <graph> [--dot|--stats]
-  pchls synth <graph> -T <cycles> -P <power> [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
-  pchls sweep <graph> -T <cycles> [--steps <n>]
-  pchls batch <graph> --points <file>   # one `T P` pair per line; emits one JSON line per point
+  pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
+  pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>]   # with --budget, sweeps envelope scale factors
+  pchls batch <graph> --points <file> [--budget <file>]   # one `T P` pair per line; with --budget, P scales the envelope
+  pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
   pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
-  pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]";
+  pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
+
+budget files are JSON: {\"constant\": 25.0} | {\"steps\": [[0,30.0],[8,12.0]]} | {\"per_cycle\": [30.0,...]}";
 
 /// Executes a parsed command line, returning the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -65,6 +82,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "synth" => synth(rest),
         "sweep" => sweep(rest),
         "batch" => batch(rest),
+        "battery" => battery(rest),
         "serve" => serve(rest),
         "simulate" => run_simulation(rest),
         "vcd" => run_vcd(rest),
@@ -138,7 +156,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.options.insert("power".into(), v.clone());
             }
             "--library" | "--steps" | "--out" | "--points" | "--addr" | "--workers"
-            | "--cache-cap" | "--queue-cap" => {
+            | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -192,6 +210,213 @@ fn required_constraints(flags: &Flags) -> Result<SynthesisConstraints, String> {
     Ok(SynthesisConstraints::new(latency, power))
 }
 
+/// The constraint point of a `synth`-shaped command: `-T` plus either a
+/// `--budget` envelope file or the scalar `-P` bound.
+fn budget_or_scalar_constraints(flags: &Flags) -> Result<SynthesisConstraints, String> {
+    let latency = required_u32(flags, "latency", "-T <cycles>")?;
+    if latency == 0 {
+        return Err("-T must be at least 1 cycle".into());
+    }
+    match load_budget(flags, Some(latency))? {
+        Some(budget) => Ok(SynthesisConstraints::new(latency, budget)),
+        None => required_constraints(flags),
+    }
+}
+
+/// Loads and validates the `--budget <file>` envelope, when the flag is
+/// present. With a horizon, wrong-horizon shapes are rejected too
+/// (`batch` passes `None` and re-checks per point, since each point has
+/// its own `T`).
+fn load_budget(flags: &Flags, latency: Option<u32>) -> Result<Option<PowerBudget>, String> {
+    let Some(path) = flags.options.get("budget") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_budget_json(&text, latency)
+        .map(Some)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// 1-based line numbers of every JSON number token in `text`, in
+/// document order. The parsed value tree preserves object order, so a
+/// depth-first walk visits numbers in exactly this order — which lets
+/// the validators below point at the offending *line* of the budget
+/// file, matching the `batch` points-file error style.
+fn number_token_lines(text: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut in_string = false;
+    let mut in_number = false;
+    for ch in text.chars() {
+        if ch == '\n' {
+            line += 1;
+            in_number = false;
+            continue;
+        }
+        if in_string {
+            if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_string = true;
+                in_number = false;
+            }
+            '-' | '0'..='9' => {
+                if !in_number {
+                    out.push(line);
+                    in_number = true;
+                }
+            }
+            // Number continuations ('e'/'E' only start numbers inside
+            // one; bare words never register because tokens are opened
+            // only by '-' or a digit).
+            '.' | 'e' | 'E' | '+' => {}
+            _ => in_number = false,
+        }
+    }
+    out
+}
+
+/// Numeric view of a parsed JSON scalar.
+fn as_number(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Int(i) => Some(*i as f64),
+        serde::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Parses and validates a `--budget` JSON envelope: NaN, negative, and
+/// (when a horizon is given) wrong-horizon budgets are rejected with
+/// the offending line number.
+fn parse_budget_json(text: &str, latency: Option<u32>) -> Result<PowerBudget, String> {
+    // NaN/Infinity are not JSON; catch them up front so the error names
+    // the line instead of surfacing a generic parse failure.
+    for (i, l) in text.lines().enumerate() {
+        let lower = l.to_lowercase();
+        for tok in ["nan", "inf"] {
+            if lower.contains(tok) {
+                return Err(format!(
+                    "line {}: `{}` is not a valid power bound (bounds must be finite, \
+                     non-negative numbers)",
+                    i + 1,
+                    l.trim()
+                ));
+            }
+        }
+    }
+    let value: serde::Value =
+        serde_json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let shape_err = || {
+        "budget must be a JSON object with exactly one of `constant`, `steps`, `per_cycle`"
+            .to_string()
+    };
+    let fields = value.as_object().ok_or_else(shape_err)?;
+    let [(key, inner)] = fields else {
+        return Err(shape_err());
+    };
+    let num_lines = number_token_lines(text);
+    let line_of = |num_idx: usize| num_lines.get(num_idx).copied().unwrap_or(1);
+    let check_bound = |b: f64, num_idx: usize| -> Result<f64, String> {
+        if b.is_nan() || b < 0.0 {
+            Err(format!(
+                "line {}: power bound {b} must be non-negative",
+                line_of(num_idx)
+            ))
+        } else {
+            Ok(b)
+        }
+    };
+    // The walk below exists to attach *line numbers* to the common
+    // mistakes; the construction at the end funnels the accepted
+    // document through the `PowerBudget` deserializer — the
+    // authoritative validator shared with the `pchls-serve` wire layer
+    // — so the CLI can never accept a budget the service would reject.
+    match key.as_str() {
+        "constant" => {
+            let b = as_number(inner).ok_or("`constant` must be a number")?;
+            check_bound(b, 0)?;
+        }
+        "steps" => {
+            let arr = inner.as_array().ok_or("`steps` must be an array")?;
+            if arr.is_empty() {
+                return Err("`steps` must contain at least one [cycle, bound] pair".into());
+            }
+            let mut steps: Vec<(u32, f64)> = Vec::with_capacity(arr.len());
+            for (i, item) in arr.iter().enumerate() {
+                let err_line = line_of(2 * i);
+                let pair = item
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("line {err_line}: each step must be [cycle, bound]"))?;
+                // Integer-*typed*, matching the wire deserializer's
+                // `u32` exactly — `0.0` is rejected in both places.
+                let serde::Value::Int(raw_cycle) = pair[0] else {
+                    return Err(format!(
+                        "line {err_line}: step cycle must be a non-negative integer"
+                    ));
+                };
+                let cycle = u32::try_from(raw_cycle).map_err(|_| {
+                    format!("line {err_line}: step cycle must be a non-negative integer")
+                })?;
+                if let Some(t) = latency {
+                    if cycle >= t {
+                        return Err(format!(
+                            "line {err_line}: step at cycle {cycle} is at or past the latency \
+                             bound {t}"
+                        ));
+                    }
+                }
+                if let Some(&(prev, _)) = steps.last() {
+                    if cycle <= prev {
+                        return Err(format!(
+                            "line {err_line}: step cycles must be strictly increasing \
+                             ({prev} then {cycle})"
+                        ));
+                    }
+                }
+                let bound = as_number(&pair[1])
+                    .ok_or_else(|| format!("line {err_line}: step bound must be a number"))?;
+                steps.push((cycle, check_bound(bound, 2 * i + 1)?));
+            }
+        }
+        "per_cycle" => {
+            let arr = inner.as_array().ok_or("`per_cycle` must be an array")?;
+            if arr.is_empty() {
+                return Err("`per_cycle` must contain at least one bound".into());
+            }
+            let mut bounds = Vec::with_capacity(arr.len());
+            for (i, item) in arr.iter().enumerate() {
+                let b = as_number(item).ok_or_else(|| {
+                    format!("line {}: per-cycle bound must be a number", line_of(i))
+                })?;
+                bounds.push(check_bound(b, i)?);
+            }
+            if let Some(t) = latency {
+                if bounds.len() != t as usize {
+                    let key_line = text
+                        .lines()
+                        .position(|l| l.contains("per_cycle"))
+                        .map_or(1, |i| i + 1);
+                    return Err(format!(
+                        "line {key_line}: per-cycle budget covers {} cycle(s) but -T is {t}",
+                        bounds.len()
+                    ));
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown budget kind `{other}` (expected `constant`, `steps` or `per_cycle`)"
+            ))
+        }
+    }
+    serde::Deserialize::from_value(&value).map_err(|e| format!("invalid budget: {e}"))
+}
+
 fn dump(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
@@ -224,7 +449,7 @@ fn synth(args: &[String]) -> Result<String, String> {
     };
     let session = engine.session(&compiled);
     let (g, lib) = (compiled.graph(), engine.library());
-    let constraints = required_constraints(&flags)?;
+    let constraints = budget_or_scalar_constraints(&flags)?;
     let design = if flags.switches.iter().any(|s| s == "refine") {
         session.synthesize_refined(constraints, &SynthesisOptions::default())
     } else {
@@ -250,8 +475,12 @@ fn synth(args: &[String]) -> Result<String, String> {
         ic.total()
     ));
     if flags.switches.iter().any(|s| s == "profile") {
-        out.push_str("\nper-cycle power profile:\n");
-        out.push_str(&design.power_profile().to_ascii(40));
+        out.push_str("\nper-cycle power profile (| marks each cycle's budget bound):\n");
+        out.push_str(
+            &design
+                .power_profile()
+                .to_ascii_budget(40, &design.constraints.budget),
+        );
     }
     if flags.switches.iter().any(|s| s == "gantt") {
         out.push_str("\nschedule:\n");
@@ -287,6 +516,30 @@ fn sweep(args: &[String]) -> Result<String, String> {
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
     let session = engine.session(&compiled);
+    if let Some(budget) = load_budget(&flags, Some(latency))? {
+        // Envelope mode: sweep scale factors — "how much of the
+        // envelope can the supply actually deliver" — instead of a
+        // scalar power grid.
+        let steps = steps.max(2);
+        let scales: Vec<f64> = (0..steps)
+            .map(|i| 0.25 + (1.5 - 0.25) * i as f64 / (steps - 1) as f64)
+            .collect();
+        let result = session.sweep(
+            &SweepSpec::budget_scale(latency, budget, scales.clone()),
+            &SynthesisOptions::default(),
+        );
+        let mut out = format!(
+            "{} at T={latency} (envelope scale sweep):\n scale    peak    area\n",
+            result.benchmark
+        );
+        for (p, s) in result.points.iter().zip(&scales) {
+            match p.area {
+                Some(a) => out.push_str(&format!("{s:>6.2} {:>7.1} {:>7}\n", p.power_bound, a)),
+                None => out.push_str(&format!("{s:>6.2} {:>7.1}   (infeasible)\n", p.power_bound)),
+            }
+        }
+        return Ok(out);
+    }
     let grid = session.auto_power_grid(steps);
     let result = session.sweep(
         &SweepSpec::power(latency, grid),
@@ -346,7 +599,9 @@ fn parse_points(text: &str) -> Result<Vec<SynthesisConstraints>, String> {
 
 /// `pchls batch <graph> --points <file>`: one compile, many constraint
 /// points through [`pchls::core::Session::batch`], one JSON line per
-/// point (in file order).
+/// point (in file order). With `--budget <file>`, each point's `P`
+/// column is reinterpreted as a **scale factor** on the envelope
+/// (`T 1.0` = the envelope as written, `T 0.5` = half of it).
 fn batch(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
@@ -358,6 +613,23 @@ fn batch(args: &[String]) -> Result<String, String> {
         .ok_or("missing --points <file>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let points = parse_points(&text)?;
+    let points = match load_budget(&flags, None)? {
+        None => points,
+        Some(budget) => points
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                budget
+                    .check_horizon(c.latency)
+                    .map_err(|e| format!("point {} (T={}): {e}", i + 1, c.latency))?;
+                // The scalar column scales the envelope for this point.
+                Ok(SynthesisConstraints::new(
+                    c.latency,
+                    budget.scaled(c.max_power()),
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
 
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
@@ -371,6 +643,59 @@ fn batch(args: &[String]) -> Result<String, String> {
         out.push_str(&line);
         out.push('\n');
     }
+    Ok(out)
+}
+
+/// `pchls battery <graph> -T <cycles> (-P <power> | --budget <file>)`:
+/// synthesizes the power-constrained design at the point, the
+/// power-oblivious design at the same latency, and prints a
+/// [`BatteryReport`](pchls::battery::BatteryReport) — how many complete
+/// schedule executions each battery model (ideal, Peukert,
+/// rate-capacity) survives on each profile, and the lifetime extension
+/// the constrained design buys. This is the paper's end-to-end claim,
+/// runnable from the command line.
+fn battery(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let spec = flags.positionals.first().ok_or("missing graph")?;
+    let g = load_graph(spec)?;
+    let lib = load_library(&flags)?;
+    let constraints = budget_or_scalar_constraints(&flags)?;
+    let capacity: f64 = match flags.options.get("capacity") {
+        None => 20_000.0,
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|c| c.is_finite() && *c > 0.0)
+            .ok_or("--capacity must be a positive charge")?,
+    };
+
+    let engine = Engine::new(lib);
+    let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
+    let session = engine.session(&compiled);
+    let opts = SynthesisOptions::default();
+    let constrained = session
+        .synthesize(constraints.clone(), &opts)
+        .map_err(|e| e.to_string())?;
+    // The power-oblivious reference is the ASAP/fastest-modules design —
+    // the spiky Figure 1 (top) profile the paper's motivation starts
+    // from — not another area-min synthesis run.
+    let oblivious = session
+        .unconstrained(constraints.latency, pchls::fulib::SelectionPolicy::Fastest)
+        .map_err(|e| e.to_string())?;
+
+    let flat = constrained.power_profile();
+    let spiky = oblivious.power_profile();
+    let report = battery_report(capacity, spiky.per_cycle(), flat.per_cycle());
+
+    let mut out = format!(
+        "{} at T={} under {}:\n  power-oblivious: {}\n  power-constrained: {}\n\n",
+        compiled.name(),
+        constraints.latency,
+        constraints.budget.describe(),
+        oblivious.summary(),
+        constrained.summary(),
+    );
+    out.push_str(&report.to_text(flat.per_cycle().len(), spiky.per_cycle().len()));
     Ok(out)
 }
 
@@ -627,6 +952,217 @@ mod tests {
             .unwrap_err()
             .contains("-P"));
         assert!(run(&argv("sweep hal -T 0")).unwrap_err().contains("-T"));
+    }
+
+    fn budget_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pchls-budget-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn synth_accepts_a_stepwise_budget_file() {
+        let path = budget_dir().join("steps.json");
+        std::fs::write(&path, "{\"steps\": [[0, 40.0], [9, 12.0]]}\n").unwrap();
+        let out = run(&argv(&format!(
+            "synth hal -T 17 --budget {} --profile",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("area="), "{out}");
+        // The profile overlay names the per-cycle bound of both phases.
+        assert!(
+            out.contains("(P<40.0)") && out.contains("(P<12.0)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn constant_budget_file_matches_the_scalar_flag() {
+        let path = budget_dir().join("constant.json");
+        std::fs::write(&path, "{\"constant\": 25.0}\n").unwrap();
+        let via_budget = run(&argv(&format!(
+            "synth hal -T 17 --budget {}",
+            path.display()
+        )));
+        let via_scalar = run(&argv("synth hal -T 17 -P 25"));
+        assert_eq!(via_budget.unwrap(), via_scalar.unwrap());
+    }
+
+    #[test]
+    fn budget_validation_errors_carry_line_numbers() {
+        for (name, content, needle) in [
+            (
+                "negative.json",
+                "{\"per_cycle\": [30.0,\n  -5.0,\n  20.0]}\n",
+                "line 2",
+            ),
+            ("nan.json", "{\"constant\":\n  NaN}\n", "line 2"),
+            (
+                "late_step.json",
+                "{\"steps\": [[0, 30.0],\n  [40, 10.0]]}\n",
+                "line 2",
+            ),
+            (
+                "unordered.json",
+                "{\"steps\": [[5, 30.0],\n  [2, 10.0]]}\n",
+                "line 2",
+            ),
+            ("wrong_kind.json", "{\"bogus\": 1.0}\n", "bogus"),
+            ("empty_steps.json", "{\"steps\": []}\n", "at least one"),
+        ] {
+            let path = budget_dir().join(name);
+            std::fs::write(&path, content).unwrap();
+            let err = run(&argv(&format!(
+                "synth hal -T 17 --budget {}",
+                path.display()
+            )))
+            .expect_err(name);
+            assert!(err.contains(needle), "{name}: `{err}` missing `{needle}`");
+        }
+        // Wrong horizon: a 3-cycle envelope against -T 17.
+        let path = budget_dir().join("short.json");
+        std::fs::write(&path, "{\"per_cycle\": [30.0, 20.0, 10.0]}\n").unwrap();
+        let err = run(&argv(&format!(
+            "synth hal -T 17 --budget {}",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("3 cycle(s)") && err.contains("17"), "{err}");
+    }
+
+    #[test]
+    fn batch_budget_edge_cases_error_instead_of_panicking() {
+        let dir = budget_dir();
+        let points = dir.join("one_point.txt");
+        std::fs::write(&points, "17 1.0\n").unwrap();
+        // Empty per_cycle envelopes must be clean errors even on the
+        // batch path, which validates without a fixed horizon.
+        let empty = dir.join("empty_pc.json");
+        std::fs::write(&empty, "{\"per_cycle\": []}\n").unwrap();
+        let err = run(&argv(&format!(
+            "batch hal --points {} --budget {}",
+            points.display(),
+            empty.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        // An `inf` scale factor over a zero-bound budget must stay a
+        // valid (all-zero ⇒ infeasible) constraint, not a NaN panic.
+        let zero = dir.join("zero.json");
+        std::fs::write(&zero, "{\"constant\": 0.0}\n").unwrap();
+        let inf_points = dir.join("inf_point.txt");
+        std::fs::write(&inf_points, "17 inf\n").unwrap();
+        let out = run(&argv(&format!(
+            "batch hal --points {} --budget {}",
+            inf_points.display(),
+            zero.display()
+        )))
+        .unwrap();
+        assert!(out.contains("\"area\":null"), "{out}");
+    }
+
+    #[test]
+    fn budget_files_accepted_by_the_cli_parse_on_the_wire_too() {
+        // parse_budget_json exists only to attach line numbers; the
+        // PowerBudget deserializer stays the authoritative validator,
+        // so acceptance must agree in both directions on this corpus.
+        for (doc, ok) in [
+            ("{\"constant\": 25.0}", true),
+            ("{\"steps\": [[0, 30.0], [8, 12.0]]}", true),
+            ("{\"per_cycle\": [1.0, 2.0]}", true),
+            // Float-spelled step cycles are integer-typed on the wire;
+            // the CLI must not be more lenient.
+            ("{\"steps\": [[0.0, 30.0]]}", false),
+            ("{\"per_cycle\": []}", false),
+            ("{\"steps\": []}", false),
+            ("{\"constant\": -1.0}", false),
+        ] {
+            let cli = parse_budget_json(doc, None);
+            let wire: Result<PowerBudget, _> = serde_json::from_str(doc);
+            assert_eq!(cli.is_ok(), ok, "{doc}: cli {cli:?}");
+            assert_eq!(
+                cli.is_ok(),
+                wire.is_ok(),
+                "{doc}: cli {cli:?} wire {wire:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_with_budget_scans_scale_factors() {
+        let path = budget_dir().join("sweep.json");
+        std::fs::write(&path, "{\"steps\": [[0, 40.0], [9, 12.0]]}\n").unwrap();
+        let out = run(&argv(&format!(
+            "sweep hal -T 17 --steps 4 --budget {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("envelope scale sweep"), "{out}");
+        assert!(out.lines().count() >= 6, "{out}");
+    }
+
+    #[test]
+    fn batch_with_budget_scales_the_envelope_per_point() {
+        let dir = budget_dir();
+        let budget = dir.join("batch.json");
+        std::fs::write(&budget, "{\"steps\": [[0, 40.0], [9, 12.0]]}\n").unwrap();
+        let points = dir.join("scales.txt");
+        std::fs::write(&points, "17 1.0\n17 0.1\n").unwrap();
+        let out = run(&argv(&format!(
+            "batch hal --points {} --budget {}",
+            points.display(),
+            budget.display()
+        )))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        // Full scale is feasible; a 10% envelope is not.
+        assert!(
+            lines[0].contains("\"area\":") && !lines[0].contains("null"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"area\":null"), "{}", lines[1]);
+        // A step past some point's horizon is a per-point error.
+        let short = dir.join("short_points.txt");
+        std::fs::write(&short, "5 1.0\n").unwrap();
+        let err = run(&argv(&format!(
+            "batch hal --points {} --budget {}",
+            short.display(),
+            budget.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("point 1") && err.contains("cycle 9"), "{err}");
+    }
+
+    #[test]
+    fn battery_reports_the_model_trio() {
+        let out = run(&argv("battery hal -T 20 -P 10")).unwrap();
+        for needle in [
+            "power-oblivious",
+            "power-constrained",
+            "ideal",
+            "peukert",
+            "rate-capacity",
+        ] {
+            assert!(out.contains(needle), "`{needle}` missing from\n{out}");
+        }
+        // The flattened profile must extend lifetime on the weak cell.
+        let rc_line = out.lines().find(|l| l.contains("rate-capacity")).unwrap();
+        let ext: f64 = rc_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(ext > 1.0, "{rc_line}");
+        // Flag validation.
+        assert!(run(&argv("battery hal -T 20 -P 10 --capacity zero"))
+            .unwrap_err()
+            .contains("--capacity"));
+        assert!(run(&argv("battery hal -T 20")).unwrap_err().contains("-P"));
     }
 
     #[test]

@@ -32,7 +32,8 @@ fn two_step_fails_where_combined_succeeds() {
     let g = benchmarks::hal();
     let c = SynthesisConstraints::new(12, 15.0);
 
-    let two = two_step_bind(&g, &lib, c, SelectionPolicy::Fastest).expect("latency feasible");
+    let two =
+        two_step_bind(&g, &lib, c.clone(), SelectionPolicy::Fastest).expect("latency feasible");
     assert!(
         !two.met_power,
         "expected the two-step baseline to miss the power bound"
@@ -52,7 +53,8 @@ fn combined_design_is_smaller_when_power_binds() {
     let g = benchmarks::hal();
     let c = SynthesisConstraints::new(17, 12.0);
 
-    let two = two_step_bind(&g, &lib, c, SelectionPolicy::Fastest).expect("latency feasible");
+    let two =
+        two_step_bind(&g, &lib, c.clone(), SelectionPolicy::Fastest).expect("latency feasible");
     let combined = synth(&g, c).expect("feasible");
     assert!(two.met_power, "baseline meets power at this point");
     assert!(

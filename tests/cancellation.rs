@@ -36,7 +36,9 @@ fn cancelling_mid_run_from_another_thread_leaves_no_partial_state() {
     let constraints = SynthesisConstraints::new(compiled.min_latency() * 2, 60.0);
 
     // The reference outcome, computed before anything was cancelled.
-    let reference = session.synthesize(constraints, &opts).expect("feasible");
+    let reference = session
+        .synthesize(constraints.clone(), &opts)
+        .expect("feasible");
 
     // Cancel from another thread, deterministically mid-run: the hook
     // signals the canceller at iteration 5 and waits for the flag, so
@@ -51,7 +53,7 @@ fn cancelling_mid_run_from_another_thread_leaves_no_partial_state() {
             cancel.store(true, Ordering::SeqCst);
         });
         session
-            .synthesize_with_progress(constraints, &opts, &mut |progress| {
+            .synthesize_with_progress(constraints.clone(), &opts, &mut |progress| {
                 if cancel.load(Ordering::SeqCst) {
                     return ControlFlow::Break(());
                 }
@@ -83,7 +85,9 @@ fn cancelling_mid_run_from_another_thread_leaves_no_partial_state() {
     // The same session, the same point, after the abort: byte-identical
     // design *and* identical decision-trace statistics, twice over.
     for attempt in 0..2 {
-        let again = session.synthesize(constraints, &opts).expect("feasible");
+        let again = session
+            .synthesize(constraints.clone(), &opts)
+            .expect("feasible");
         assert_eq!(again, reference, "attempt {attempt}: design drifted");
         assert_eq!(
             again.stats, reference.stats,
@@ -120,7 +124,7 @@ fn cancellation_applies_to_every_constraint_point_independently() {
         .expect_err("immediate break cancels");
     assert!(matches!(err, SynthesisError::Cancelled));
 
-    let after = session.synthesize(loose, &opts).expect("feasible");
+    let after = session.synthesize(loose.clone(), &opts).expect("feasible");
     let reference = engine.session(&compiled).synthesize(loose, &opts).unwrap();
     assert_eq!(after, reference);
 }

@@ -138,7 +138,7 @@ fn cse_before_synthesis_never_costs_area() {
     assert!(stats.merged >= 1);
     let o = compiled.graph().clone();
     let c = SynthesisConstraints::new(17, 25.0);
-    let plain = synth(&g, c).unwrap();
+    let plain = synth(&g, c.clone()).unwrap();
     let optimized = engine
         .session(&compiled)
         .synthesize(c, &SynthesisOptions::default())

@@ -43,7 +43,7 @@ fn shim_and_session_designs_are_identical_on_paper_benchmarks() {
         let session = engine.session(&compiled);
         for (t, p) in [(10u32, 40.0), (17, 25.0), (22, 12.0), (30, 60.0)] {
             let c = SynthesisConstraints::new(t, p);
-            let old = synthesize(&g, &lib, c, &opts);
+            let old = synthesize(&g, &lib, c.clone(), &opts);
             let new = session.synthesize(c, &opts);
             match (old, new) {
                 (Ok(a), Ok(b)) => {
@@ -72,13 +72,13 @@ fn shim_and_session_refined_and_portfolio_are_identical() {
         let session = engine.session(&compiled);
         let c = SynthesisConstraints::new(25, 40.0);
         assert_eq!(
-            synthesize_refined(&g, &lib, c, &opts).ok(),
-            session.synthesize_refined(c, &opts).ok(),
+            synthesize_refined(&g, &lib, c.clone(), &opts).ok(),
+            session.synthesize_refined(c.clone(), &opts).ok(),
             "{} refined",
             g.name()
         );
         assert_eq!(
-            synthesize_portfolio(&g, &lib, c, &opts).ok(),
+            synthesize_portfolio(&g, &lib, c.clone(), &opts).ok(),
             session.synthesize_portfolio(c, &opts).ok(),
             "{} portfolio",
             g.name()
@@ -156,9 +156,9 @@ proptest! {
         prop_assert_eq!(results.len(), requests.len());
         for (r, &(t, p)) in results.iter().zip(&points) {
             let c = SynthesisConstraints::new(t, p);
-            prop_assert_eq!(r.request.constraints, c);
-            let single = session.synthesize(c, &opts);
-            let old = synthesize(&g, &lib, c, &opts);
+            prop_assert_eq!(r.request.constraints.clone(), c.clone());
+            let single = session.synthesize(c.clone(), &opts);
+            let old = synthesize(&g, &lib, c.clone(), &opts);
             match (&r.outcome, single, old) {
                 (Ok(b), Ok(s), Ok(o)) => {
                     prop_assert_eq!(b, &s, "batch vs single at T={} P={}", t, p);

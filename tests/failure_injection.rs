@@ -71,7 +71,7 @@ fn inflating_op_power_past_the_bound_is_caught() {
         victim,
         OpTiming {
             delay: timing.delay(victim),
-            power: d.constraints.max_power + 10.0,
+            power: d.constraints.max_power() + 10.0,
         },
     );
     let corrupted = SynthesizedDesign { timing, ..d };
@@ -138,7 +138,7 @@ fn lying_about_the_latency_bound_is_caught() {
     let corrupted = SynthesizedDesign {
         constraints: SynthesisConstraints::new(
             d.latency.saturating_sub(2).max(1),
-            d.constraints.max_power,
+            d.constraints.max_power(),
         ),
         ..d
     };

@@ -54,7 +54,7 @@ proptest! {
         let g = random_dag(&cfg);
         let lib = paper_library();
         let c = generous(&g);
-        let d = synth(&g, c).expect("generous constraints are feasible");
+        let d = synth(&g, c.clone()).expect("generous constraints are feasible");
         d.validate(&g, &lib).expect("invariants hold");
         prop_assert!(d.binding.is_complete());
         prop_assert!(d.latency <= c.latency);
@@ -92,7 +92,7 @@ proptest! {
         let engine = Engine::new(lib.clone());
         let compiled = engine.compile(&g);
         let session = engine.session(&compiled);
-        let d = session.synthesize(c, &SynthesisOptions::default()).expect("feasible");
+        let d = session.synthesize(c.clone(), &SynthesisOptions::default()).expect("feasible");
         // The achieved peak is itself a feasible bound.
         let c2 = SynthesisConstraints::new(c.latency, d.peak_power);
         let d2 = session
