@@ -19,12 +19,13 @@
 use std::fs;
 use std::path::Path;
 
-use pchls_cdfg::Cdfg;
+use pchls_cdfg::{random_dag, Cdfg, RandomDagConfig};
 use pchls_core::{
     power_sweep_serial, CompiledGraph, Engine, SweepJob, SweepPoint, SweepResult, SweepSpec,
-    SynthesisOptions,
+    SynthesisConstraints, SynthesisOptions,
 };
-use pchls_fulib::ModuleLibrary;
+use pchls_fulib::{paper_library, ModuleLibrary, SelectionPolicy};
+use pchls_sched::TimingMap;
 
 /// The `(benchmark, latency)` curves of Figure 2, in the paper's legend
 /// order: hal (T=10), hal (T=17), cosine (T=12), cosine (T=15),
@@ -111,6 +112,48 @@ pub fn run_figure2(library: &ModuleLibrary) -> Vec<Vec<SweepPoint>> {
         .into_iter()
         .map(SweepResult::into_points)
         .collect()
+}
+
+/// Latency bound the `scale` workloads use for a graph: twice the
+/// fastest-module critical path — generous enough that pasap can
+/// stretch under the power cap, tight enough that module selection and
+/// pair merging stay non-trivial.
+#[must_use]
+pub fn scale_latency_for(graph: &Cdfg) -> u32 {
+    let lib = paper_library();
+    let timing = TimingMap::from_policy(graph, &lib, SelectionPolicy::Fastest);
+    pchls_sched::asap(graph, &timing).latency(&timing) * 2
+}
+
+/// The canonical random-graph case of the `scale` bench bin:
+/// `(name, graph, constraints)` for `ops` operations under `seed`.
+/// Shared between the bench binaries and the golden-trace test so the
+/// committed decision trace is pinned to exactly the graph the
+/// `BENCH_2` rand cases time.
+#[must_use]
+pub fn scale_random_case(
+    ops: usize,
+    seed: u64,
+    power: f64,
+) -> (String, Cdfg, SynthesisConstraints) {
+    let graph = random_dag(&RandomDagConfig {
+        ops,
+        inputs: 6,
+        outputs: 3,
+        mul_permille: 300,
+        depth_bias: 2,
+        seed,
+    });
+    let constraints = SynthesisConstraints::new(scale_latency_for(&graph), power);
+    (format!("rand{ops}/{seed}"), graph, constraints)
+}
+
+/// The rand200 case (`ops = 200, seed = 13, P< = 60`) — the `scale`
+/// workload's largest kernel case and the graph whose decision trace is
+/// byte-diffed against `crates/bench/tests/golden/rand200.json` in CI.
+#[must_use]
+pub fn rand200_case() -> (String, Cdfg, SynthesisConstraints) {
+    scale_random_case(200, 13, 60.0)
 }
 
 /// Serializes sweep points as JSON into `results/<name>.json`.

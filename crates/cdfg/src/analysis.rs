@@ -217,6 +217,167 @@ impl AnalysisCache {
     }
 }
 
+/// A fixed-capacity set of [`NodeId`]s stored as packed `u64` words —
+/// the word-parallel replacement for a `Vec<bool>` membership array.
+///
+/// The payoff is not `contains` (a bool-vec answers that in O(1) too)
+/// but the *row view*: [`NodeSet::words`] exposes the same packed layout
+/// as [`Reachability::descendant_words`], so set intersections ("unbound
+/// ∧ kind-compatible ∧ id > u") collapse to a handful of `AND`s walked
+/// with `trailing_zeros` — see [`iter_and_above`].
+///
+/// Trailing bits beyond `len` are kept zero as an invariant, so whole-word
+/// operations (`count`, intersection walks) never see phantom members.
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::{NodeId, NodeSet};
+///
+/// let mut s = NodeSet::full(70);
+/// s.remove(NodeId::new(3));
+/// assert_eq!(s.count(), 69);
+/// assert!(!s.contains(NodeId::new(3)));
+/// assert!(s.contains(NodeId::new(69)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// An empty set over a universe of `len` node ids.
+    #[must_use]
+    pub fn empty(len: usize) -> NodeSet {
+        NodeSet {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// The full set `{0, …, len-1}`.
+    #[must_use]
+    pub fn full(len: usize) -> NodeSet {
+        let mut s = NodeSet::empty(len);
+        s.fill();
+        s
+    }
+
+    /// Size of the universe (not the member count — see [`NodeSet::count`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the universe is empty (a zero-node graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `id` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = id.index();
+        assert!(i < self.len, "foreign id");
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn insert(&mut self, id: NodeId) {
+        let i = id.index();
+        assert!(i < self.len, "foreign id");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn remove(&mut self, id: NodeId) {
+        let i = id.index();
+        assert!(i < self.len, "foreign id");
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every id in the universe.
+    pub fn fill(&mut self) {
+        self.words.fill(!0u64);
+        let tail = self.len % 64;
+        if tail != 0 {
+            *self.words.last_mut().expect("len % 64 != 0 implies words") = (1u64 << tail) - 1;
+        }
+    }
+
+    /// Number of members (popcount over the words).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The packed word row — same layout as the [`Reachability`] rows, so
+    /// the two can be `AND`ed word-for-word.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        Reachability::iter_row(&self.words)
+    }
+}
+
+/// Walks the ids set in `a ∧ b` that are strictly greater than `above`,
+/// in ascending order — the kernel's pair-enumeration primitive
+/// ("unbound ∧ compatible-with-`u`'s-kind ∧ id > u") as two word `AND`s
+/// plus a `trailing_zeros` loop, touching only surviving words.
+///
+/// Both rows must use the packed layout of [`NodeSet::words`] /
+/// [`Reachability::descendant_words`] and be at least
+/// `(above + 1).div_ceil(64)` words long; shorter of the two rows bounds
+/// the walk.
+pub fn iter_and_above<'a>(
+    a: &'a [u64],
+    b: &'a [u64],
+    above: usize,
+) -> impl Iterator<Item = NodeId> + 'a {
+    let start = (above + 1) / 64;
+    // Bits ≤ `above` in the first surviving word are masked off; later
+    // words are taken whole.
+    let first_mask = !0u64 << ((above + 1) % 64);
+    let words = a.len().min(b.len());
+    (start..words).flat_map(move |w| {
+        let mut rest = a[w] & b[w];
+        if w == start && !(above + 1).is_multiple_of(64) {
+            rest &= first_mask;
+        }
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                return None;
+            }
+            let bit = rest.trailing_zeros();
+            rest &= rest - 1;
+            Some(NodeId::new((w * 64) as u32 + bit))
+        })
+    })
+}
+
 /// `rows[dst] |= rows[src]`, borrowing both rows disjointly.
 fn union_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
     debug_assert_ne!(dst, src, "a DAG has no self edges");

@@ -44,7 +44,7 @@ mod random;
 mod stats;
 mod text;
 
-pub use analysis::{AnalysisCache, CriticalPath, Reachability};
+pub use analysis::{iter_and_above, AnalysisCache, CriticalPath, NodeSet, Reachability};
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
 pub use fingerprint::graph_fingerprint;

@@ -319,3 +319,86 @@ mod optimize_props {
         }
     }
 }
+
+mod nodeset_props {
+    use super::*;
+    use pchls_cdfg::{iter_and_above, NodeId, NodeSet};
+
+    proptest! {
+        /// `NodeSet` agrees with a `Vec<bool>` reference under arbitrary
+        /// insert/remove sequences, including across word boundaries.
+        #[test]
+        fn nodeset_matches_bool_vec(
+            len in 1usize..200,
+            ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 0..256),
+        ) {
+            let mut set = NodeSet::empty(len);
+            let mut reference = vec![false; len];
+            for (insert, raw) in ops {
+                let i = (raw % len as u64) as usize;
+                if insert {
+                    set.insert(NodeId::new(i as u32));
+                    reference[i] = true;
+                } else {
+                    set.remove(NodeId::new(i as u32));
+                    reference[i] = false;
+                }
+            }
+            prop_assert_eq!(set.count(), reference.iter().filter(|&&b| b).count());
+            for (i, &bit) in reference.iter().enumerate() {
+                prop_assert_eq!(set.contains(NodeId::new(i as u32)), bit);
+            }
+            let iterated: Vec<usize> = set.iter().map(|id| id.index()).collect();
+            let expected: Vec<usize> =
+                (0..len).filter(|&i| reference[i]).collect();
+            prop_assert_eq!(iterated, expected);
+        }
+
+        /// `full` then `clear`/`fill` keep the trailing-bits-zero invariant:
+        /// whole-word counts never see phantom members past `len`.
+        #[test]
+        fn nodeset_full_has_exact_popcount(len in 1usize..300) {
+            let mut set = NodeSet::full(len);
+            prop_assert_eq!(set.count(), len);
+            set.clear();
+            prop_assert_eq!(set.count(), 0);
+            set.fill();
+            prop_assert_eq!(set.count(), len);
+            prop_assert_eq!(
+                set.words().iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+                len
+            );
+        }
+
+        /// The word-walk `a ∧ b ∧ (id > above)` primitive agrees with the
+        /// scalar filter it replaces.
+        #[test]
+        fn iter_and_above_matches_scalar_filter(
+            len in 1usize..200,
+            a_bits in proptest::collection::vec(any::<u64>(), 0..128),
+            b_bits in proptest::collection::vec(any::<u64>(), 0..128),
+            above_raw in any::<u64>(),
+        ) {
+            let mut a = NodeSet::empty(len);
+            let mut b = NodeSet::empty(len);
+            for raw in a_bits {
+                a.insert(NodeId::new((raw % len as u64) as u32));
+            }
+            for raw in b_bits {
+                b.insert(NodeId::new((raw % len as u64) as u32));
+            }
+            let above = (above_raw % len as u64) as usize;
+            let walked: Vec<usize> = iter_and_above(a.words(), b.words(), above)
+                .map(|id| id.index())
+                .collect();
+            let expected: Vec<usize> = (0..len)
+                .filter(|&i| {
+                    i > above
+                        && a.contains(NodeId::new(i as u32))
+                        && b.contains(NodeId::new(i as u32))
+                })
+                .collect();
+            prop_assert_eq!(walked, expected);
+        }
+    }
+}

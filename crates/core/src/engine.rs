@@ -151,6 +151,20 @@ impl Engine {
         // Warm the closure eagerly: compile is the one place allowed to
         // be slow, sessions must only read.
         let _ = analyses.reachability(graph);
+        // Kind-major node masks: row `k` has bit `j` set iff some module
+        // implements both kind `k` and node `j`'s kind. ANDed against
+        // the kernel's unbound bitset, one row turns "every compatible
+        // pair partner of an op" into a word walk.
+        let mask_words = graph.len().div_ceil(64);
+        let mut compat_masks = vec![0u64; OpKind::ALL.len() * mask_words];
+        for (j, node) in graph.nodes().iter().enumerate() {
+            let kj = node.kind().index();
+            for k in 0..OpKind::ALL.len() {
+                if self.kind_compat[k][kj] {
+                    compat_masks[k * mask_words + j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
         Ok(CompiledGraph {
             graph: graph.clone(),
             analyses,
@@ -163,6 +177,8 @@ impl Engine {
             alap_fastest: std::sync::OnceLock::new(),
             min_latency,
             asap_peak,
+            compat_masks,
+            mask_words,
             optimize_stats: None,
         })
     }
@@ -298,6 +314,14 @@ pub struct CompiledGraph {
     alap_fastest: std::sync::OnceLock<Schedule>,
     min_latency: u32,
     asap_peak: f64,
+    /// Kind-major compatibility masks over the graph's nodes (row `k`,
+    /// bit `j`: some module implements both kind `k` and node `j`'s
+    /// kind), in the packed `u64` layout of
+    /// [`Reachability::descendant_words`] — the kernel ANDs a row
+    /// against its unbound bitset to enumerate pair-merge partners.
+    compat_masks: Vec<u64>,
+    /// Words per `compat_masks` row.
+    mask_words: usize,
     optimize_stats: Option<OptimizeStats>,
 }
 
@@ -322,6 +346,12 @@ impl CompiledGraph {
 
     pub(crate) fn seed_modules(&self) -> &[ModuleId] {
         &self.seed_modules
+    }
+
+    /// The node-compatibility mask row of `kind` (see `compat_masks`).
+    pub(crate) fn compat_row(&self, kind: OpKind) -> &[u64] {
+        let k = kind.index();
+        &self.compat_masks[k * self.mask_words..(k + 1) * self.mask_words]
     }
 
     /// Per-operation timing under the fastest-module policy.

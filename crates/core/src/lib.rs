@@ -64,6 +64,7 @@ mod explore;
 mod options;
 mod refine;
 mod synthesis;
+mod topk;
 
 pub use area::{area_breakdown, AreaBreakdown, AreaModel};
 pub use baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, BaselineDesign};
@@ -86,3 +87,4 @@ pub use pchls_sched::PowerBudget;
 pub use refine::{synthesize_portfolio, synthesize_refined};
 #[allow(deprecated)]
 pub use synthesis::synthesize;
+pub use topk::TopK;

@@ -1,7 +1,7 @@
 //! The combined power-constrained scheduling/allocation/binding loop.
 
 use pchls_bind::{Binding, InstanceId};
-use pchls_cdfg::{Cdfg, NodeId, Reachability};
+use pchls_cdfg::{iter_and_above, Cdfg, NodeId, NodeSet, Reachability};
 use pchls_fulib::{ModuleId, ModuleLibrary};
 use pchls_sched::{
     palap_locked_budget, pasap_locked_budget, LockedStarts, OpTiming, PowerLedger, Schedule,
@@ -15,6 +15,7 @@ use crate::design::{SynthesisStats, SynthesizedDesign};
 use crate::engine::{CompiledGraph, Engine, KindCompat, Progress};
 use crate::error::SynthesisError;
 use crate::options::SynthesisOptions;
+use crate::topk::TopK;
 
 /// One greedy decision over the compatibility structure, in decreasing
 /// order of preference:
@@ -111,12 +112,18 @@ pub(crate) fn synthesize_session(
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
-    // Dense membership of the not-yet-bound operations; `unbound_vec`
-    // below re-materializes the ascending-id order the scoring pass
-    // iterates in.
-    let mut unbound = vec![true; n];
+    // Word-bitset membership of the not-yet-bound operations, in the
+    // same packed layout as the `Reachability` rows and the compiled
+    // kind-compat masks — pair enumeration ANDs it against a compat row
+    // and walks the surviving words. `scratch.unbound_vec` below
+    // re-materializes the ascending-id order the scoring pass iterates
+    // in.
+    let mut unbound = NodeSet::full(n);
     let mut unbound_count = n;
     let mut stats = SynthesisStats::default();
+    // Iteration-scoped work buffers, allocated once per synthesize call
+    // and `clear()`ed per iteration instead of rebuilt.
+    let mut scratch = Scratch::new(library.len());
 
     // The per-cycle power reserved by locked operations, maintained
     // incrementally: candidate attempts reserve on apply and restore a
@@ -164,56 +171,72 @@ pub(crate) fn synthesize_session(
         let palap = palap_locked_budget(graph, &timing, &budget, constraints.latency, &locked).ok();
         let late = palap.as_ref().unwrap_or(&provisional);
 
-        let unbound_vec: Vec<NodeId> = (0..n)
-            .filter(|&i| unbound[i])
-            .map(|i| NodeId::new(i as u32))
-            .collect();
+        scratch.unbound_vec.clear();
+        scratch.unbound_vec.extend(unbound.iter());
         // Candidate scoring fans out across the worker pool only when
         // the iteration is wide enough to amortize the spawn and a
         // fan-out would actually happen (single-worker hosts and nested
         // sweep workers stay on the buffer-free serial shape); both
         // paths produce bit-identical decisions (see
         // `enumerate_candidates`).
-        let parallel =
-            unbound_vec.len() >= PAR_MIN_OPS && pchls_par::would_parallelize(unbound_vec.len());
+        let parallel = scratch.unbound_vec.len() >= PAR_MIN_OPS
+            && pchls_par::would_parallelize(scratch.unbound_vec.len());
 
-        let busy = instance_busy(&binding, &locked, &timing);
+        instance_busy_into(&binding, &locked, &timing, &mut scratch.busy);
         // Open instances bucketed by module (ascending instance id per
         // row), so a candidate (op, module) only visits the instances it
         // could actually merge onto.
-        let mut by_module: Vec<Vec<InstanceId>> = vec![Vec::new(); library.len()];
+        for row in &mut scratch.by_module {
+            row.clear();
+        }
         for iid in binding.instance_ids() {
-            by_module[binding.instance(iid).module().index()].push(iid);
+            scratch.by_module[binding.instance(iid).module().index()].push(iid);
         }
         let mut ctx = Context {
             graph,
             library,
             options,
             reach,
+            compiled,
             timing: &timing,
             est_modules: &est_modules,
             kind_modules,
             binding: &binding,
             locked: &locked,
             ledger: &ledger,
-            busy: &busy,
-            by_module: &by_module,
+            busy: &scratch.busy,
+            by_module: &scratch.by_module,
             kind_compat,
             provisional: &provisional,
             late,
             constraints,
             peak_power: constraints.max_power(),
-            start0: Vec::new(),
-            avoided: Vec::new(),
+            start0: std::mem::take(&mut scratch.start0),
+            avoided: std::mem::take(&mut scratch.avoided),
         };
-        ctx.precompute_tables(&unbound_vec, parallel);
-        let candidates = enumerate_candidates(&ctx, &unbound_vec, parallel);
+        ctx.precompute_tables(&scratch.unbound_vec, parallel);
+        scratch.candidates.clear();
+        enumerate_candidates(
+            &ctx,
+            &scratch.unbound_vec,
+            unbound.words(),
+            parallel,
+            &mut scratch.candidates,
+            &mut scratch.pairs,
+        );
+        // Hand the score tables back for the next iteration and release
+        // every `ctx` borrow before the commit loop mutates state.
+        scratch.start0 = std::mem::take(&mut ctx.start0);
+        scratch.avoided = std::mem::take(&mut ctx.avoided);
+        drop(ctx);
+        let candidates: &[Decision] = &scratch.candidates;
         // Deterministic order: best score first, then earlier start, then
         // smaller op id, then enumeration index — the index makes the
-        // comparison a *total* order, so the unstable top-k selection
-        // below is deterministic and equal to a stable full sort. Only
-        // the top `MAX_ATTEMPTS` are ever attempted, so an O(C) select
-        // replaces the old O(C log C) full sort of every candidate.
+        // comparison a *total* order, so the kept top-k set is unique
+        // and the bounded heap below equals a stable full sort truncated
+        // to `MAX_ATTEMPTS`. One pass, one persistent buffer: each
+        // also-ran candidate costs a single comparison against the
+        // heap's worst kept entry.
         let cmp = |&x: &u32, &y: &u32| {
             let (a, b) = (&candidates[x as usize], &candidates[y as usize]);
             b.score
@@ -223,12 +246,11 @@ pub(crate) fn synthesize_session(
                 .then(a.op.cmp(&b.op))
                 .then(x.cmp(&y))
         };
-        let mut order: Vec<u32> = (0..candidates.len() as u32).collect();
-        if order.len() > MAX_ATTEMPTS {
-            order.select_nth_unstable_by(MAX_ATTEMPTS - 1, cmp);
-            order.truncate(MAX_ATTEMPTS);
+        scratch.top.clear();
+        for i in 0..candidates.len() as u32 {
+            scratch.top.push(i, cmp);
         }
-        order.sort_unstable_by(cmp);
+        let order: &[u32] = scratch.top.sorted(cmp);
 
         // Try candidates best-first; a candidate commits only if the
         // remaining operations still admit a power-feasible schedule (the
@@ -256,11 +278,11 @@ pub(crate) fn synthesize_session(
                 || pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
                     .is_ok();
             if feasible {
-                unbound[cand.op.index()] = false;
+                unbound.remove(cand.op);
                 unbound_count -= 1;
                 stats.decisions += 1;
                 if let Target::FreshPair { partner, .. } = cand.target {
-                    unbound[partner.index()] = false;
+                    unbound.remove(partner);
                     unbound_count -= 1;
                     stats.decisions += 1;
                 }
@@ -292,13 +314,13 @@ pub(crate) fn synthesize_session(
             if !options.backtracking {
                 return Err(SynthesisError::Infeasible {
                     cause: ScheduleError::Infeasible {
-                        node: unbound_vec[0],
+                        node: scratch.unbound_vec[0],
                         horizon: constraints.latency,
                         max_power: constraints.max_power(),
                     },
                 });
             }
-            for &v in &unbound_vec {
+            for &v in &scratch.unbound_vec {
                 locked.lock(v, provisional.start(v));
             }
             // Rebuild the ledger from the full locked set (the newly
@@ -372,6 +394,9 @@ struct Context<'a> {
     library: &'a ModuleLibrary,
     options: &'a SynthesisOptions,
     reach: &'a Reachability,
+    /// Source of the compiled kind-compat node masks (see
+    /// [`Context::compat_row`]).
+    compiled: &'a CompiledGraph,
     timing: &'a TimingMap,
     est_modules: &'a [ModuleId],
     /// Per-kind module candidate lists, indexed by [`OpKind::index`].
@@ -431,26 +456,66 @@ fn locked_ledger(
     Ok(ledger)
 }
 
-/// Busy intervals of each instance (bound ops are always locked).
-fn instance_busy(
+/// Busy intervals of each instance (bound ops are always locked),
+/// rebuilt into `busy` — rows are cleared and reused, not reallocated.
+fn instance_busy_into(
     binding: &Binding,
     locked: &LockedStarts,
     timing: &TimingMap,
-) -> Vec<Vec<(u32, u32)>> {
-    binding
-        .instance_ids()
-        .map(|iid| {
-            binding
-                .instance(iid)
-                .ops()
-                .iter()
-                .map(|&op| {
-                    let s = locked.get(op).expect("bound ops are locked");
-                    (s, s + timing.delay(op))
-                })
-                .collect()
-        })
-        .collect()
+    busy: &mut Vec<Vec<(u32, u32)>>,
+) {
+    let count = binding.instance_ids().count();
+    busy.truncate(count);
+    for row in busy.iter_mut() {
+        row.clear();
+    }
+    busy.resize_with(count, Vec::new);
+    for iid in binding.instance_ids() {
+        let row = &mut busy[iid.index()];
+        for &op in binding.instance(iid).ops() {
+            let s = locked.get(op).expect("bound ops are locked");
+            row.push((s, s + timing.delay(op)));
+        }
+    }
+}
+
+/// Per-call work buffers for the greedy iteration loop, `clear()`ed and
+/// refilled each iteration instead of reallocated — the iteration loop
+/// runs `n/2`–`n` times per synthesize call, so the rebuilt-vec churn
+/// (ids, busy rows, module buckets, candidates, score tables, ranking)
+/// used to dominate small-point allocations.
+struct Scratch {
+    /// Unbound ops in ascending id order (the scoring iteration order).
+    unbound_vec: Vec<NodeId>,
+    /// Busy intervals per instance, indexed by instance id.
+    busy: Vec<Vec<(u32, u32)>>,
+    /// Open instances per library module, ascending instance id.
+    by_module: Vec<Vec<InstanceId>>,
+    /// The iteration's enumerated decisions.
+    candidates: Vec<Decision>,
+    /// Pair-merge work list (parallel enumeration only).
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Bounded best-`MAX_ATTEMPTS` ranking over candidate indices.
+    top: TopK<u32>,
+    /// `Context::start0` score table, handed back after each iteration.
+    start0: Vec<Option<u32>>,
+    /// `Context::avoided` score table, handed back after each iteration.
+    avoided: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(lib_len: usize) -> Scratch {
+        Scratch {
+            unbound_vec: Vec::new(),
+            busy: Vec::new(),
+            by_module: vec![Vec::new(); lib_len],
+            candidates: Vec::new(),
+            pairs: Vec::new(),
+            top: TopK::new(MAX_ATTEMPTS),
+            start0: Vec::new(),
+            avoided: Vec::new(),
+        }
+    }
 }
 
 impl Context<'_> {
@@ -461,7 +526,13 @@ impl Context<'_> {
     /// order, so the tables are bit-identical to a serial fill).
     fn precompute_tables(&mut self, unbound: &[NodeId], parallel: bool) {
         let lib_len = self.library.len();
-        let mut start0 = vec![None; self.graph.len() * lib_len];
+        // The tables live in the caller's scratch between iterations:
+        // clear + resize reuses their capacity while resetting every
+        // entry (only unbound rows are ever read, and those are all
+        // rewritten below).
+        let mut start0 = std::mem::take(&mut self.start0);
+        start0.clear();
+        start0.resize(self.graph.len() * lib_len, None);
         if parallel {
             let rows: Vec<Vec<(ModuleId, Option<u32>)>> = pchls_par::par_map(unbound, |&u| {
                 self.kind_list(u)
@@ -482,7 +553,9 @@ impl Context<'_> {
                 }
             }
         }
-        let mut avoided = vec![0.0; self.graph.len()];
+        let mut avoided = std::mem::take(&mut self.avoided);
+        avoided.clear();
+        avoided.resize(self.graph.len(), 0.0);
         for &u in unbound {
             let row = self.kind_list(u);
             // Area of the cheapest library module that could *feasibly*
@@ -511,6 +584,14 @@ impl Context<'_> {
     /// The candidate modules of `op`'s kind.
     fn kind_list(&self, op: NodeId) -> &[ModuleId] {
         &self.kind_modules[self.graph.node(op).kind().index()]
+    }
+
+    /// Compiled node-mask row of `op`'s kind: bit `j` set iff some
+    /// module implements both `op`'s kind and node `j`'s kind. ANDed
+    /// against the unbound bitset this yields exactly the partners
+    /// `pair_decisions` would not reject on kind grounds.
+    fn compat_row(&self, op: NodeId) -> &[u64] {
+        self.compiled.compat_row(self.graph.node(op).kind())
     }
 
     /// Tabulated avoided area of `op` (unbound ops only).
@@ -604,60 +685,69 @@ impl Context<'_> {
     }
 }
 
-/// Enumerates every feasible decision for the unbound operations.
+/// Enumerates every feasible decision for the unbound operations into
+/// `out` (cleared by the caller; `pair_buf` is the parallel path's
+/// reusable work-list buffer).
+///
+/// Pair partners come from a word walk, not a nested scan: for each
+/// unbound `u`, `unbound ∧ compat_row(kind(u)) ∧ (id > u)` is two
+/// word-`AND`s walked with `trailing_zeros` ([`iter_and_above`]). The
+/// surviving ids are exactly the partners the scalar `v`-loop would
+/// have fed `pair_decisions` that pass its kind-compatibility
+/// early-return, in the same ascending order — dropped pairs produced
+/// no decisions, so enumeration indices (and the trace) are unchanged.
 ///
 /// Scoring is embarrassingly parallel over a *deterministic* work list:
 /// one item per unbound op (its existing-instance merges and dedicated
-/// fallback) followed by one per unordered pair.
+/// fallback) followed by one per surviving pair.
 /// [`pchls_par::par_map`] preserves item order, each item's decisions
 /// are generated in the same inner order as the serial loops, and the
-/// caller's sort is stable over this enumeration index — a fixed
+/// caller's ranking is stable over this enumeration index — a fixed
 /// `(score, start, op, enumeration index)` total order — so the
 /// committed decision, and therefore the whole synthesis trace, is
 /// bit-identical to a serial run regardless of thread count.
 fn enumerate_candidates(
     ctx: &Context<'_>,
     unbound_vec: &[NodeId],
+    unbound_words: &[u64],
     parallel: bool,
-) -> Vec<Decision> {
+    out: &mut Vec<Decision>,
+    pair_buf: &mut Vec<(NodeId, NodeId)>,
+) {
     if !parallel {
         // Narrow iteration: one shared output vector, no per-item
         // buffers — the allocation profile of the fully serial loops.
-        let mut out = Vec::new();
         for &u in unbound_vec {
-            single_decisions(ctx, u, &mut out);
+            single_decisions(ctx, u, out);
         }
-        for (i, &u) in unbound_vec.iter().enumerate() {
-            for &v in &unbound_vec[i + 1..] {
-                pair_decisions(ctx, u, v, &mut out);
+        for &u in unbound_vec {
+            for v in iter_and_above(unbound_words, ctx.compat_row(u), u.index()) {
+                pair_decisions(ctx, u, v, out);
             }
         }
-        return out;
+        return;
     }
 
     let singles = pchls_par::par_map(unbound_vec, |&u| {
-        let mut out = Vec::new();
-        single_decisions(ctx, u, &mut out);
-        out
+        let mut items = Vec::new();
+        single_decisions(ctx, u, &mut items);
+        items
     });
-    // (2) Pair merges: two unbound operations opening one shared unit.
-    // Kind-incompatible pairs produce nothing (see `pair_decisions`), so
-    // they are dropped from the work list up front.
-    let pairs: Vec<(NodeId, NodeId)> = unbound_vec
-        .iter()
-        .enumerate()
-        .flat_map(|(i, &u)| unbound_vec[i + 1..].iter().map(move |&v| (u, v)))
-        .filter(|&(u, v)| {
-            ctx.kind_compat[ctx.graph.node(u).kind().index()][ctx.graph.node(v).kind().index()]
-        })
-        .collect();
-    let paired = pchls_par::par_map(&pairs, |&(u, v)| {
-        let mut out = Vec::new();
-        pair_decisions(ctx, u, v, &mut out);
-        out
+    // (2) Pair merges: two unbound operations opening one shared unit,
+    // work list built by the same word walk as the serial loop.
+    pair_buf.clear();
+    for &u in unbound_vec {
+        for v in iter_and_above(unbound_words, ctx.compat_row(u), u.index()) {
+            pair_buf.push((u, v));
+        }
+    }
+    let paired = pchls_par::par_map(pair_buf, |&(u, v)| {
+        let mut items = Vec::new();
+        pair_decisions(ctx, u, v, &mut items);
+        items
     });
 
-    singles.into_iter().chain(paired).flatten().collect()
+    out.extend(singles.into_iter().chain(paired).flatten());
 }
 
 /// Appends the decisions binding one unbound operation on its own:
@@ -709,10 +799,12 @@ fn single_decisions(ctx: &Context<'_>, u: NodeId, out: &mut Vec<Decision>) {
 /// Appends the pair-merge decisions for one unordered pair of unbound
 /// operations, in the serial enumeration order.
 fn pair_decisions(ctx: &Context<'_>, u: NodeId, v: NodeId, out: &mut Vec<Decision>) {
-    // No module covers both kinds: nothing below can ever match.
-    if !ctx.kind_compat[ctx.graph.node(u).kind().index()][ctx.graph.node(v).kind().index()] {
-        return;
-    }
+    // Kind-incompatible pairs (no module covers both kinds) are already
+    // dropped by the callers' compat-mask word walk.
+    debug_assert!(
+        ctx.kind_compat[ctx.graph.node(u).kind().index()][ctx.graph.node(v).kind().index()],
+        "pair enumeration fed a kind-incompatible pair"
+    );
     // Serialize in dependence order if one exists.
     let (first, second) = if ctx.reach.reaches(v, u) {
         (v, u)

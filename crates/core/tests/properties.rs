@@ -1,0 +1,76 @@
+//! Property-based tests over the synthesis kernel's selection
+//! primitives.
+
+use proptest::prelude::*;
+
+use pchls_core::TopK;
+
+mod topk_props {
+    use super::*;
+    use std::cmp::Ordering;
+
+    /// The kernel's candidate comparator shape: score descending (ties
+    /// broken ascending on the remaining keys), made total by the index.
+    fn kernel_cmp(cands: &[(f64, u32, u32)]) -> impl Fn(&u32, &u32) -> Ordering + '_ {
+        move |&x: &u32, &y: &u32| {
+            let (a, b) = (&cands[x as usize], &cands[y as usize]);
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+                .then(x.cmp(&y))
+        }
+    }
+
+    proptest! {
+        /// The bounded heap keeps exactly the full sort's top-`k` — the
+        /// equivalence that lets the kernel replace
+        /// `select_nth_unstable` + truncate + sort without moving a
+        /// single decision trace. Scores are drawn from a small grid so
+        /// ties (resolved by the index key) are common.
+        #[test]
+        fn bounded_heap_equals_full_sort_top_k(
+            k in 1usize..80,
+            raw in proptest::collection::vec((0u8..12, 0u32..9, 0u32..50), 0..300),
+        ) {
+            let cands: Vec<(f64, u32, u32)> = raw
+                .iter()
+                .map(|&(s, start, op)| (f64::from(s) * 0.5, start, op))
+                .collect();
+            let cmp = kernel_cmp(&cands);
+
+            let mut reference: Vec<u32> = (0..cands.len() as u32).collect();
+            reference.sort_by(&cmp);
+            reference.truncate(k);
+
+            let mut top = TopK::new(k);
+            for i in 0..cands.len() as u32 {
+                top.push(i, &cmp);
+            }
+            prop_assert_eq!(top.sorted(&cmp), &reference[..]);
+        }
+
+        /// Buffer reuse (`clear` between rounds) never leaks state from
+        /// a previous round into the next selection.
+        #[test]
+        fn cleared_heap_forgets_previous_rounds(
+            k in 1usize..20,
+            rounds in proptest::collection::vec(
+                proptest::collection::vec(any::<u64>(), 0..60),
+                1..4,
+            ),
+        ) {
+            let mut top = TopK::new(k);
+            for round in &rounds {
+                top.clear();
+                for &x in round {
+                    top.push(x, u64::cmp);
+                }
+                let mut reference = round.clone();
+                reference.sort_unstable();
+                reference.truncate(k);
+                prop_assert_eq!(top.sorted(u64::cmp), &reference[..]);
+            }
+        }
+    }
+}

@@ -32,6 +32,52 @@ thread_local! {
     /// one (candidate scoring in the synthesis kernel) cannot
     /// oversubscribe the machine with `workers²` threads.
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-thread cap on the fan-out width, set by
+    /// [`with_thread_count`]. `usize::MAX` means "no scoped cap" — the
+    /// process-wide [`thread_count`] alone decides.
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Upper clamp on every thread-count control (`PCHLS_THREADS`,
+/// [`with_thread_count`]): fan-out beyond 64 workers is outside this
+/// workspace's design envelope (the work-stealing cursor and the
+/// per-call thread spawn both stop paying for themselves long before).
+pub const MAX_THREADS: usize = 64;
+
+/// Parses a `PCHLS_THREADS` override: a `usize`, clamped to
+/// `[1, MAX_THREADS]`. Returns `None` (fall back to the host core
+/// count) when the value does not parse.
+fn parse_thread_override(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.clamp(1, MAX_THREADS))
+}
+
+/// The fan-out width [`par_map`] would use on this thread right now:
+/// the process-wide [`thread_count`] capped by any enclosing
+/// [`with_thread_count`] scope.
+fn effective_thread_count() -> usize {
+    thread_count().min(THREAD_CAP.with(Cell::get))
+}
+
+/// Runs `f` with every [`par_map`] fan-out *started on this thread*
+/// capped at `threads` workers (clamped to `[1, MAX_THREADS]`).
+///
+/// This is the in-process knob behind the `scaling` benchmark's
+/// per-thread-count curves: the cached [`thread_count`] resolves the
+/// `PCHLS_THREADS` environment once per process, so curves over 1/2/4/8
+/// workers need a scoped override instead. `with_thread_count(1, f)` is
+/// equivalent to [`with_serial`] for fan-out purposes (every `par_map`
+/// degenerates to the serial map), and results are byte-identical at
+/// every cap because [`par_map`] is order-preserving.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let cap = threads.clamp(1, MAX_THREADS);
+    let prev = THREAD_CAP.with(|c| c.replace(cap));
+    let out = f();
+    THREAD_CAP.with(|c| c.set(prev));
+    out
 }
 
 /// Whether a [`par_map`] call on this thread over `items` items would
@@ -41,7 +87,7 @@ thread_local! {
 /// skip the parallel shape when it buys nothing.
 #[must_use]
 pub fn would_parallelize(items: usize) -> bool {
-    items > 1 && !IN_PARALLEL_REGION.with(Cell::get) && thread_count() > 1
+    items > 1 && !IN_PARALLEL_REGION.with(Cell::get) && effective_thread_count() > 1
 }
 
 /// Runs `f` with all [`par_map`] calls on this thread forced serial.
@@ -173,9 +219,10 @@ impl WorkerPool {
 /// The number of worker threads [`par_map`] uses.
 ///
 /// Defaults to [`std::thread::available_parallelism`], clamped to the
-/// item count; the `PCHLS_THREADS` environment variable overrides it
-/// (`PCHLS_THREADS=1` forces serial execution, handy for profiling and
-/// for A/B-testing parallel speedups).
+/// item count; the `PCHLS_THREADS` environment variable overrides it,
+/// clamped to `[1, MAX_THREADS]` (`PCHLS_THREADS=1` forces serial
+/// execution, handy for profiling, A/B-testing parallel speedups, and
+/// pinning CI scaling runs to a reproducible width).
 ///
 /// Resolved **once per process** and cached: both the env lookup and
 /// `available_parallelism` (which re-parses cgroup limits on Linux —
@@ -183,15 +230,16 @@ impl WorkerPool {
 /// synthesis kernel, which consults [`would_parallelize`] every
 /// iteration. Set `PCHLS_THREADS` before the first parallel call;
 /// later changes are ignored. In-process A/B switching uses
-/// [`with_serial`], not the environment.
+/// [`with_serial`] / [`with_thread_count`], not the environment.
 #[must_use]
 pub fn thread_count() -> usize {
     static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("PCHLS_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
+        if let Some(n) = std::env::var("PCHLS_THREADS")
+            .ok()
+            .and_then(|v| parse_thread_override(&v))
+        {
+            return n;
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -212,7 +260,7 @@ pub fn thread_count() -> usize {
 ///
 /// Propagates the first panic raised by `f` on any worker.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = thread_count().min(items.len());
+    let workers = effective_thread_count().min(items.len());
     if workers <= 1 || IN_PARALLEL_REGION.with(Cell::get) {
         return items.iter().map(f).collect();
     }
@@ -353,6 +401,54 @@ mod tests {
         assert_eq!(pool.len(), 1);
         assert!(!pool.is_empty());
         pool.join();
+    }
+
+    #[test]
+    fn thread_override_parses_and_clamps() {
+        // The `PCHLS_THREADS` grammar: a usize, clamped to [1, 64];
+        // anything else falls back to the host core count (None).
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 8 \n"), Some(8));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("0"), Some(1), "clamped up to 1");
+        assert_eq!(parse_thread_override("64"), Some(64));
+        assert_eq!(parse_thread_override("65"), Some(64), "clamped to 64");
+        assert_eq!(parse_thread_override("100000"), Some(64));
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("abc"), None);
+        assert_eq!(parse_thread_override("-2"), None);
+        assert_eq!(parse_thread_override("3.5"), None);
+    }
+
+    #[test]
+    fn with_thread_count_caps_fanout_and_restores() {
+        assert_eq!(THREAD_CAP.with(Cell::get), usize::MAX);
+        with_thread_count(2, || {
+            assert_eq!(THREAD_CAP.with(Cell::get), 2);
+            assert_eq!(effective_thread_count(), thread_count().min(2));
+            // Nested scopes tighten and restore independently.
+            with_thread_count(1, || {
+                assert_eq!(effective_thread_count(), 1);
+                assert!(!would_parallelize(1000), "cap 1 must read as serial");
+            });
+            assert_eq!(THREAD_CAP.with(Cell::get), 2);
+        });
+        assert_eq!(THREAD_CAP.with(Cell::get), usize::MAX);
+        // Out-of-range caps clamp like the env override.
+        with_thread_count(0, || assert_eq!(THREAD_CAP.with(Cell::get), 1));
+        with_thread_count(1 << 20, || {
+            assert_eq!(THREAD_CAP.with(Cell::get), MAX_THREADS);
+        });
+    }
+
+    #[test]
+    fn par_map_is_identical_at_every_thread_cap() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        for cap in [1, 2, 3, 4, 8] {
+            let out = with_thread_count(cap, || par_map(&items, |&x| x.wrapping_mul(x) ^ 17));
+            assert_eq!(out, reference, "cap {cap}");
+        }
     }
 
     #[test]

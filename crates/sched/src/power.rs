@@ -278,6 +278,55 @@ pub struct PowerLedger {
 /// leaf-scan mode.
 const SCAN_LIMIT: usize = 64;
 
+/// Longest window the tree modes still answer with a direct (unrolled)
+/// leaf scan instead of a tree walk. With the 4-wide reductions below, a
+/// 32-cycle window is 8 independent max/min steps — still cheaper than
+/// descending and re-ascending ~2·log₂(horizon) internal nodes.
+const CHUNK_LIMIT: usize = 32;
+
+/// Maximum of `values` with four independent accumulators so the f64
+/// `max` chains don't serialize — the compiler keeps the accumulators in
+/// separate registers (auto-vectorizing where the target allows).
+/// Returns `-inf` for an empty slice. `f64::max` here is commutative and
+/// associative over the ledger's leaf values (never NaN, see
+/// [`PowerLedger::reserve`]'s fits-first contract), so the reassociated
+/// reduction equals the sequential fold bit for bit.
+fn unrolled_max(values: &[f64]) -> f64 {
+    let mut acc = [f64::NEG_INFINITY; 4];
+    let chunks = values.chunks_exact(4);
+    let tail = chunks.remainder();
+    for c in chunks {
+        acc[0] = acc[0].max(c[0]);
+        acc[1] = acc[1].max(c[1]);
+        acc[2] = acc[2].max(c[2]);
+        acc[3] = acc[3].max(c[3]);
+    }
+    let mut m = (acc[0].max(acc[1])).max(acc[2].max(acc[3]));
+    for &v in tail {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Minimum of `values`, the 4-wide dual of [`unrolled_max`]. Returns
+/// `+inf` for an empty slice.
+fn unrolled_min(values: &[f64]) -> f64 {
+    let mut acc = [f64::INFINITY; 4];
+    let chunks = values.chunks_exact(4);
+    let tail = chunks.remainder();
+    for c in chunks {
+        acc[0] = acc[0].min(c[0]);
+        acc[1] = acc[1].min(c[1]);
+        acc[2] = acc[2].min(c[2]);
+        acc[3] = acc[3].min(c[3]);
+    }
+    let mut m = (acc[0].min(acc[1])).min(acc[2].min(acc[3]));
+    for &v in tail {
+        m = m.min(v);
+    }
+    m
+}
+
 impl PowerLedger {
     /// Creates an empty constant-mode ledger over `horizon` cycles with
     /// budget `max_power` per cycle (may be `f64::INFINITY`).
@@ -489,21 +538,23 @@ impl PowerLedger {
             return true;
         }
         if self.is_envelope() {
-            // Envelope predicate: enough slack in every covered cycle.
-            if self.scan || delay <= 8 {
-                return self.slack[self.size + start as usize..self.size + end]
-                    .iter()
-                    .all(|&s| power <= s + POWER_EPS);
+            // Envelope predicate: enough slack in every covered cycle,
+            // answered against the window's minimum slack (IEEE-754
+            // addition is monotone, so the min decides for every leaf —
+            // the same argument the slack tree rests on).
+            if self.scan || delay as usize <= CHUNK_LIMIT {
+                let min = unrolled_min(&self.slack[self.size + start as usize..self.size + end]);
+                return power <= min + POWER_EPS;
             }
             return power <= self.range_min_slack(start as usize, end) + POWER_EPS;
         }
         // Short intervals (the norm: module delays are 1–2 cycles) are a
-        // handful of contiguous loads — faster than any tree walk, and
-        // exactly the naive check over the same values.
-        if self.scan || delay <= 8 {
-            return self.tree[self.size + start as usize..self.size + end]
-                .iter()
-                .all(|&u| u + power <= self.max_power + POWER_EPS);
+        // few contiguous loads reduced 4-wide — faster than any tree
+        // walk, and the window's maximum decides exactly like the naive
+        // per-cycle check over the same values.
+        if self.scan || delay as usize <= CHUNK_LIMIT {
+            let max = unrolled_max(&self.tree[self.size + start as usize..self.size + end]);
+            return max + power <= self.max_power + POWER_EPS;
         }
         self.range_max(start as usize, end) + power <= self.max_power + POWER_EPS
     }
@@ -585,11 +636,16 @@ impl PowerLedger {
             // works with min in place of max.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             let violates = move |s: f64| !(power <= s + POWER_EPS);
-            if self.scan || r - l <= 8 {
-                return self.slack[self.size + l..self.size + r]
-                    .iter()
-                    .rposition(|&s| violates(s))
-                    .map(|i| l + i);
+            if self.scan || r - l <= CHUNK_LIMIT {
+                // Clean-range pre-check: the whole window passes iff its
+                // minimum slack does (the common case on the offset
+                // search's final probe), so the position scan only runs
+                // when a violation is known to exist.
+                let leaves = &self.slack[self.size + l..self.size + r];
+                if !violates(unrolled_min(leaves)) {
+                    return None;
+                }
+                return leaves.iter().rposition(|&s| violates(s)).map(|i| l + i);
             }
             return last_violation_in(&self.slack, self.size, 1, 0, self.size, l, r, &violates);
         }
@@ -602,11 +658,15 @@ impl PowerLedger {
         let violates = move |v: f64| !(v + power <= bound);
         // Short windows (the norm: delays are 1–2 cycles) scan their
         // leaves directly; the descent only pays off on long intervals.
-        if self.scan || r - l <= 8 {
-            return self.tree[self.size + l..self.size + r]
-                .iter()
-                .rposition(|&u| violates(u))
-                .map(|i| l + i);
+        // The 4-wide max pre-check settles the clean case (every final
+        // probe of an offset search) without a positional scan — NaN
+        // `power` makes `violates` total, so the max still falls through.
+        if self.scan || r - l <= CHUNK_LIMIT {
+            let leaves = &self.tree[self.size + l..self.size + r];
+            if !violates(unrolled_max(leaves)) {
+                return None;
+            }
+            return leaves.iter().rposition(|&u| violates(u)).map(|i| l + i);
         }
         last_violation_in(&self.tree, self.size, 1, 0, self.size, l, r, &violates)
     }
@@ -853,6 +913,23 @@ impl NaivePowerLedger {
 mod tests {
     use super::*;
     use crate::timing::OpTiming;
+
+    #[test]
+    fn unrolled_reductions_match_sequential_folds() {
+        // Lengths straddling the 4-wide chunking (0, tails of 1–3, exact
+        // multiples) against the plain folds they reassociate.
+        for len in 0..=21usize {
+            let values: Vec<f64> = (0..len)
+                .map(|i| ((i * 37 + 11) % 17) as f64 - 5.0)
+                .collect();
+            let fold_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let fold_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(unrolled_max(&values).to_bits(), fold_max.to_bits(), "{len}");
+            assert_eq!(unrolled_min(&values).to_bits(), fold_min.to_bits(), "{len}");
+        }
+        assert_eq!(unrolled_max(&[]), f64::NEG_INFINITY);
+        assert_eq!(unrolled_min(&[]), f64::INFINITY);
+    }
 
     #[test]
     fn ledger_reserve_release_round_trip() {

@@ -383,6 +383,31 @@ mod ledger_props {
             check_agreement_budget(horizon, &budget, &ops)?;
         }
 
+        /// The chunked (4-wide unrolled) leaf scans answer exactly like
+        /// the naive cycle scan on windows straddling every regime
+        /// boundary: delays crossing the former 8-cycle scalar cutoff,
+        /// the 32-cycle chunk limit, and beyond (tree descent), over
+        /// horizons past the 64-leaf scan limit so tree mode is engaged.
+        /// Both the constant max-reduction and the envelope
+        /// min-slack-reduction paths are exercised.
+        #[test]
+        fn chunked_leaf_scans_agree_with_naive_across_regimes(
+            horizon in 65u32..300,
+            envelope in any::<bool>(),
+            ops in proptest::collection::vec(
+                (0u8..15, 0u32..300, 0u32..80, 0f64..12.5),
+                1..60,
+            ),
+        ) {
+            if envelope {
+                // A two-phase envelope keeps the slack path engaged.
+                let budget = PowerBudget::steps(vec![(0, 25.0), (horizon / 2, 10.0)]);
+                check_agreement_budget(horizon, &budget, &ops)?;
+            } else {
+                check_agreement(horizon, 20.0, &ops)?;
+            }
+        }
+
         /// Dedicated large-horizon cases keep the tree-mode descent and
         /// headroom skip under pressure (long intervals, tight budget).
         #[test]
