@@ -29,6 +29,12 @@
 //! Outputs must be identical across every thread count, always.
 //! `PCHLS_THREADS` widens or pins the pool, making curves reproducible.
 //!
+//! A sixth workload, `store`, measures the persistent result store
+//! (`BENCH_7.json`): a rand200-class constraint grid synthesized cold
+//! vs. read warm from a `pchls-store` file — full records and
+//! area-column-only partial reads — with every store-served point
+//! byte-diffed against the fresh session output.
+//!
 //! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
 //! so CI can keep the workloads from rotting.
 //!
@@ -47,7 +53,7 @@ use pchls_bench::{figure2_power_grid, scale_random_case};
 use pchls_cdfg::{benchmarks, Cdfg};
 use pchls_core::{
     Engine, PowerBudget, Session, SweepSpec, SynthesisConstraints, SynthesisOptions,
-    SynthesizedDesign,
+    SynthesisRequest, SynthesizedDesign,
 };
 use pchls_fulib::{paper_library, ModuleLibrary};
 use pchls_serve::{Service, ServiceConfig, SubmitRequest};
@@ -1093,13 +1099,242 @@ fn scaling_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
     eprintln!("wrote BENCH_6.json");
 }
 
+/// The `store` trajectory record (`BENCH_7.json`).
+#[derive(Debug, Serialize)]
+struct StoreBenchRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Constraint points in the grid.
+    points: usize,
+    /// Worker threads the cold (recompute) side may use.
+    threads: usize,
+    /// Host cores.
+    host_cores: usize,
+    /// Case label (rand200-class random CDFG).
+    case: String,
+    /// Node count of the CDFG.
+    nodes: usize,
+    /// Warm-read timing repetitions (minimum taken per side).
+    reps: usize,
+    /// Wall-clock seconds to synthesize the whole grid from scratch —
+    /// what a second process pays without a store.
+    cold_secs: f64,
+    /// Best wall-clock seconds to open a cold store handle and read
+    /// every record back in full.
+    warm_full_secs: f64,
+    /// Best wall-clock seconds to open a cold store handle and read
+    /// only the key + feasibility + area columns.
+    warm_partial_secs: f64,
+    /// `cold_secs / warm_full_secs` — what the store tier saves.
+    cold_over_warm_full: f64,
+    /// `warm_full_secs / warm_partial_secs` — what columnar partial
+    /// reads save over full records.
+    warm_full_over_partial: f64,
+    /// Store file size in bytes.
+    file_bytes: u64,
+    /// Records in the store.
+    store_records: u64,
+    /// Uncompressed over compressed column bytes.
+    compression_ratio: f64,
+    /// Whether every store-served point serialized byte-identically to
+    /// the fresh `Session` output.
+    outputs_identical: bool,
+}
+
+/// The `store` workload: cold grid recompute vs. warm reads from a
+/// persistent result store, full-record and area-column-only
+/// (BENCH_7.json). Every store-served point must be byte-identical to
+/// the fresh [`Session::batch`] output it was materialized from.
+fn store_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
+    use pchls_store::{Store, StoreKey, StoreRecord};
+
+    let (case, grid_steps, reps) = if smoke {
+        (random_case(60, 11, 60.0), 8, 10)
+    } else {
+        (random_case(200, 13, 60.0), 24, 30)
+    };
+    let compiled = engine.compile(&case.graph);
+    let session = engine.session(&compiled);
+    let latency = case.constraints.latency;
+    let grid = session.auto_power_grid(grid_steps);
+    let constraints: Vec<SynthesisConstraints> = grid
+        .iter()
+        .map(|&p| SynthesisConstraints::new(latency, p))
+        .collect();
+    let keys: Vec<StoreKey> = constraints
+        .iter()
+        .map(|c| StoreKey::for_graph(compiled.graph(), c))
+        .collect();
+
+    // Cold side: the whole grid synthesized from scratch (parallel over
+    // the pool, exactly like a storeless `pchls batch`).
+    let start = Instant::now();
+    let results = session.batch(
+        constraints
+            .iter()
+            .map(|c| SynthesisRequest::new(c.clone()).with_options(*opts)),
+    );
+    let cold_secs = start.elapsed().as_secs_f64();
+    let fresh_json: Vec<String> = results
+        .iter()
+        .map(|r| serde_json::to_string(&r.to_point(compiled.name())).expect("point serializes"))
+        .collect();
+
+    // Materialize the store the way the CLI/service tier does: full
+    // records including the schedule trace.
+    let dir = std::env::temp_dir().join("pchls-bench-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let records: Vec<StoreRecord> = keys
+        .iter()
+        .zip(&results)
+        .map(|(&key, r)| {
+            let trace = r
+                .outcome
+                .as_ref()
+                .map(|d| pchls_store::trace_bytes(&d.schedule))
+                .unwrap_or_default();
+            StoreRecord::from_point(key, &r.to_point(compiled.name()), trace)
+        })
+        .collect();
+    let stat = {
+        let mut store = Store::open(&dir).expect("open bench store");
+        store.append(&records).expect("append");
+        store.flush().expect("flush");
+        store.stat().expect("stat")
+    };
+
+    // Warm full reads: a cold handle per rep (open = footer + index),
+    // then every record in full — the restarted-service path.
+    let mut warm_full_secs = f64::INFINITY;
+    let mut warm_records: Vec<StoreRecord> = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut store = Store::open(&dir).expect("reopen");
+        let out: Vec<StoreRecord> = keys
+            .iter()
+            .map(|k| store.get(k).expect("read").expect("materialized point"))
+            .collect();
+        warm_full_secs = warm_full_secs.min(start.elapsed().as_secs_f64());
+        warm_records = out;
+    }
+    let warm_json: Vec<String> = warm_records
+        .iter()
+        .map(|r| serde_json::to_string(&r.to_point(compiled.name())).expect("point serializes"))
+        .collect();
+    let outputs_identical = warm_json == fresh_json;
+
+    // Warm partial reads: the same cold handle, but only the key,
+    // feasibility and area columns are touched — the area-curve query.
+    let mut warm_partial_secs = f64::INFINITY;
+    let mut partial_ok = true;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut store = Store::open(&dir).expect("reopen");
+        let areas = store.scan_areas().expect("scan areas");
+        warm_partial_secs = warm_partial_secs.min(start.elapsed().as_secs_f64());
+        let by_key: std::collections::HashMap<StoreKey, Option<u64>> = areas.into_iter().collect();
+        partial_ok &= keys
+            .iter()
+            .zip(&results)
+            .all(|(k, r)| by_key.get(k).copied() == Some(r.to_point(compiled.name()).area));
+    }
+
+    let record = StoreBenchRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "store".into(),
+        points: grid.len(),
+        threads: pchls_par::thread_count(),
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        case: case.name.clone(),
+        nodes: case.graph.len(),
+        reps,
+        cold_secs,
+        warm_full_secs,
+        warm_partial_secs,
+        cold_over_warm_full: cold_secs / warm_full_secs,
+        warm_full_over_partial: warm_full_secs / warm_partial_secs,
+        file_bytes: stat.file_bytes,
+        store_records: stat.records,
+        compression_ratio: stat.compression_ratio(),
+        outputs_identical,
+    };
+    println!(
+        "\nstore: {} x {} point(s) | cold {:.4}s | warm full {:.6}s ({:.0}x) | \
+         warm partial {:.6}s ({:.2}x over full) | {} bytes, {:.2}x compression | identical: {}",
+        record.case,
+        record.points,
+        record.cold_secs,
+        record.warm_full_secs,
+        record.cold_over_warm_full,
+        record.warm_partial_secs,
+        record.warm_full_over_partial,
+        record.file_bytes,
+        record.compression_ratio,
+        record.outputs_identical,
+    );
+    assert!(
+        record.outputs_identical,
+        "store-served points diverged from fresh Session output"
+    );
+    assert!(partial_ok, "partial area reads diverged from full records");
+    assert!(
+        record.cold_over_warm_full >= 10.0,
+        "warm full-record reads must beat cold recompute by >= 10x, got {:.1}x",
+        record.cold_over_warm_full
+    );
+    assert!(
+        record.warm_full_over_partial > 1.0,
+        "partial column reads must beat full-record reads, got {:.2}x",
+        record.warm_full_over_partial
+    );
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_7.json", json).expect("write BENCH_7.json");
+    eprintln!("wrote BENCH_7.json");
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Positional names select a subset of workloads (all by default):
+    // `scale store` regenerates only BENCH_7.json.
+    let only: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let known = [
+        "kernel",
+        "amortized",
+        "service",
+        "envelope",
+        "scaling",
+        "store",
+    ];
+    if let Some(bad) = only.iter().find(|w| !known.contains(w)) {
+        eprintln!("unknown workload `{bad}` (expected one of {known:?})");
+        std::process::exit(2);
+    }
+    let want = |name: &str| only.is_empty() || only.contains(&name);
     let engine = Engine::new(paper_library());
     let opts = SynthesisOptions::default();
-    kernel_workload(smoke, &engine, &opts);
-    amortized_workload(smoke, &opts);
-    service_workload(smoke, &opts);
-    envelope_workload(smoke, &engine, &opts);
-    scaling_workload(smoke, &engine, &opts);
+    if want("kernel") {
+        kernel_workload(smoke, &engine, &opts);
+    }
+    if want("amortized") {
+        amortized_workload(smoke, &opts);
+    }
+    if want("service") {
+        service_workload(smoke, &opts);
+    }
+    if want("envelope") {
+        envelope_workload(smoke, &engine, &opts);
+    }
+    if want("scaling") {
+        scaling_workload(smoke, &engine, &opts);
+    }
+    if want("store") {
+        store_workload(smoke, &engine, &opts);
+    }
 }

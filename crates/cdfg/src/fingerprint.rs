@@ -61,6 +61,60 @@
 
 use crate::graph::Cdfg;
 
+/// An incremental, order-sensitive stable hasher built from the same
+/// primitives as [`graph_fingerprint`]: SplitMix64 avalanche over an
+/// order-sensitive fold, FNV-1a for strings. Unlike
+/// [`std::hash::DefaultHasher`] the result is identical on every run,
+/// platform and build, so it is safe to persist (the on-disk result
+/// store keys records by hashes produced here).
+///
+/// # Example
+///
+/// ```
+/// use pchls_cdfg::StableHasher;
+///
+/// let mut h = StableHasher::new(0x1234);
+/// h.write_u64(7);
+/// h.write_str("hal");
+/// let a = h.finish();
+/// assert_eq!(a, {
+///     let mut h = StableHasher::new(0x1234);
+///     h.write_u64(7);
+///     h.write_str("hal");
+///     h.finish()
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A hasher seeded with a caller-chosen domain tag, so hashes of
+    /// different kinds of data never collide by construction.
+    #[must_use]
+    pub fn new(domain: u64) -> StableHasher {
+        StableHasher { state: mix(domain) }
+    }
+
+    /// Folds one word into the hash (order-sensitive).
+    pub fn write_u64(&mut self, word: u64) {
+        self.state = fold(self.state, word);
+    }
+
+    /// Folds a string into the hash (FNV-1a over the bytes, then
+    /// avalanched, then folded).
+    pub fn write_str(&mut self, s: &str) {
+        self.state = fold(self.state, hash_str(s));
+    }
+
+    /// The accumulated 64-bit hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        mix(self.state)
+    }
+}
+
 /// SplitMix64 finalizer: the avalanche core of the fingerprint. Public
 /// within the crate so tests can build expected values by hand.
 fn mix(mut x: u64) -> u64 {

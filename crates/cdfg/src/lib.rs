@@ -47,7 +47,7 @@ mod text;
 pub use analysis::{iter_and_above, AnalysisCache, CriticalPath, NodeSet, Reachability};
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
-pub use fingerprint::graph_fingerprint;
+pub use fingerprint::{graph_fingerprint, StableHasher};
 pub use graph::{Cdfg, Edge, Node, NodeId};
 pub use interp::{Interpreter, Stimulus, Value};
 pub use op::OpKind;

@@ -523,6 +523,55 @@ impl<'e> Session<'e> {
         finish_sweep(self.compiled, spec, raw)
     }
 
+    /// [`sweep`](Session::sweep) with known raw points supplied instead
+    /// of recomputed — the resume path for persistent result stores.
+    ///
+    /// `cached[i]`, when `Some`, must be the **raw** synthesis outcome
+    /// of grid point `i` (what this method returns in its second
+    /// component), *not* a point taken from an enveloped [`SweepResult`]
+    /// — the monotone-envelope pass is rerun here over the merged raw
+    /// grid, so feeding it enveloped points would double-apply carries.
+    /// Only the `None` entries are synthesized, fanned out over the
+    /// worker pool. Returns the enveloped result (byte-identical to a
+    /// full [`sweep`](Session::sweep) of the same grid, by determinism)
+    /// plus the `(grid index, raw point)` pairs computed fresh this
+    /// call, for the caller to persist.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cached.len() != spec.len()`.
+    #[must_use]
+    pub fn sweep_resumable(
+        &self,
+        spec: &SweepSpec,
+        options: &SynthesisOptions,
+        cached: &[Option<SweepPoint>],
+    ) -> (SweepResult, Vec<(usize, SweepPoint)>) {
+        assert_eq!(
+            cached.len(),
+            spec.len(),
+            "cached grid must align with the sweep spec"
+        );
+        let missing: Vec<usize> = (0..spec.len()).filter(|&i| cached[i].is_none()).collect();
+        let computed = pchls_par::par_map(&missing, |&i| {
+            run_point(self.engine, self.compiled, spec.constraints(i), options)
+        });
+        let fresh: Vec<(usize, SweepPoint)> = missing.into_iter().zip(computed).collect();
+        let mut raw: Vec<SweepPoint> = Vec::with_capacity(spec.len());
+        let mut fresh_iter = fresh.iter().peekable();
+        for (i, slot) in cached.iter().enumerate() {
+            match slot {
+                Some(point) => raw.push(point.clone()),
+                None => {
+                    let (j, point) = fresh_iter.next().expect("every missing index was computed");
+                    debug_assert_eq!(*j, i);
+                    raw.push(point.clone());
+                }
+            }
+        }
+        (finish_sweep(self.compiled, spec, raw), fresh)
+    }
+
     /// Runs a batch of independent synthesis requests, fanned out over
     /// the worker pool while sharing every compiled artifact. Results
     /// come back in request order; each equals the corresponding
@@ -1077,6 +1126,37 @@ mod tests {
         for (result, job) in batched.iter().zip(&jobs) {
             let single = engine.session(job.compiled).sweep(&job.spec, &opts);
             assert_eq!(result, &single);
+        }
+    }
+
+    #[test]
+    fn resumable_sweep_matches_full_sweep_and_reports_only_fresh_points() {
+        let engine = Engine::new(paper_library());
+        let compiled = engine.compile(&benchmarks::hal());
+        let session = engine.session(&compiled);
+        let opts = SynthesisOptions::default();
+        let spec = SweepSpec::power(17, vec![5.0, 10.0, 20.0, 25.0, 40.0]);
+        let full = session.sweep(&spec, &opts);
+
+        // Seed the cache with the raw outcomes of points 1 and 3 — the
+        // raw points come from a cold resumable run with nothing cached.
+        let (cold, cold_fresh) = session.sweep_resumable(&spec, &opts, &vec![None; spec.len()]);
+        assert_eq!(cold, full, "cold resumable run diverged from sweep()");
+        assert_eq!(cold_fresh.len(), spec.len());
+        let mut cached: Vec<Option<SweepPoint>> = vec![None; spec.len()];
+        for &i in &[1usize, 3] {
+            cached[i] = Some(cold_fresh[i].1.clone());
+        }
+
+        let (resumed, fresh) = session.sweep_resumable(&spec, &opts, &cached);
+        assert_eq!(resumed, full, "resume changed the enveloped result");
+        assert_eq!(
+            fresh.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2, 4],
+            "only the uncached grid indices were synthesized"
+        );
+        for (i, point) in &fresh {
+            assert_eq!(point, &cold_fresh[*i].1, "fresh point {i} is not raw");
         }
     }
 }

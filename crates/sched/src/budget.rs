@@ -332,6 +332,33 @@ impl PowerBudget {
         }
     }
 
+    /// A stable 64-bit digest of the budget's *semantics* over cycles
+    /// `0..horizon`: the exact per-cycle bounds a scheduler bounded by
+    /// `horizon` observes, hashed bit-for-bit
+    /// ([`pchls_cdfg::StableHasher`], so the value is identical across
+    /// runs, platforms and builds and safe to persist on disk).
+    ///
+    /// Two budgets digest identically exactly when they impose the same
+    /// bound in every usable cycle, regardless of spelling —
+    /// `constant(25.0)`, `per_cycle(vec![25.0; 17])` and
+    /// `steps(vec![(0, 25.0)])` all collapse to one digest at
+    /// `horizon = 17`. That is the right key for a result store: such
+    /// budgets produce byte-identical designs (the ledger normalizes
+    /// them onto one code path), so they must share one cache entry.
+    #[must_use]
+    pub fn digest(&self, horizon: u32) -> u64 {
+        // Domain tag: "pbudget" as ASCII words.
+        let mut h = pchls_cdfg::StableHasher::new(0x7062_7564_6765_7431);
+        h.write_u64(u64::from(horizon));
+        if horizon == 0 {
+            h.write_u64(self.bound_at(0).to_bits());
+        }
+        for c in 0..horizon {
+            h.write_u64(self.bound_at(c).to_bits());
+        }
+        h.finish()
+    }
+
     /// A short human-readable description (`P<25`, `envelope(12..30 over
     /// 3 steps)`, …) for error messages and reports.
     #[must_use]
@@ -584,6 +611,29 @@ mod tests {
                 "accepted {bad}"
             );
         }
+    }
+
+    #[test]
+    fn digest_keys_on_semantics_not_spelling() {
+        let constant = PowerBudget::constant(25.0);
+        let flat_steps = PowerBudget::steps(vec![(0, 25.0)]);
+        let flat_cycles = PowerBudget::per_cycle(vec![25.0; 17]);
+        let d = constant.digest(17);
+        assert_eq!(flat_steps.digest(17), d, "one step, same semantics");
+        assert_eq!(flat_cycles.digest(17), d, "explicit cycles, same semantics");
+        // A different bound, a different shape inside the horizon, and a
+        // different horizon all move the digest.
+        assert_ne!(PowerBudget::constant(26.0).digest(17), d);
+        assert_ne!(PowerBudget::steps(vec![(0, 25.0), (9, 12.0)]).digest(17), d);
+        assert_ne!(constant.digest(18), d);
+        // Shape differences *past* the horizon are invisible to a
+        // scheduler and therefore to the digest.
+        assert_eq!(
+            PowerBudget::steps(vec![(0, 30.0), (5, 12.0)]).digest(5),
+            PowerBudget::constant(30.0).digest(5),
+        );
+        // Stable across calls (and across runs by construction).
+        assert_eq!(constant.digest(17), d);
     }
 
     #[test]

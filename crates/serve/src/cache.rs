@@ -63,6 +63,13 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Approximate bytes held by resident entries (graph structure
+    /// estimate — compiled artifacts scale with it).
+    pub entry_bytes: u64,
+    /// Sum over evictions of the victim's idle age in LRU ticks.
+    pub eviction_age_sum: u64,
+    /// Idle age (ticks) of the most recent eviction victim.
+    pub last_eviction_age: u64,
 }
 
 impl CacheStats {
@@ -77,6 +84,24 @@ impl CacheStats {
             self.hits as f64 / lookups as f64
         }
     }
+
+    /// Mean idle age (ticks) of eviction victims; `0.0` before any
+    /// eviction. Together with `entry_bytes` this distinguishes a
+    /// too-small cache (young victims) from natural turnover.
+    #[must_use]
+    pub fn mean_eviction_age(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.eviction_age_sum as f64 / self.evictions as f64
+        }
+    }
+}
+
+/// Approximate resident footprint of one slot, from the graph structure
+/// it keys on (nodes dominate; the compiled artifact is proportional).
+fn approx_slot_bytes(graph: &Cdfg) -> u64 {
+    (graph.nodes().len() * 96 + graph.edges().len() * 32 + 64) as u64
 }
 
 /// One cached (or in-flight) compile.
@@ -88,6 +113,8 @@ struct Slot {
     cell: Arc<OnceLock<CompileOutcome>>,
     /// LRU tick of the last lookup that touched this slot.
     last_used: u64,
+    /// Approximate resident bytes ([`approx_slot_bytes`]).
+    bytes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -102,6 +129,9 @@ struct Inner {
     misses: u64,
     coalesced: u64,
     evictions: u64,
+    entry_bytes: u64,
+    eviction_age_sum: u64,
+    last_eviction_age: u64,
 }
 
 /// A bounded, thread-safe, content-addressed LRU cache of compiled
@@ -129,7 +159,18 @@ impl CompileCache {
     /// runs *outside* the cache lock, so a slow compile never blocks
     /// unrelated lookups.
     pub fn get_or_compile(&self, engine: &Engine, graph: &Cdfg) -> (CompileOutcome, CacheLookup) {
-        let fingerprint = graph_fingerprint(graph);
+        self.get_or_compile_keyed(engine, graph_fingerprint(graph), graph)
+    }
+
+    /// [`get_or_compile`](CompileCache::get_or_compile) with the
+    /// fingerprint already in hand — callers that key other tiers on
+    /// the same fingerprint avoid hashing the graph twice.
+    pub fn get_or_compile_keyed(
+        &self,
+        engine: &Engine,
+        fingerprint: u64,
+        graph: &Cdfg,
+    ) -> (CompileOutcome, CacheLookup) {
         let (cell, lookup) = {
             let mut inner = self.inner.lock().expect("cache lock");
             inner.tick += 1;
@@ -152,13 +193,16 @@ impl CompileCache {
                 (cell, lookup)
             } else {
                 let cell = Arc::new(OnceLock::new());
+                let bytes = approx_slot_bytes(graph);
                 bucket.push(Slot {
                     graph: graph.clone(),
                     cell: Arc::clone(&cell),
                     last_used: tick,
+                    bytes,
                 });
                 inner.len += 1;
                 inner.misses += 1;
+                inner.entry_bytes += bytes;
                 if inner.len > self.cap {
                     evict_lru(&mut inner);
                 }
@@ -182,6 +226,9 @@ impl CompileCache {
             coalesced: inner.coalesced,
             evictions: inner.evictions,
             entries: inner.len,
+            entry_bytes: inner.entry_bytes,
+            eviction_age_sum: inner.eviction_age_sum,
+            last_eviction_age: inner.last_eviction_age,
         }
     }
 
@@ -217,12 +264,16 @@ fn evict_lru(inner: &mut Inner) {
             .iter()
             .position(|s| s.last_used == used)
             .expect("victim slot exists");
-        bucket.remove(idx);
+        let slot = bucket.remove(idx);
         if bucket.is_empty() {
             inner.map.remove(&fp);
         }
         inner.len -= 1;
         inner.evictions += 1;
+        inner.entry_bytes -= slot.bytes;
+        let age = inner.tick - slot.last_used;
+        inner.eviction_age_sum += age;
+        inner.last_eviction_age = age;
     }
 }
 
@@ -326,6 +377,29 @@ mod tests {
         assert!(matches!(first, Err(SynthesisError::Uncovered { .. })));
         assert_eq!(first.err(), second.err());
         assert_eq!(lookup, CacheLookup::Hit, "the error is served from cache");
+    }
+
+    #[test]
+    fn entry_bytes_and_eviction_ages_are_tracked() {
+        let engine = engine();
+        let cache = CompileCache::new(1);
+        assert_eq!(cache.stats().entry_bytes, 0);
+        let _ = cache.get_or_compile(&engine, &benchmarks::hal());
+        let one_entry = cache.stats().entry_bytes;
+        assert!(one_entry > 0);
+        // Cap 1: the second insert evicts hal after one intervening
+        // tick, so the victim's idle age is exactly 1.
+        let _ = cache.get_or_compile(&engine, &benchmarks::cosine());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 1);
+        assert!(s.entry_bytes > 0);
+        assert_eq!(s.last_eviction_age, 1);
+        assert!((s.mean_eviction_age() - 1.0).abs() < 1e-12);
+        // Bytes track what is resident, not a running total: cycling
+        // hal back in restores exactly its original footprint.
+        let _ = cache.get_or_compile(&engine, &benchmarks::hal());
+        assert_eq!(cache.stats().entry_bytes, one_entry);
     }
 
     #[test]

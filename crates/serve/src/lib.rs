@@ -60,6 +60,7 @@ mod cache;
 mod net;
 mod protocol;
 mod queue;
+mod results;
 mod service;
 mod stats;
 
@@ -67,5 +68,6 @@ pub use cache::{CacheLookup, CacheStats, CompileCache, CompileOutcome};
 pub use net::{handle_connection, serve_stdio, serve_tcp};
 pub use protocol::{SubmitRequest, SubmitResponse};
 pub use queue::JobQueue;
+pub use results::{ResultCacheStats, ResultTier, StoreTierStats};
 pub use service::{Service, ServiceConfig};
 pub use stats::{LatencyHistogram, ServiceStats};

@@ -2,25 +2,28 @@
 //! worker pool, with per-request deadlines and cancellation.
 
 use std::ops::ControlFlow;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pchls_cdfg::{benchmarks, parse_cdfg, Cdfg};
+use pchls_cdfg::{benchmarks, graph_fingerprint, parse_cdfg, Cdfg};
 use pchls_core::{
     Engine, SynthesisConstraints, SynthesisError, SynthesisOptions, SynthesisRequest,
     SynthesisResult,
 };
 use pchls_par::WorkerPool;
+use pchls_store::{StoreKey, StoreRecord};
 
 use crate::cache::CompileCache;
 use crate::protocol::{SubmitRequest, SubmitResponse};
 use crate::queue::JobQueue;
+use crate::results::ResultTier;
 use crate::stats::{LatencyHistogram, ServiceStats};
 
 /// Tuning knobs of a [`Service`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads consuming the job queue (0 = one per available
     /// core, i.e. [`pchls_par::thread_count`]).
@@ -30,8 +33,16 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Maximum compiled graphs resident in the cache.
     pub cache_cap: usize,
+    /// Maximum synthesis results resident in the in-memory result tier.
+    pub result_cap: usize,
+    /// Directory of the persistent result store (tier 2). `None` runs
+    /// memory-only; `Some` makes completed results durable and answers
+    /// previously-seen points warm across restarts.
+    pub store_dir: Option<PathBuf>,
     /// Synthesis options applied to every request (the CLI and batch
-    /// path use the default paper configuration).
+    /// path use the default paper configuration). Result-cache keys do
+    /// not carry options — point one store directory at one options
+    /// configuration.
     pub options: SynthesisOptions,
 }
 
@@ -41,6 +52,8 @@ impl Default for ServiceConfig {
             workers: 0,
             queue_cap: 256,
             cache_cap: 64,
+            result_cap: 4096,
+            store_dir: None,
             options: SynthesisOptions::default(),
         }
     }
@@ -66,6 +79,7 @@ struct Shared {
     engine: Engine,
     options: SynthesisOptions,
     cache: CompileCache,
+    results: ResultTier,
     queue: JobQueue<Job>,
     latency: LatencyHistogram,
     /// The built-in graphs, constructed once so the per-request
@@ -111,17 +125,34 @@ pub struct Service {
 
 impl Service {
     /// Starts the worker pool over `engine` and begins accepting jobs.
+    ///
+    /// # Panics
+    ///
+    /// When a configured `store_dir` cannot be opened — use
+    /// [`Service::try_start`] to handle that without panicking.
     #[must_use]
     pub fn start(engine: Engine, config: ServiceConfig) -> Service {
+        Service::try_start(engine, config).expect("result store unusable")
+    }
+
+    /// [`start`](Service::start), surfacing a failure to open the
+    /// configured result store instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Opening or recovering the store under `config.store_dir` failed.
+    pub fn try_start(engine: Engine, config: ServiceConfig) -> std::io::Result<Service> {
         let workers = if config.workers == 0 {
             pchls_par::thread_count()
         } else {
             config.workers
         };
+        let results = ResultTier::open(config.result_cap, config.store_dir.as_deref())?;
         let shared = Arc::new(Shared {
             engine,
             options: config.options,
             cache: CompileCache::new(config.cache_cap),
+            results,
             queue: JobQueue::new(config.queue_cap),
             latency: LatencyHistogram::new(),
             builtin_graphs: benchmarks::all(),
@@ -139,10 +170,10 @@ impl Service {
                 }
             })
         };
-        Service {
+        Ok(Service {
             shared,
             pool: Some(pool),
-        }
+        })
     }
 
     /// The engine answering this service's requests.
@@ -201,6 +232,7 @@ impl Service {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let cache = self.shared.cache.stats();
+        let (results, store) = self.shared.results.stats();
         ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -214,6 +246,18 @@ impl Service {
             cache_coalesced: cache.coalesced,
             cache_evictions: cache.evictions,
             cache_hit_rate: cache.hit_rate(),
+            cache_entry_bytes: cache.entry_bytes,
+            cache_mean_eviction_age: cache.mean_eviction_age(),
+            result_entries: results.entries,
+            result_hits: results.hits,
+            result_misses: results.misses,
+            result_evictions: results.evictions,
+            result_entry_bytes: results.entry_bytes,
+            result_mean_eviction_age: results.mean_eviction_age(),
+            result_hit_rate: results.hit_rate(),
+            store_hits: store.hits,
+            store_misses: store.misses,
+            store_appends: store.appends,
             p50_latency_secs: self.shared.latency.quantile(0.50),
             p99_latency_secs: self.shared.latency.quantile(0.99),
         }
@@ -239,6 +283,9 @@ impl Service {
                 panic!("{panicked} service worker(s) panicked");
             }
         }
+        // With the workers gone no one produces results any more; drain
+        // the write-behind queue and commit the store footer.
+        self.shared.results.shutdown();
     }
 }
 
@@ -301,17 +348,35 @@ impl Shared {
             Err(msg) => return fail(msg),
         };
 
-        let compiled = match self.cache.get_or_compile(&self.engine, graph.as_ref()).0 {
+        // Content-address the *result* before compiling anything: the
+        // fingerprint and budget digest name the outcome, so a cached
+        // point answers with zero synthesis work — and on the
+        // store-backed path, with zero compile work even after a
+        // restart.
+        let constraints = match &req.budget {
+            Some(budget) => SynthesisConstraints::new(req.latency, budget.clone()),
+            None => SynthesisConstraints::new(req.latency, req.power),
+        };
+        let fingerprint = graph_fingerprint(graph.as_ref());
+        let key = StoreKey::new(fingerprint, &constraints);
+        if let Some(record) = self.results.lookup(&key) {
+            // Determinism makes the reconstruction byte-identical to a
+            // fresh `Session::synthesize` for this graph name.
+            let point = record.to_point(graph.name());
+            return (SubmitResponse::point(req.id, point), Disposition::Completed);
+        }
+
+        let compiled = match self
+            .cache
+            .get_or_compile_keyed(&self.engine, fingerprint, graph.as_ref())
+            .0
+        {
             Ok(c) => c,
             Err(e) => return fail(format!("compile failed: {e}")),
         };
 
         let deadline =
             (req.deadline_ms > 0).then(|| job.accepted + Duration::from_millis(req.deadline_ms));
-        let constraints = match &req.budget {
-            Some(budget) => SynthesisConstraints::new(req.latency, budget.clone()),
-            None => SynthesisConstraints::new(req.latency, req.power),
-        };
         let session = self.engine.session(&compiled);
         let outcome =
             session.synthesize_with_progress(constraints.clone(), &self.options, &mut |_| {
@@ -337,11 +402,20 @@ impl Shared {
             // `Session::batch` would emit — including the null-field
             // shape for infeasible constraints.
             outcome => {
+                let trace = outcome
+                    .as_ref()
+                    .map(|d| pchls_store::trace_bytes(&d.schedule))
+                    .unwrap_or_default();
                 let point = SynthesisResult {
                     request: SynthesisRequest::new(constraints).with_options(self.options),
                     outcome,
                 }
                 .to_point(compiled.name());
+                // Cache the completed outcome (infeasible included —
+                // "no design exists here" is as durable a fact as a
+                // design). Cancelled and failed runs are never cached.
+                self.results
+                    .insert(StoreRecord::from_point(key, &point, trace));
                 (SubmitResponse::point(req.id, point), Disposition::Completed)
             }
         }
@@ -532,11 +606,75 @@ mod tests {
         let via_text = service.call(SubmitRequest::synth_text(1, &text, 17, 25.0));
         let via_name = service.call(SubmitRequest::synth(2, "hal", 17, 25.0));
         assert_eq!(via_text.point, via_name.point);
-        // Same structure ⇒ same fingerprint ⇒ the second call hit the
-        // cache even though it arrived by a different route.
+        // Same structure ⇒ same fingerprint ⇒ same result key: the
+        // second call is a tier-1 result hit and never even reaches the
+        // compile cache.
         let stats = service.stats();
         assert_eq!(stats.cache_misses, 1);
-        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.result_hits, 1);
+        assert_eq!(stats.result_misses, 1);
+    }
+
+    #[test]
+    fn identical_constraint_points_hit_the_result_tier() {
+        let service = service(1);
+        let first = service.call(SubmitRequest::synth(1, "hal", 17, 25.0));
+        let second = service.call(SubmitRequest::synth(2, "hal", 17, 25.0));
+        assert_eq!(
+            serde_json::to_string(&first.point.unwrap()).unwrap(),
+            serde_json::to_string(&second.point.unwrap()).unwrap(),
+        );
+        let stats = service.stats();
+        assert_eq!(stats.result_hits, 1);
+        assert_eq!(stats.result_entries, 1);
+        assert!(stats.result_entry_bytes > 0);
+        assert!((stats.result_hit_rate - 0.5).abs() < 1e-12);
+        // Infeasible outcomes are cached facts too.
+        let inf_a = service.call(SubmitRequest::synth(3, "hal", 17, 1.0));
+        let inf_b = service.call(SubmitRequest::synth(4, "hal", 17, 1.0));
+        assert_eq!(inf_a.point, inf_b.point);
+        assert!(!inf_b.point.unwrap().is_feasible());
+        assert_eq!(service.stats().result_hits, 2);
+    }
+
+    #[test]
+    fn store_backed_service_answers_warm_after_restart() {
+        let dir = std::env::temp_dir().join(format!("pchls-serve-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServiceConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let points = [(17u32, 25.0), (10, 40.0), (17, 1.0)];
+        let cold: Vec<String> = {
+            let service = Service::start(Engine::new(paper_library()), config());
+            let cold = points
+                .iter()
+                .enumerate()
+                .map(|(id, &(t, p))| {
+                    let resp = service.call(SubmitRequest::synth(id as u64, "hal", t, p));
+                    serde_json::to_string(&resp.point.unwrap()).unwrap()
+                })
+                .collect();
+            service.shutdown();
+            cold
+        };
+
+        // A brand-new service over the same store dir: every point is
+        // answered from disk, byte-identical, without one compile.
+        let service = Service::start(Engine::new(paper_library()), config());
+        for (id, (&(t, p), want)) in points.iter().zip(&cold).enumerate() {
+            let resp = service.call(SubmitRequest::synth(10 + id as u64, "hal", t, p));
+            assert_eq!(&serde_json::to_string(&resp.point.unwrap()).unwrap(), want);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.store_hits, 3, "all three served from the store");
+        assert_eq!(stats.cache_misses, 0, "nothing was compiled");
+        assert_eq!(stats.completed, 3);
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// A graph big enough that synthesis takes many iterations (and

@@ -113,6 +113,33 @@ pub struct ServiceStats {
     pub cache_evictions: u64,
     /// `cache_hits / (cache_hits + cache_misses + cache_coalesced)`.
     pub cache_hit_rate: f64,
+    /// Approximate bytes resident in the compile cache.
+    pub cache_entry_bytes: u64,
+    /// Mean idle age (LRU ticks) of compile-cache eviction victims;
+    /// `0.0` before any eviction.
+    pub cache_mean_eviction_age: f64,
+    /// Results resident in the in-memory result tier.
+    pub result_entries: usize,
+    /// Requests answered from the in-memory result tier (tier 1 —
+    /// no compile, no synthesis).
+    pub result_hits: u64,
+    /// Result-tier lookups that missed memory.
+    pub result_misses: u64,
+    /// Result entries dropped by the LRU bound.
+    pub result_evictions: u64,
+    /// Approximate bytes resident in the result tier.
+    pub result_entry_bytes: u64,
+    /// Mean idle age (LRU ticks) of result-tier eviction victims.
+    pub result_mean_eviction_age: f64,
+    /// `result_hits / (result_hits + result_misses)`.
+    pub result_hit_rate: f64,
+    /// Requests answered by the persistent store (tier 2 — disk read,
+    /// no compile, no synthesis). Zero when no store is configured.
+    pub store_hits: u64,
+    /// Store lookups that found no record on disk.
+    pub store_misses: u64,
+    /// Records appended to the store by the write-behind thread.
+    pub store_appends: u64,
     /// Median request latency (accept → response) in seconds, bucketed.
     pub p50_latency_secs: f64,
     /// 99th-percentile request latency in seconds, bucketed.
@@ -175,6 +202,18 @@ mod tests {
             cache_coalesced: 1,
             cache_evictions: 0,
             cache_hit_rate: 0.7,
+            cache_entry_bytes: 4096,
+            cache_mean_eviction_age: 0.0,
+            result_entries: 3,
+            result_hits: 4,
+            result_misses: 6,
+            result_evictions: 1,
+            result_entry_bytes: 512,
+            result_mean_eviction_age: 2.0,
+            result_hit_rate: 0.4,
+            store_hits: 2,
+            store_misses: 4,
+            store_appends: 5,
             p50_latency_secs: 0.004,
             p99_latency_secs: 0.125,
         };

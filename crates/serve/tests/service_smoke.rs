@@ -133,9 +133,10 @@ fn two_connections_share_one_cache() {
     let b = point_of(2);
     assert_eq!(a, b);
     let stats = service.stats();
+    assert_eq!(stats.cache_misses, 1, "exactly one compile ran");
     assert_eq!(
-        stats.cache_misses, 1,
-        "second connection reused the compile"
+        stats.result_hits, 1,
+        "second connection reused the cached result without recompiling"
     );
-    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_hits, 0);
 }

@@ -1,0 +1,73 @@
+//! `pchls-store` — a persistent, content-addressed, columnar result
+//! store for synthesis outcomes.
+//!
+//! Power-constrained sweeps re-ask the same question constantly: *for
+//! this graph, at this latency bound, under this power budget, what
+//! came out?* The answer is deterministic (the engine is a pure
+//! function of its inputs), so it is worth keeping. This crate stores
+//! design outcomes on disk keyed by content, not by name:
+//!
+//! * [`StoreKey`] = `(graph_fingerprint, latency_bound, budget_digest)`
+//!   — the structural hash from [`pchls_cdfg::graph_fingerprint`] plus
+//!   [`PowerBudget::digest`](pchls_sched::PowerBudget::digest), so two
+//!   *spellings* of the same budget (a constant vs. an equivalent step
+//!   list) share one record, and renaming a graph does not.
+//! * [`StoreRecord`] — the outcome: feasibility, applied power bound,
+//!   area, achieved latency, peak power, unit count, and an optional
+//!   delta-encoded schedule trace ([`trace_bytes`]/[`trace_starts`]).
+//!   Floats are stored as IEEE-754 bits, so a record read back
+//!   reconstructs a [`SweepPoint`](pchls_core::SweepPoint) that is
+//!   **byte-identical** to fresh synthesis output.
+//!
+//! # On-disk format (see `DESIGN.md` §7 for the full layout)
+//!
+//! One append-only file, `results.pchls`, holding self-delimiting
+//! **blocks**. Each block stores a batch of records *by column*: all
+//! fingerprints together, all areas together, and so on — ten columns,
+//! each delta/zigzag/varint-encoded and independently compressed by a
+//! small LZ block compressor. A block
+//! header (CRC-guarded) records every column's compressed span, so a
+//! reader that only wants the area column seeks to and decompresses
+//! *just those bytes*. A **footer index** at the end of the file lists
+//! all block metadata for O(1) open; if a crash tears the footer off,
+//! [`Store::open`] recovers by scanning blocks forward and keeps every
+//! record whose checksums verify — committed data is never lost, torn
+//! tails are never served.
+//!
+//! # Example
+//!
+//! ```
+//! use pchls_store::{Store, StoreKey, StoreRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let mut store = Store::open(&dir).unwrap();
+//! let record = StoreRecord {
+//!     key: StoreKey { fingerprint: 0xfeed, latency_bound: 12, budget_digest: 0xbeef },
+//!     feasible: true,
+//!     power_bound_bits: 40.0f64.to_bits(),
+//!     area: 11,
+//!     latency: 10,
+//!     peak_power_bits: 38.5f64.to_bits(),
+//!     units: 4,
+//!     trace: Vec::new(),
+//! };
+//! store.append(std::slice::from_ref(&record)).unwrap();
+//! store.flush().unwrap();
+//!
+//! // Reopen: the footer index makes this O(blocks), and lookups are
+//! // content-addressed.
+//! let mut reopened = Store::open(&dir).unwrap();
+//! assert_eq!(reopened.get(&record.key).unwrap(), Some(record));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod compress;
+mod crc;
+mod format;
+mod store;
+mod varint;
+
+pub use format::{trace_bytes, trace_starts, StoreKey, StoreRecord, COLUMN_COUNT, COLUMN_NAMES};
+pub use store::{ColumnStat, Store, StoreStat, STORE_FILE_NAME};

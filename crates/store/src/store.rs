@@ -1,0 +1,741 @@
+//! The [`Store`] handle: open/recover, append, indexed lookups, partial
+//! scans, `stat`/`verify`/`compact`.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::format::{
+    decode_keys, decode_records, encode_block, encode_footer, parse_block_header, read_columns,
+    read_footer, verify_block_body, BlockMeta, StoreKey, StoreRecord, COLUMN_COUNT, COLUMN_NAMES,
+    COL_AREA, COL_BUDGET_DIGEST, COL_FEASIBLE, COL_FINGERPRINT, COL_LATENCY_BOUND, FILE_MAGIC,
+};
+
+/// Name of the store file inside a store directory.
+pub const STORE_FILE_NAME: &str = "results.pchls";
+
+/// Records per block written by [`Store::compact`] (appends write the
+/// caller's batch as one block, whatever its size).
+const COMPACT_BLOCK_RECORDS: usize = 512;
+
+/// Byte-size accounting of one column across all blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnStat {
+    /// Column name (see [`COLUMN_NAMES`]).
+    pub name: &'static str,
+    /// Uncompressed encoded bytes.
+    pub raw_bytes: u64,
+    /// Bytes actually on disk (after the block compressor).
+    pub compressed_bytes: u64,
+}
+
+/// A size/health snapshot of a store (the `pchls store stat` payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStat {
+    /// Blocks on disk.
+    pub blocks: usize,
+    /// Total records, including superseded duplicates.
+    pub records: u64,
+    /// Records reachable through the key index (last write per key).
+    pub live_records: u64,
+    /// Size of the store file in bytes.
+    pub file_bytes: u64,
+    /// Total uncompressed column bytes.
+    pub raw_bytes: u64,
+    /// Total compressed column bytes.
+    pub compressed_bytes: u64,
+    /// Per-column byte accounting.
+    pub columns: Vec<ColumnStat>,
+    /// Whether the last open had to recover by scanning (torn footer).
+    pub recovered: bool,
+}
+
+impl StoreStat {
+    /// Uncompressed over compressed column bytes (1.0 for an empty
+    /// store).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// A persistent, append-only result store (see the crate docs for the
+/// format). One handle owns the file; share across threads behind a
+/// `Mutex` (lookups mutate the block cache, so methods take `&mut`).
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+    blocks: Vec<BlockMeta>,
+    /// key → (block, row) of the *last* write for that key.
+    index: HashMap<StoreKey, (u32, u32)>,
+    /// Decoded-block cache for indexed lookups.
+    decoded: HashMap<u32, Vec<StoreRecord>>,
+    /// Where the next block (and the footer) begins.
+    data_end: u64,
+    /// Blocks appended since the footer was last written.
+    dirty: bool,
+    recovered: bool,
+}
+
+impl Store {
+    /// Opens (creating as needed) the store under directory `dir`.
+    ///
+    /// A torn file — crash between an append and its footer flush — is
+    /// recovered by scanning: every block whose checksums verify is
+    /// kept, the torn tail is ignored, and the next append overwrites
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a file that is not a pchls store at all.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        Store::open_file(dir.join(STORE_FILE_NAME))
+    }
+
+    /// Opens a store by explicit file path (the directory form
+    /// [`Store::open`] is what the CLI and serve expose).
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`].
+    pub fn open_file(path: PathBuf) -> io::Result<Store> {
+        let mut file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            let mut store = Store {
+                file,
+                path,
+                blocks: Vec::new(),
+                index: HashMap::new(),
+                decoded: HashMap::new(),
+                data_end: FILE_MAGIC.len() as u64,
+                dirty: false,
+                recovered: false,
+            };
+            use std::io::{Seek, SeekFrom, Write};
+            store.file.seek(SeekFrom::Start(0))?;
+            store.file.write_all(FILE_MAGIC)?;
+            store.write_footer()?;
+            return Ok(store);
+        }
+        let header = crate::format::read_at(&mut file, 0, FILE_MAGIC.len())?;
+        if header.as_deref() != Some(FILE_MAGIC.as_slice()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a pchls store", path.display()),
+            ));
+        }
+
+        let (blocks, recovered) = match read_footer(&mut file, file_len)? {
+            Some(blocks) => (blocks, false),
+            None => (scan_blocks(&mut file, file_len)?, true),
+        };
+        let mut store = Store {
+            file,
+            path,
+            blocks,
+            index: HashMap::new(),
+            decoded: HashMap::new(),
+            data_end: 0,
+            dirty: recovered,
+            recovered,
+        };
+        store.data_end = store
+            .blocks
+            .last()
+            .map_or(FILE_MAGIC.len() as u64, BlockMeta::end);
+        match store.build_index() {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData && !recovered => {
+                // A flushed footer pointing at rotted blocks: fall back
+                // to the conservative scan, keeping the verifiable
+                // prefix.
+                let file_len = store.file.metadata()?.len();
+                store.blocks = scan_blocks(&mut store.file, file_len)?;
+                store.data_end = store
+                    .blocks
+                    .last()
+                    .map_or(FILE_MAGIC.len() as u64, BlockMeta::end);
+                store.index.clear();
+                store.decoded.clear();
+                store.dirty = true;
+                store.recovered = true;
+                store.build_index()?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(store)
+    }
+
+    /// Path of the underlying store file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of live records (distinct keys).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether a record for `key` is present.
+    #[must_use]
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Whether the last open recovered from a torn footer by scanning.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The record stored under `key` (the last one appended for it).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a corrupt block (run `verify`/`compact`).
+    pub fn get(&mut self, key: &StoreKey) -> io::Result<Option<StoreRecord>> {
+        let Some(&(block, row)) = self.index.get(key) else {
+            return Ok(None);
+        };
+        if !self.decoded.contains_key(&block) {
+            let records = self.read_block_records(block)?;
+            self.decoded.insert(block, records);
+        }
+        Ok(Some(self.decoded[&block][row as usize].clone()))
+    }
+
+    /// All live feasible records for one graph fingerprint, ordered by
+    /// `(latency_bound, budget_digest)` — the "every known design point
+    /// for this graph" query.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::get`].
+    pub fn feasible_for(&mut self, fingerprint: u64) -> io::Result<Vec<StoreRecord>> {
+        let mut locs: Vec<(StoreKey, (u32, u32))> = self
+            .index
+            .iter()
+            .filter(|(k, _)| k.fingerprint == fingerprint)
+            .map(|(k, &loc)| (*k, loc))
+            .collect();
+        locs.sort_by_key(|(k, _)| (k.latency_bound, k.budget_digest));
+        let mut out = Vec::new();
+        for (key, _) in locs {
+            let record = self.get(&key)?.expect("indexed key resolves");
+            if record.feasible {
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Appends one batch of records as a new block and indexes them
+    /// (later appends supersede earlier records with equal keys). The
+    /// footer is *not* rewritten — call [`Store::flush`] to commit it;
+    /// until then a crash costs only this append (recovery re-scans).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the store is unchanged logically (a torn block is
+    /// invisible to the next open).
+    pub fn append(&mut self, records: &[StoreRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        use std::io::{Seek, SeekFrom, Write};
+        let (bytes, meta) = encode_block(records, self.data_end);
+        self.file.seek(SeekFrom::Start(self.data_end))?;
+        self.file.write_all(&bytes)?;
+        let block = self.blocks.len() as u32;
+        for (row, r) in records.iter().enumerate() {
+            self.index.insert(r.key, (block, row as u32));
+        }
+        self.decoded.insert(block, records.to_vec());
+        self.data_end = meta.end();
+        self.blocks.push(meta);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Rewrites the footer index and truncates any stale tail, making
+    /// the current contents instantly loadable (no recovery scan).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.write_footer()?;
+        self.dirty = false;
+        self.recovered = false;
+        Ok(())
+    }
+
+    fn write_footer(&mut self) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let footer = encode_footer(&self.blocks);
+        self.file.seek(SeekFrom::Start(self.data_end))?;
+        self.file.write_all(&footer)?;
+        self.file.set_len(self.data_end + footer.len() as u64)?;
+        self.file.sync_data()
+    }
+
+    /// Every live record, in file order of its winning write. The full
+    /// "warm read" path: all columns of all blocks are decoded, without
+    /// populating the lookup cache (so repeated calls measure disk +
+    /// decode, not a memoized copy).
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::get`].
+    pub fn scan_records(&mut self) -> io::Result<Vec<StoreRecord>> {
+        let mut out = Vec::with_capacity(self.index.len());
+        for block in 0..self.blocks.len() as u32 {
+            let records = self.read_block_records(block)?;
+            for (row, record) in records.into_iter().enumerate() {
+                if self.index.get(&record.key) == Some(&(block, row as u32)) {
+                    out.push(record);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The area column of every live record (feasible or not), in file
+    /// order of its winning write — the Pareto-query partial read. Only
+    /// the three key columns, the feasibility byte and the area column
+    /// are read and decompressed; power, schedule traces and the rest
+    /// of each block stay untouched on disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::get`].
+    pub fn scan_areas(&mut self) -> io::Result<Vec<(StoreKey, Option<u64>)>> {
+        let mut out = Vec::with_capacity(self.index.len());
+        for block in 0..self.blocks.len() as u32 {
+            let meta = self.blocks[block as usize].clone();
+            let raws = read_columns(
+                &mut self.file,
+                &meta,
+                &[
+                    COL_FINGERPRINT,
+                    COL_LATENCY_BOUND,
+                    COL_BUDGET_DIGEST,
+                    COL_FEASIBLE,
+                    COL_AREA,
+                ],
+            )?
+            .ok_or_else(|| corrupt_block(block))?;
+            let keys = decode_keys(&meta, &raws[0], &raws[1], &raws[2])
+                .ok_or_else(|| corrupt_block(block))?;
+            let feasible = &raws[3];
+            let areas = crate::varint::get_delta_column(&raws[4], meta.records as usize)
+                .ok_or_else(|| corrupt_block(block))?;
+            if feasible.len() != meta.records as usize {
+                return Err(corrupt_block(block));
+            }
+            for (row, key) in keys.iter().enumerate() {
+                if self.index.get(key) == Some(&(block, row as u32)) {
+                    out.push((*key, (feasible[row] == 1).then(|| areas[row])));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Size and compression accounting (header/footer metadata only —
+    /// no block bodies are read).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure querying the file length.
+    pub fn stat(&self) -> io::Result<StoreStat> {
+        let mut columns: Vec<ColumnStat> = COLUMN_NAMES
+            .iter()
+            .map(|&name| ColumnStat {
+                name,
+                raw_bytes: 0,
+                compressed_bytes: 0,
+            })
+            .collect();
+        for block in &self.blocks {
+            for (col, &(raw, comp)) in block.columns.iter().enumerate() {
+                columns[col].raw_bytes += u64::from(raw);
+                columns[col].compressed_bytes += u64::from(comp);
+            }
+        }
+        Ok(StoreStat {
+            blocks: self.blocks.len(),
+            records: self.blocks.iter().map(|b| u64::from(b.records)).sum(),
+            live_records: self.index.len() as u64,
+            file_bytes: self.file.metadata()?.len(),
+            raw_bytes: columns.iter().map(|c| c.raw_bytes).sum(),
+            compressed_bytes: columns.iter().map(|c| c.compressed_bytes).sum(),
+            columns,
+            recovered: self.recovered,
+        })
+    }
+
+    /// Full integrity pass: re-scans every block from the front
+    /// (header CRC, body CRC, full column decode), cross-checks the
+    /// result against the in-memory index, and — when the store is
+    /// clean — against the on-disk footer.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first inconsistency.
+    pub fn verify(&mut self) -> Result<StoreStat, String> {
+        let io_err = |e: io::Error| format!("i/o error during verify: {e}");
+        let file_len = self.file.metadata().map_err(io_err)?.len();
+        let mut scanned: Vec<BlockMeta> = Vec::new();
+        let mut records = 0u64;
+        let mut index: HashMap<StoreKey, (u32, u32)> = HashMap::new();
+        let mut pos = FILE_MAGIC.len() as u64;
+        while let Some(meta) = parse_block_header(&mut self.file, pos, file_len).map_err(io_err)? {
+            let block = scanned.len() as u32;
+            if !verify_block_body(&mut self.file, &meta).map_err(io_err)? {
+                return Err(format!("block {block} body fails its checksum"));
+            }
+            let all: Vec<usize> = (0..COLUMN_COUNT).collect();
+            let raws = read_columns(&mut self.file, &meta, &all)
+                .map_err(io_err)?
+                .ok_or_else(|| format!("block {block} has an undecodable column"))?;
+            let decoded = decode_records(&meta, &raws)
+                .ok_or_else(|| format!("block {block} records do not decode"))?;
+            for (row, r) in decoded.iter().enumerate() {
+                index.insert(r.key, (block, row as u32));
+            }
+            records += u64::from(meta.records);
+            pos = meta.end();
+            scanned.push(meta);
+        }
+        if scanned != self.blocks {
+            return Err(format!(
+                "index mismatch: footer lists {} block(s), a clean scan finds {}",
+                self.blocks.len(),
+                scanned.len()
+            ));
+        }
+        if index != self.index {
+            return Err("key index does not round-trip through a rescan".into());
+        }
+        if !self.dirty {
+            match read_footer(&mut self.file, file_len).map_err(io_err)? {
+                Some(footer_blocks) if footer_blocks == scanned => {}
+                Some(_) => return Err("footer disagrees with the scanned blocks".into()),
+                None => return Err("flushed store has no readable footer".into()),
+            }
+        }
+        let mut stat = self.stat().map_err(io_err)?;
+        stat.records = records;
+        Ok(stat)
+    }
+
+    /// Drops superseded duplicate records by rewriting the file with
+    /// only the live ones (atomic: written beside the store, then
+    /// renamed over it). Returns how many records were dropped.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the original file is left untouched on error.
+    pub fn compact(&mut self) -> io::Result<u64> {
+        let live = self.scan_records()?;
+        let before: u64 = self.blocks.iter().map(|b| u64::from(b.records)).sum();
+        let dropped = before - live.len() as u64;
+
+        let mut bytes = FILE_MAGIC.to_vec();
+        let mut blocks = Vec::new();
+        for chunk in live.chunks(COMPACT_BLOCK_RECORDS) {
+            let (block_bytes, meta) = encode_block(chunk, bytes.len() as u64);
+            bytes.extend_from_slice(&block_bytes);
+            blocks.push(meta);
+        }
+        bytes.extend_from_slice(&encode_footer(&blocks));
+
+        let tmp = self.path.with_extension("pchls.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        *self = Store::open_file(std::mem::take(&mut self.path))?;
+        Ok(dropped)
+    }
+
+    fn read_block_records(&mut self, block: u32) -> io::Result<Vec<StoreRecord>> {
+        let meta = self.blocks[block as usize].clone();
+        let all: Vec<usize> = (0..COLUMN_COUNT).collect();
+        let raws =
+            read_columns(&mut self.file, &meta, &all)?.ok_or_else(|| corrupt_block(block))?;
+        decode_records(&meta, &raws).ok_or_else(|| corrupt_block(block))
+    }
+
+    /// Builds the key index by partial-reading only the key columns of
+    /// every block.
+    fn build_index(&mut self) -> io::Result<()> {
+        for block in 0..self.blocks.len() as u32 {
+            let meta = self.blocks[block as usize].clone();
+            let raws = read_columns(
+                &mut self.file,
+                &meta,
+                &[COL_FINGERPRINT, COL_LATENCY_BOUND, COL_BUDGET_DIGEST],
+            )?
+            .ok_or_else(|| corrupt_block(block))?;
+            let keys = decode_keys(&meta, &raws[0], &raws[1], &raws[2])
+                .ok_or_else(|| corrupt_block(block))?;
+            for (row, key) in keys.into_iter().enumerate() {
+                self.index.insert(key, (block, row as u32));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Store {
+    /// Best-effort footer flush — an unflushed store is still fully
+    /// recoverable, just slower to open.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+fn corrupt_block(block: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("store block {block} is corrupt (run `pchls store verify`)"),
+    )
+}
+
+/// Sequentially scans blocks from the front, keeping every block whose
+/// header and body checksums verify and stopping at the first that does
+/// not — the recovery path for torn files.
+fn scan_blocks(file: &mut File, file_len: u64) -> io::Result<Vec<BlockMeta>> {
+    let mut blocks = Vec::new();
+    let mut pos = FILE_MAGIC.len() as u64;
+    while let Some(meta) = parse_block_header(file, pos, file_len)? {
+        if !verify_block_body(file, &meta)? {
+            break;
+        }
+        pos = meta.end();
+        blocks.push(meta);
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pchls-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(fp: u64, latency: u32, digest: u64, area: u64) -> StoreRecord {
+        StoreRecord {
+            key: StoreKey {
+                fingerprint: fp,
+                latency_bound: latency,
+                budget_digest: digest,
+            },
+            feasible: area != 0,
+            power_bound_bits: (area as f64 / 10.0).to_bits(),
+            area,
+            latency: latency.saturating_sub(1),
+            peak_power_bits: (area as f64 / 11.0).to_bits(),
+            units: area % 7,
+            trace: vec![area as u8; (area % 5) as usize],
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let dir = temp_dir("empty");
+        {
+            let store = Store::open(&dir).unwrap();
+            assert!(store.is_empty());
+        }
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(!store.recovered());
+        assert_eq!(store.scan_records().unwrap(), Vec::new());
+        let stat = store.verify().unwrap();
+        assert_eq!((stat.blocks, stat.records), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_flush_reopen_get() {
+        let dir = temp_dir("roundtrip");
+        let records: Vec<StoreRecord> = (0..30)
+            .map(|i| record(i / 5, 10 + (i % 5) as u32, 7, 100 + i))
+            .collect();
+        {
+            let mut store = Store::open(&dir).unwrap();
+            store.append(&records[..20]).unwrap();
+            store.append(&records[20..]).unwrap();
+            store.flush().unwrap();
+        }
+        let mut store = Store::open(&dir).unwrap();
+        assert!(!store.recovered(), "flushed store loads via footer");
+        assert_eq!(store.len(), 30);
+        for r in &records {
+            assert_eq!(store.get(&r.key).unwrap().as_ref(), Some(r));
+        }
+        assert!(store
+            .get(&StoreKey {
+                fingerprint: 999,
+                latency_bound: 1,
+                budget_digest: 1
+            })
+            .unwrap()
+            .is_none());
+        let stat = store.verify().unwrap();
+        assert_eq!((stat.blocks, stat.records, stat.live_records), (2, 30, 30));
+        assert!(stat.compression_ratio() > 1.0, "columns compress");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_appends_are_recovered_by_scanning() {
+        let dir = temp_dir("unflushed");
+        let records: Vec<StoreRecord> = (0..10).map(|i| record(1, 10 + i as u32, 3, 50)).collect();
+        {
+            let mut store = Store::open(&dir).unwrap();
+            store.append(&records).unwrap();
+            // Drop flushes; simulate the crash by truncating the footer
+            // off afterwards.
+        }
+        let path = dir.join(STORE_FILE_NAME);
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop increasing amounts of the footer off; every prefix that
+        // still contains the full block must recover all 10 records.
+        let footer_len = crate::format::encode_footer(&[]).len(); // minimum footer size
+        assert!(footer_len >= 16);
+        for cut in 1..=footer_len {
+            std::fs::write(&path, &bytes[..bytes.len() - cut]).unwrap();
+            let mut store = Store::open(&dir).unwrap();
+            assert!(store.recovered(), "cut {cut} must force a scan");
+            assert_eq!(store.len(), 10, "cut {cut}");
+            assert_eq!(store.scan_records().unwrap().len(), 10);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_appends_supersede_and_compact_drops_them() {
+        let dir = temp_dir("supersede");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(&[record(5, 10, 1, 100), record(6, 10, 1, 200)])
+            .unwrap();
+        store.append(&[record(5, 10, 1, 150)]).unwrap(); // supersedes
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store.get(&record(5, 10, 1, 0).key).unwrap().unwrap().area,
+            150
+        );
+        let scanned = store.scan_records().unwrap();
+        assert_eq!(scanned.len(), 2, "scan sees live records only");
+        assert_eq!(store.stat().unwrap().records, 3, "one superseded on disk");
+
+        let dropped = store.compact().unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stat().unwrap().records, 2);
+        assert_eq!(
+            store.get(&record(5, 10, 1, 0).key).unwrap().unwrap().area,
+            150
+        );
+        store.verify().unwrap();
+
+        // And the compacted file reloads cleanly.
+        drop(store);
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        store.verify().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_area_scan_matches_full_scan() {
+        let dir = temp_dir("areas");
+        let mut store = Store::open(&dir).unwrap();
+        let records: Vec<StoreRecord> = (0..25)
+            .map(|i| {
+                record(
+                    i % 3,
+                    10 + (i / 3) as u32,
+                    9,
+                    if i % 4 == 0 { 0 } else { 300 + i },
+                )
+            })
+            .collect();
+        store.append(&records).unwrap();
+        let full = store.scan_records().unwrap();
+        let areas = store.scan_areas().unwrap();
+        assert_eq!(full.len(), areas.len());
+        for (r, (key, area)) in full.iter().zip(&areas) {
+            assert_eq!(r.key, *key);
+            assert_eq!(r.feasible.then_some(r.area), *area);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feasible_for_filters_and_orders() {
+        let dir = temp_dir("feasible");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(&[
+                record(7, 20, 2, 500),
+                record(7, 10, 2, 400),
+                record(7, 15, 2, 0), // infeasible
+                record(8, 10, 2, 300),
+            ])
+            .unwrap();
+        let got = store.feasible_for(7).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            got.iter().map(|r| r.key.latency_bound).collect::<Vec<_>>(),
+            vec![10, 20],
+            "ordered by latency bound"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn alien_file_is_rejected() {
+        let dir = temp_dir("alien");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(STORE_FILE_NAME), b"definitely not a store file").unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,12 +5,13 @@
 //! pchls benchmarks
 //! pchls dump <graph> [--dot]
 //! pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile]
-//! pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>]
-//! pchls batch <graph> --points <file> [--budget <file>]
+//! pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>] [--store <dir>]
+//! pchls batch <graph> --points <file> [--budget <file>] [--store <dir>]
 //! pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
-//! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
+//! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>] [--store <dir>]
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
+//! pchls store (stat|verify|compact) <dir>
 //! ```
 //!
 //! `<graph>` is either a built-in benchmark name (`hal`, `cosine`,
@@ -31,6 +32,14 @@
 //! session API ([`Engine::compile`]) and reuses the compiled artifacts
 //! for all constraint points it evaluates — `batch` amortizes one
 //! compile across a whole file of `(T, P<)` points.
+//!
+//! `--store <dir>` points `batch`/`sweep`/`serve` at a **persistent
+//! result store** (`pchls-store`): constraint points already
+//! materialized under the same graph fingerprint and budget digest are
+//! read back instead of re-synthesized, and everything fresh is
+//! appended, so an interrupted run resumes where it stopped and a
+//! restarted service answers warm. `pchls store stat|verify|compact`
+//! inspects and maintains a store directory.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -38,11 +47,13 @@ use std::process::ExitCode;
 use pchls::battery::battery_report;
 use pchls::cdfg::{benchmarks, parse_cdfg, write_cdfg, Cdfg, GraphStats, Interpreter};
 use pchls::core::{
-    Engine, PowerBudget, SweepSpec, SynthesisConstraints, SynthesisOptions, SynthesisRequest,
+    CompiledGraph, Engine, PowerBudget, Session, SweepPoint, SweepResult, SweepSpec,
+    SynthesisConstraints, SynthesisOptions, SynthesisRequest,
 };
 use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
 use pchls::serve::{serve_stdio, serve_tcp, Service, ServiceConfig};
+use pchls::store::{trace_bytes, Store, StoreKey, StoreRecord, StoreStat, STORE_FILE_NAME};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,14 +75,16 @@ usage:
   pchls benchmarks
   pchls dump <graph> [--dot|--stats]
   pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
-  pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>]   # with --budget, sweeps envelope scale factors
-  pchls batch <graph> --points <file> [--budget <file>]   # one `T P` pair per line; with --budget, P scales the envelope
+  pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>] [--store <dir>]   # with --budget, sweeps envelope scale factors
+  pchls batch <graph> --points <file> [--budget <file>] [--store <dir>]   # one `T P` pair per line; with --budget, P scales the envelope
   pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
-  pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>]
+  pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>] [--store <dir>]
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
   pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
+  pchls store (stat|verify|compact) <dir>
 
-budget files are JSON: {\"constant\": 25.0} | {\"steps\": [[0,30.0],[8,12.0]]} | {\"per_cycle\": [30.0,...]}";
+budget files are JSON: {\"constant\": 25.0} | {\"steps\": [[0,30.0],[8,12.0]]} | {\"per_cycle\": [30.0,...]}
+--store <dir> resumes batch/sweep from (and appends to) a persistent result store; serve uses it as a second cache tier";
 
 /// Executes a parsed command line, returning the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -84,6 +97,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "batch" => batch(rest),
         "battery" => battery(rest),
         "serve" => serve(rest),
+        "store" => store_admin(rest),
         "simulate" => run_simulation(rest),
         "vcd" => run_vcd(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -156,7 +170,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.options.insert("power".into(), v.clone());
             }
             "--library" | "--steps" | "--out" | "--points" | "--addr" | "--workers"
-            | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" => {
+            | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" | "--store" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -176,6 +190,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(f)
+}
+
+/// Opens (creating as needed) the `--store <dir>` result store, when
+/// the flag is present.
+fn open_store(flags: &Flags) -> Result<Option<Store>, String> {
+    match flags.options.get("store") {
+        None => Ok(None),
+        Some(dir) => Store::open(std::path::Path::new(dir))
+            .map(Some)
+            .map_err(|e| format!("opening store {dir}: {e}")),
+    }
 }
 
 fn required_u32(flags: &Flags, key: &str, flag: &str) -> Result<u32, String> {
@@ -499,6 +524,53 @@ fn synth(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs `spec` through the session, resuming from the `--store` result
+/// store when one is given: grid points already materialized for this
+/// graph fingerprint and budget digest are read back instead of
+/// re-synthesized, and the fresh raw points are appended for the next
+/// run (outcome columns only — sweeps keep no schedule trace). The
+/// enveloped result is identical to a storeless sweep either way,
+/// because the envelope pass reruns over the merged raw grid.
+fn sweep_with_store(
+    flags: &Flags,
+    session: &Session<'_>,
+    compiled: &CompiledGraph,
+    spec: &SweepSpec,
+) -> Result<SweepResult, String> {
+    let options = SynthesisOptions::default();
+    let Some(mut store) = open_store(flags)? else {
+        return Ok(session.sweep(spec, &options));
+    };
+    let mut keys = Vec::with_capacity(spec.len());
+    let mut cached: Vec<Option<SweepPoint>> = Vec::with_capacity(spec.len());
+    for i in 0..spec.len() {
+        let key = StoreKey::for_graph(compiled.graph(), &spec.constraints(i));
+        cached.push(
+            store
+                .get(&key)
+                .map_err(|e| format!("reading store: {e}"))?
+                .map(|r| r.to_point(compiled.name())),
+        );
+        keys.push(key);
+    }
+    let (result, fresh) = session.sweep_resumable(spec, &options, &cached);
+    let records: Vec<StoreRecord> = fresh
+        .iter()
+        .map(|(i, p)| StoreRecord::from_point(keys[*i], p, Vec::new()))
+        .collect();
+    store
+        .append(&records)
+        .and_then(|()| store.flush())
+        .map_err(|e| format!("writing store: {e}"))?;
+    eprintln!(
+        "store: {} of {} point(s) resumed from {}",
+        spec.len() - fresh.len(),
+        spec.len(),
+        store.path().display()
+    );
+    Ok(result)
+}
+
 fn sweep(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(args)?;
     let spec = flags.positionals.first().ok_or("missing graph")?;
@@ -524,10 +596,12 @@ fn sweep(args: &[String]) -> Result<String, String> {
         let scales: Vec<f64> = (0..steps)
             .map(|i| 0.25 + (1.5 - 0.25) * i as f64 / (steps - 1) as f64)
             .collect();
-        let result = session.sweep(
+        let result = sweep_with_store(
+            &flags,
+            &session,
+            &compiled,
             &SweepSpec::budget_scale(latency, budget, scales.clone()),
-            &SynthesisOptions::default(),
-        );
+        )?;
         let mut out = format!(
             "{} at T={latency} (envelope scale sweep):\n scale    peak    area\n",
             result.benchmark
@@ -541,10 +615,12 @@ fn sweep(args: &[String]) -> Result<String, String> {
         return Ok(out);
     }
     let grid = session.auto_power_grid(steps);
-    let result = session.sweep(
+    let result = sweep_with_store(
+        &flags,
+        &session,
+        &compiled,
         &SweepSpec::power(latency, grid),
-        &SynthesisOptions::default(),
-    );
+    )?;
     let mut out = format!("{} at T={latency}:\npower    area\n", result.benchmark);
     for p in result.points {
         match p.area {
@@ -634,12 +710,65 @@ fn batch(args: &[String]) -> Result<String, String> {
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
     let session = engine.session(&compiled);
-    let results = session.batch(points.into_iter().map(SynthesisRequest::new));
+    let out_points: Vec<SweepPoint> = match open_store(&flags)? {
+        None => session
+            .batch(points.into_iter().map(SynthesisRequest::new))
+            .iter()
+            .map(|r| r.to_point(compiled.name()))
+            .collect(),
+        Some(mut store) => {
+            // Resume: answer materialized points from the store, run
+            // only the rest, and append those for the next run.
+            let keys: Vec<StoreKey> = points
+                .iter()
+                .map(|c| StoreKey::for_graph(compiled.graph(), c))
+                .collect();
+            let mut slots: Vec<Option<SweepPoint>> = Vec::with_capacity(points.len());
+            for key in &keys {
+                slots.push(
+                    store
+                        .get(key)
+                        .map_err(|e| format!("reading store: {e}"))?
+                        .map(|r| r.to_point(compiled.name())),
+                );
+            }
+            let missing: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
+            let fresh = session.batch(
+                missing
+                    .iter()
+                    .map(|&i| SynthesisRequest::new(points[i].clone())),
+            );
+            let mut records = Vec::with_capacity(fresh.len());
+            for (&i, r) in missing.iter().zip(&fresh) {
+                let point = r.to_point(compiled.name());
+                let trace = r
+                    .outcome
+                    .as_ref()
+                    .map(|d| trace_bytes(&d.schedule))
+                    .unwrap_or_default();
+                records.push(StoreRecord::from_point(keys[i], &point, trace));
+                slots[i] = Some(point);
+            }
+            store
+                .append(&records)
+                .and_then(|()| store.flush())
+                .map_err(|e| format!("writing store: {e}"))?;
+            eprintln!(
+                "store: {} of {} point(s) resumed from {}",
+                keys.len() - missing.len(),
+                keys.len(),
+                store.path().display()
+            );
+            slots
+                .into_iter()
+                .map(|s| s.expect("every point is cached or freshly run"))
+                .collect()
+        }
+    };
 
     let mut out = String::new();
-    for r in &results {
-        let line = serde_json::to_string(&r.to_point(compiled.name()))
-            .map_err(|e| format!("serializing point: {e}"))?;
+    for p in &out_points {
+        let line = serde_json::to_string(p).map_err(|e| format!("serializing point: {e}"))?;
         out.push_str(&line);
         out.push('\n');
     }
@@ -720,10 +849,12 @@ fn serve(args: &[String]) -> Result<String, String> {
         workers: usize_option("workers", defaults.workers)?,
         cache_cap: usize_option("cache-cap", defaults.cache_cap)?,
         queue_cap: usize_option("queue-cap", defaults.queue_cap)?,
+        store_dir: flags.options.get("store").map(std::path::PathBuf::from),
         ..defaults
     };
     let lib = load_library(&flags)?;
-    let service = Service::start(Engine::new(lib), config);
+    let service = Service::try_start(Engine::new(lib), config)
+        .map_err(|e| format!("opening result store: {e}"))?;
     match addr {
         None => serve_stdio(&service).map_err(|e| format!("serving stdio: {e}"))?,
         Some(addr) => {
@@ -735,6 +866,82 @@ fn serve(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(String::new())
+}
+
+/// `pchls store (stat|verify|compact) <dir>`: inspects and maintains a
+/// persistent result store directory (the `--store` target of
+/// `batch`/`sweep`/`serve`).
+fn store_admin(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    let [action, dir] = flags.positionals.as_slice() else {
+        return Err(
+            "store needs an action and a directory: store (stat|verify|compact) <dir>".into(),
+        );
+    };
+    let path = std::path::Path::new(dir);
+    // Opening creates an empty store; an admin command pointed at the
+    // wrong directory must report that, not silently materialize one.
+    if !path.join(STORE_FILE_NAME).exists() {
+        return Err(format!(
+            "`{dir}` contains no result store ({STORE_FILE_NAME} missing)"
+        ));
+    }
+    let mut store = Store::open(path).map_err(|e| format!("opening store {dir}: {e}"))?;
+    match action.as_str() {
+        "stat" => {
+            let stat = store.stat().map_err(|e| format!("reading store: {e}"))?;
+            Ok(render_store_stat(&stat, store.path()))
+        }
+        "verify" => {
+            let stat = store
+                .verify()
+                .map_err(|e| format!("store is corrupt: {e}"))?;
+            Ok(format!(
+                "ok: {} record(s) in {} block(s) verified ({} live)\n",
+                stat.records, stat.blocks, stat.live_records
+            ))
+        }
+        "compact" => {
+            let before = store.stat().map_err(|e| format!("reading store: {e}"))?;
+            let dropped = store.compact().map_err(|e| format!("compacting: {e}"))?;
+            let after = store.stat().map_err(|e| format!("reading store: {e}"))?;
+            Ok(format!(
+                "dropped {dropped} superseded record(s): {} -> {} bytes\n",
+                before.file_bytes, after.file_bytes
+            ))
+        }
+        other => Err(format!(
+            "unknown store action `{other}` (expected stat, verify or compact)"
+        )),
+    }
+}
+
+/// The `pchls store stat` report: totals, compression ratio and
+/// per-column byte accounting.
+fn render_store_stat(stat: &StoreStat, path: &std::path::Path) -> String {
+    let mut out = format!(
+        "{}:\n  records: {} ({} live)\n  blocks: {}\n  file: {} bytes\n  \
+         columns: {} -> {} bytes ({:.2}x compression)\n",
+        path.display(),
+        stat.records,
+        stat.live_records,
+        stat.blocks,
+        stat.file_bytes,
+        stat.raw_bytes,
+        stat.compressed_bytes,
+        stat.compression_ratio()
+    );
+    if stat.recovered {
+        out.push_str("  recovered: yes (torn tail was scanned around)\n");
+    }
+    out.push_str("  per-column bytes (raw -> compressed):\n");
+    for c in &stat.columns {
+        out.push_str(&format!(
+            "    {:<14} {:>8} -> {:>8}\n",
+            c.name, c.raw_bytes, c.compressed_bytes
+        ));
+    }
+    out
 }
 
 fn run_simulation(args: &[String]) -> Result<String, String> {
@@ -1134,6 +1341,113 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("point 1") && err.contains("cycle 9"), "{err}");
+    }
+
+    /// A scratch directory wiped at the start of the test, so reruns
+    /// never resume from a previous process's store.
+    fn store_scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn batch_with_store_resumes_and_is_byte_identical() {
+        let dir = store_scratch("pchls-cli-store-batch");
+        let points = dir.join("points.txt");
+        std::fs::write(&points, "17 25\n10 40\n17 1.0\n").unwrap();
+        let store_dir = dir.join("store");
+        let cmd = format!(
+            "batch hal --points {} --store {}",
+            points.display(),
+            store_dir.display()
+        );
+        let plain = run(&argv(&format!("batch hal --points {}", points.display()))).unwrap();
+        let cold = run(&argv(&cmd)).unwrap();
+        assert_eq!(cold, plain, "--store changed batch output");
+        // The second run answers every point from the store, and still
+        // prints the same bytes.
+        let warm = run(&argv(&cmd)).unwrap();
+        assert_eq!(warm, plain);
+        let mut store = Store::open(&store_dir).unwrap();
+        assert_eq!(store.len(), 3, "one record per point");
+        assert!(!store.recovered(), "batch must flush the footer");
+        // The two feasible points persisted their schedule trace.
+        let with_trace = store
+            .scan_records()
+            .unwrap()
+            .iter()
+            .filter(|r| !r.trace.is_empty())
+            .count();
+        assert_eq!(with_trace, 2);
+    }
+
+    #[test]
+    fn sweep_with_store_resumes_and_matches_plain_sweep() {
+        let dir = store_scratch("pchls-cli-store-sweep");
+        let store_dir = dir.join("store");
+        let cmd = format!("sweep hal -T 17 --steps 5 --store {}", store_dir.display());
+        let plain = run(&argv("sweep hal -T 17 --steps 5")).unwrap();
+        assert_eq!(
+            run(&argv(&cmd)).unwrap(),
+            plain,
+            "--store changed the curve"
+        );
+        assert_eq!(run(&argv(&cmd)).unwrap(), plain, "resumed sweep diverged");
+        let store = Store::open(&store_dir).unwrap();
+        assert!(store.len() >= 5, "raw grid points were persisted");
+    }
+
+    #[test]
+    fn store_admin_reports_stat_verify_and_compact() {
+        let dir = store_scratch("pchls-cli-store-admin");
+        let points = dir.join("points.txt");
+        std::fs::write(&points, "17 25\n10 40\n").unwrap();
+        let store_dir = dir.join("store");
+        run(&argv(&format!(
+            "batch hal --points {} --store {}",
+            points.display(),
+            store_dir.display()
+        )))
+        .unwrap();
+
+        let stat = run(&argv(&format!("store stat {}", store_dir.display()))).unwrap();
+        assert!(stat.contains("records: 2 (2 live)"), "{stat}");
+        assert!(stat.contains("per-column bytes"), "{stat}");
+        let verify = run(&argv(&format!("store verify {}", store_dir.display()))).unwrap();
+        assert!(verify.starts_with("ok: 2 record(s)"), "{verify}");
+
+        // Re-appending an existing record supersedes it; compact drops
+        // the stale copy.
+        {
+            let mut store = Store::open(&store_dir).unwrap();
+            let first = store.scan_records().unwrap().remove(0);
+            store.append(std::slice::from_ref(&first)).unwrap();
+            store.flush().unwrap();
+        }
+        let compacted = run(&argv(&format!("store compact {}", store_dir.display()))).unwrap();
+        assert!(
+            compacted.starts_with("dropped 1 superseded record(s)"),
+            "{compacted}"
+        );
+        let stat = run(&argv(&format!("store stat {}", store_dir.display()))).unwrap();
+        assert!(stat.contains("records: 2 (2 live)"), "{stat}");
+    }
+
+    #[test]
+    fn store_admin_validates_its_arguments() {
+        let err = run(&argv("store stat")).unwrap_err();
+        assert!(err.contains("stat|verify|compact"), "{err}");
+        let missing = std::env::temp_dir().join("pchls-cli-store-missing");
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = run(&argv(&format!("store stat {}", missing.display()))).unwrap_err();
+        assert!(err.contains("no result store"), "{err}");
+        let dir = store_scratch("pchls-cli-store-badaction");
+        let store_dir = dir.join("store");
+        drop(Store::open(&store_dir).unwrap());
+        let err = run(&argv(&format!("store frobnicate {}", store_dir.display()))).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
     }
 
     #[test]

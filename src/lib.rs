@@ -88,3 +88,6 @@ pub use pchls_sched as sched;
 /// Concurrent synthesis service: compile cache, request scheduler,
 /// JSON-lines wire protocol (`pchls serve`).
 pub use pchls_serve as serve;
+/// Persistent content-addressed columnar result store (`pchls store`,
+/// `--store` on `batch`/`sweep`/`serve`).
+pub use pchls_store as store;
