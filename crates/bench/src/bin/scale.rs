@@ -35,6 +35,17 @@
 //! area-column-only partial reads — with every store-served point
 //! byte-diffed against the fresh session output.
 //!
+//! A seventh workload, `overload`, drives the reactor TCP front end
+//! (`BENCH_8.json`): a warm phase (concurrent clients over a
+//! result-tier-hot mix, byte-diffed and throughput-compared against the
+//! committed `service-throughput` number), an overload phase (a burst
+//! of heavy synthesis jobs into one deliberately tiny shard, asserting
+//! every request is answered — shed ones with a well-formed
+//! `overloaded` error, zero malformed or dropped — while warm probes
+//! keep flowing on the hit lane), and a rate-limit phase (a pipelined
+//! flood through a per-connection token bucket). Every phase shuts its
+//! serve loop down cleanly through a [`ShutdownHandle`].
+//!
 //! `--smoke` runs a seconds-scale subset (small graphs, one repetition)
 //! so CI can keep the workloads from rotting.
 //!
@@ -45,18 +56,22 @@
 //! serial decision trace bit for bit, and the amortized session must
 //! reproduce the free-function designs bit for bit.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Instant;
 
 use serde::Serialize;
 
 use pchls_bench::{figure2_power_grid, scale_random_case};
-use pchls_cdfg::{benchmarks, Cdfg};
+use pchls_cdfg::{benchmarks, write_cdfg, Cdfg};
 use pchls_core::{
     Engine, PowerBudget, Session, SweepSpec, SynthesisConstraints, SynthesisOptions,
     SynthesisRequest, SynthesizedDesign,
 };
 use pchls_fulib::{paper_library, ModuleLibrary};
-use pchls_serve::{Service, ServiceConfig, SubmitRequest};
+use pchls_serve::{
+    serve_tcp_with, Service, ServiceConfig, ShutdownHandle, SubmitRequest, SubmitResponse,
+};
 
 /// One timed case of the kernel workload.
 struct Case {
@@ -1294,6 +1309,530 @@ fn store_workload(smoke: bool, engine: &Engine, opts: &SynthesisOptions) {
     eprintln!("wrote BENCH_7.json");
 }
 
+/// The warm-path phase of the `overload` workload (`BENCH_8.json`).
+#[derive(Debug, Serialize)]
+struct WarmPhaseRecord {
+    /// Concurrent client connections.
+    clients: usize,
+    /// Requests each client pipelined.
+    requests_per_client: usize,
+    /// Wall-clock seconds from first write to last reply.
+    wall_secs: f64,
+    /// `clients * requests_per_client / wall_secs` over TCP.
+    throughput_rps: f64,
+    /// The committed `service-throughput` number (`BENCH_4.json`) on
+    /// this host, when present — the warm path must not fall below it.
+    bench4_throughput_rps: Option<f64>,
+    /// Hit-lane latency snapshot after the phase (all warm requests
+    /// ride the hit lane).
+    hit_lane_p50_secs: f64,
+    /// Hit-lane 99.9th percentile in seconds (bucketed).
+    hit_lane_p999_secs: f64,
+    /// Largest hit-lane latency in seconds (exact).
+    hit_lane_max_secs: f64,
+    /// Whether every reply was byte-identical to direct `Session`
+    /// output.
+    outputs_identical: bool,
+}
+
+/// The past-capacity phase of the `overload` workload.
+#[derive(Debug, Serialize)]
+struct OverloadPhaseRecord {
+    /// Shards the service ran (deliberately 1).
+    shards: usize,
+    /// Synthesis workers (deliberately 1).
+    workers: usize,
+    /// Queue bound — the admission threshold the burst must overflow.
+    queue_cap: usize,
+    /// Heavy synthesis requests fired past capacity.
+    burst_requests: usize,
+    /// Warm request/response probes interleaved with the storm.
+    warm_probes: usize,
+    /// Burst requests served with a synthesis point.
+    served: u64,
+    /// Burst requests refused with a well-formed `overloaded` error.
+    shed: u64,
+    /// `shed / burst_requests`.
+    shed_rate: f64,
+    /// Response lines that failed to parse (must be 0).
+    malformed: usize,
+    /// Requests that never got a response line (must be 0).
+    dropped: usize,
+    /// Hit-lane p99.9 during the storm in seconds — the priority lane's
+    /// bound while the synth lane is saturated.
+    hit_lane_p999_secs: f64,
+    /// Largest hit-lane latency in seconds (exact).
+    hit_lane_max_secs: f64,
+    /// Synth-lane p99.9 in seconds, for contrast.
+    synth_lane_p999_secs: f64,
+    /// Whether every *served* burst reply was byte-identical to direct
+    /// `Session` output.
+    outputs_identical: bool,
+}
+
+/// The rate-limit phase of the `overload` workload.
+#[derive(Debug, Serialize)]
+struct RateLimitPhaseRecord {
+    /// Token-bucket refill rate (requests/second/connection).
+    rate_per_sec: f64,
+    /// Token-bucket burst capacity.
+    burst: f64,
+    /// Requests pipelined down one connection.
+    requests: usize,
+    /// Requests admitted and answered with a point.
+    admitted: u64,
+    /// Requests refused with a well-formed `rate_limited` error.
+    rate_limited: u64,
+}
+
+/// The `overload` trajectory record (`BENCH_8.json`).
+#[derive(Debug, Serialize)]
+struct OverloadRecord {
+    /// Trajectory schema marker.
+    schema: String,
+    /// What is being timed.
+    workload: String,
+    /// Total requests across all three phases.
+    points: usize,
+    /// Worker threads of the warm-phase service.
+    threads: usize,
+    /// Host cores.
+    host_cores: usize,
+    /// Serve loops started and stopped cleanly via [`ShutdownHandle`].
+    clean_shutdowns: usize,
+    /// Warm-path throughput phase.
+    warm: WarmPhaseRecord,
+    /// Past-capacity shedding phase.
+    overload: OverloadPhaseRecord,
+    /// Per-connection token-bucket phase.
+    rate_limit: RateLimitPhaseRecord,
+}
+
+/// Pipelines `reqs` down one TCP connection, then reads one line per
+/// request. Returns the parsed responses plus the counts of malformed
+/// lines and missing (connection closed early) responses.
+fn tcp_exchange(addr: SocketAddr, reqs: &[SubmitRequest]) -> (Vec<SubmitResponse>, usize, usize) {
+    let stream = TcpStream::connect(addr).expect("dial the service");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    for req in reqs {
+        writeln!(
+            writer,
+            "{}",
+            serde_json::to_string(req).expect("request serializes")
+        )
+        .expect("write request");
+    }
+    writer.flush().expect("flush requests");
+    let mut responses = Vec::new();
+    let mut malformed = 0usize;
+    let mut dropped = 0usize;
+    for _ in 0..reqs.len() {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read response") == 0 {
+            dropped += 1;
+            continue;
+        }
+        match serde_json::from_str::<SubmitResponse>(&line) {
+            Ok(resp) => responses.push(resp),
+            Err(_) => malformed += 1,
+        }
+    }
+    (responses, malformed, dropped)
+}
+
+/// A reactor serve loop on an ephemeral port; `f` runs with the dialed
+/// address, then the loop is stopped and its clean exit asserted.
+fn with_tcp_service<T>(service: &Service, f: impl FnOnce(SocketAddr) -> T) -> T {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = ShutdownHandle::new();
+    std::thread::scope(|scope| {
+        let loop_thread = scope.spawn(|| serve_tcp_with(service, &listener, &shutdown));
+        let out = f(addr);
+        shutdown.request_stop();
+        loop_thread
+            .join()
+            .expect("serve loop must not panic")
+            .expect("serve loop must exit cleanly");
+        out
+    })
+}
+
+/// The `overload` workload: the reactor TCP front end under a warm
+/// concurrent mix, past-capacity shedding, and per-connection rate
+/// limits (BENCH_8.json). See the module docs for the three phases.
+fn overload_workload(smoke: bool, opts: &SynthesisOptions) {
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let engine = Engine::new(paper_library());
+
+    // ---- Phase 1: warm-path throughput --------------------------------
+    // Twelve distinct points over the paper benchmarks; pre-warmed into
+    // the result tier so the timed traffic rides the hit lane.
+    let (clients, per_client) = if smoke { (2, 25) } else { (4, 100) };
+    let warm_mix: Vec<(&str, u32, f64)> = ["hal", "cosine", "elliptic"]
+        .iter()
+        .flat_map(|&g| {
+            let t = match g {
+                "hal" => 17,
+                "cosine" => 15,
+                _ => 22,
+            };
+            [15.0, 25.0, 40.0, 60.0].map(move |p| (g, t, p))
+        })
+        .collect();
+    let reference: Vec<String> = warm_mix
+        .iter()
+        .map(|&(graph, latency, power)| {
+            let g = benchmarks::all()
+                .into_iter()
+                .find(|g| g.name() == graph)
+                .unwrap();
+            let compiled = engine.compile(&g);
+            let constraints = SynthesisConstraints::new(latency, power);
+            let point = pchls_core::SynthesisResult {
+                request: pchls_core::SynthesisRequest::new(constraints.clone()).with_options(*opts),
+                outcome: engine.session(&compiled).synthesize(constraints, opts),
+            }
+            .to_point(compiled.name());
+            serde_json::to_string(&point).expect("point serializes")
+        })
+        .collect();
+
+    let warm_service = Service::start(
+        Engine::new(paper_library()),
+        ServiceConfig {
+            shards: 4,
+            queue_cap: 4096,
+            options: *opts,
+            ..ServiceConfig::default()
+        },
+    );
+    for (id, &(graph, latency, power)) in warm_mix.iter().enumerate() {
+        let resp = warm_service.call(SubmitRequest::synth(id as u64, graph, latency, power));
+        assert!(resp.ok, "pre-warm {graph} T={latency} P={power} failed");
+    }
+    let threads = warm_service.stats().workers;
+    let (wall_secs, warm_identical) = with_tcp_service(&warm_service, |addr| {
+        let start = Instant::now();
+        let mismatches: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (warm_mix, reference) = (&warm_mix, &reference);
+                    scope.spawn(move || {
+                        let reqs: Vec<SubmitRequest> = (0..per_client)
+                            .map(|r| {
+                                let (graph, latency, power) = warm_mix[(c + r) % warm_mix.len()];
+                                SubmitRequest::synth(
+                                    (c * per_client + r) as u64,
+                                    graph,
+                                    latency,
+                                    power,
+                                )
+                            })
+                            .collect();
+                        let (responses, malformed, dropped) = tcp_exchange(addr, &reqs);
+                        assert_eq!((malformed, dropped), (0, 0), "warm phase lost replies");
+                        responses
+                            .iter()
+                            .filter(|resp| {
+                                let r = (resp.id as usize) % per_client;
+                                let expected = &reference[(c + r) % warm_mix.len()];
+                                let served = resp
+                                    .point
+                                    .as_ref()
+                                    .map(|p| serde_json::to_string(p).expect("point serializes"));
+                                !resp.ok || served.as_deref() != Some(expected.as_str())
+                            })
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).sum()
+        });
+        (start.elapsed().as_secs_f64(), mismatches == 0)
+    });
+    let warm_stats = warm_service.stats();
+    warm_service.shutdown();
+    let warm_points = clients * per_client;
+    let bench4_throughput_rps = std::fs::read_to_string("BENCH_4.json")
+        .ok()
+        .and_then(|s| serde_json::parse(&s).ok())
+        .and_then(|v| match v {
+            serde_json::Value::Object(fields) => {
+                fields.into_iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("throughput_rps", serde_json::Value::Float(f)) => Some(f),
+                    ("throughput_rps", serde_json::Value::Int(i)) => Some(i as f64),
+                    _ => None,
+                })
+            }
+            _ => None,
+        });
+    let warm = WarmPhaseRecord {
+        clients,
+        requests_per_client: per_client,
+        wall_secs,
+        throughput_rps: warm_points as f64 / wall_secs,
+        bench4_throughput_rps,
+        hit_lane_p50_secs: warm_stats.hit_lane.p50_secs,
+        hit_lane_p999_secs: warm_stats.hit_lane.p999_secs,
+        hit_lane_max_secs: warm_stats.hit_lane.max_secs,
+        outputs_identical: warm_identical,
+    };
+    println!(
+        "\noverload/warm: {} clients x {} | {:.3}s wall | {:.0} req/s (BENCH_4: {}) | \
+         hit lane p50 {:.5}s p99.9 {:.5}s max {:.5}s | identical: {}",
+        clients,
+        per_client,
+        warm.wall_secs,
+        warm.throughput_rps,
+        warm.bench4_throughput_rps
+            .map_or("n/a".to_owned(), |r| format!("{r:.0} req/s")),
+        warm.hit_lane_p50_secs,
+        warm.hit_lane_p999_secs,
+        warm.hit_lane_max_secs,
+        warm.outputs_identical,
+    );
+
+    // ---- Phase 2: past capacity ---------------------------------------
+    // One shard, one worker, a four-deep lane; a concurrent burst of
+    // heavy distinct synthesis jobs must overflow admission while warm
+    // probes keep answering on the hit lane.
+    let (burst_clients, per_burst, probes, heavy_ops) = if smoke {
+        (2, 6, 5, 60)
+    } else {
+        (3, 8, 20, 120)
+    };
+    let queue_cap = 4;
+    let heavy = {
+        let (_, graph, constraints) = scale_random_case(heavy_ops, 21, 60.0);
+        (write_cdfg(&graph), constraints.latency)
+    };
+    let (heavy_text, heavy_latency) = (&heavy.0, heavy.1);
+    let heavy_compiled = engine.compile(&pchls_cdfg::parse_cdfg(heavy_text).unwrap());
+    let heavy_session = engine.session(&heavy_compiled);
+    let heavy_power = |id: u64| 60.0 + (id - 1) as f64;
+
+    let storm_service = Service::start(
+        Engine::new(paper_library()),
+        ServiceConfig {
+            workers: 1,
+            shards: 1,
+            queue_cap,
+            options: *opts,
+            ..ServiceConfig::default()
+        },
+    );
+    assert!(
+        storm_service
+            .call(SubmitRequest::synth(0, "hal", 17, 25.0))
+            .ok
+    );
+    let burst_requests = burst_clients * per_burst;
+    let (all_responses, probe_failures, malformed, dropped) =
+        with_tcp_service(&storm_service, |addr| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..burst_clients)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            let reqs: Vec<SubmitRequest> = (0..per_burst)
+                                .map(|r| {
+                                    let id = (c * per_burst + r) as u64 + 1;
+                                    SubmitRequest::synth_text(
+                                        id,
+                                        heavy_text,
+                                        heavy_latency,
+                                        heavy_power(id),
+                                    )
+                                })
+                                .collect();
+                            tcp_exchange(addr, &reqs)
+                        })
+                    })
+                    .collect();
+                // Sequential warm probes while the storm grinds: each
+                // must answer before the next is sent.
+                let mut probe_failures = 0usize;
+                for p in 0..probes {
+                    let req = SubmitRequest::synth(1000 + p as u64, "hal", 17, 25.0);
+                    let (resp, bad, lost) = tcp_exchange(addr, std::slice::from_ref(&req));
+                    if bad + lost > 0 || !resp[0].ok {
+                        probe_failures += 1;
+                    }
+                }
+                let mut all = Vec::new();
+                let (mut malformed, mut dropped) = (0, 0);
+                for h in handles {
+                    let (responses, bad, lost) = h.join().expect("burst client");
+                    all.extend(responses);
+                    malformed += bad;
+                    dropped += lost;
+                }
+                (all, probe_failures, malformed, dropped)
+            })
+        });
+    let served: Vec<&SubmitResponse> = all_responses.iter().filter(|r| r.ok).collect();
+    let shed = all_responses
+        .iter()
+        .filter(|r| r.error.as_deref() == Some("overloaded"))
+        .count();
+    let storm_identical = served.iter().all(|resp| {
+        let constraints = SynthesisConstraints::new(heavy_latency, heavy_power(resp.id));
+        let point = pchls_core::SynthesisResult {
+            request: pchls_core::SynthesisRequest::new(constraints.clone()).with_options(*opts),
+            outcome: heavy_session.synthesize(constraints, opts),
+        }
+        .to_point(heavy_compiled.name());
+        serde_json::to_string(resp.point.as_ref().unwrap()).expect("point serializes")
+            == serde_json::to_string(&point).expect("point serializes")
+    });
+    let storm_stats = storm_service.stats();
+    storm_service.shutdown();
+    let overload = OverloadPhaseRecord {
+        shards: 1,
+        workers: 1,
+        queue_cap,
+        burst_requests,
+        warm_probes: probes,
+        served: served.len() as u64,
+        shed: shed as u64,
+        shed_rate: shed as f64 / burst_requests as f64,
+        malformed,
+        dropped,
+        hit_lane_p999_secs: storm_stats.hit_lane.p999_secs,
+        hit_lane_max_secs: storm_stats.hit_lane.max_secs,
+        synth_lane_p999_secs: storm_stats.synth_lane.p999_secs,
+        outputs_identical: storm_identical,
+    };
+    println!(
+        "overload/storm: {} heavy into 1x1 shard (cap {}) | served {} shed {} ({:.0}%) | \
+         malformed {} dropped {} | hit lane p99.9 {:.5}s (synth {:.3}s) | identical: {}",
+        burst_requests,
+        queue_cap,
+        overload.served,
+        overload.shed,
+        overload.shed_rate * 100.0,
+        overload.malformed,
+        overload.dropped,
+        overload.hit_lane_p999_secs,
+        overload.synth_lane_p999_secs,
+        overload.outputs_identical,
+    );
+
+    // ---- Phase 3: per-connection rate limit ---------------------------
+    let (rate_per_sec, bucket_burst, rate_requests) = (2.0, 4.0, 20usize);
+    let rate_service = Service::start(
+        Engine::new(paper_library()),
+        ServiceConfig {
+            shards: 1,
+            rate_per_sec,
+            burst: bucket_burst,
+            options: *opts,
+            ..ServiceConfig::default()
+        },
+    );
+    assert!(
+        rate_service
+            .call(SubmitRequest::synth(0, "hal", 17, 25.0))
+            .ok
+    );
+    let (responses, rate_malformed, rate_dropped) = with_tcp_service(&rate_service, |addr| {
+        let reqs: Vec<SubmitRequest> = (0..rate_requests)
+            .map(|r| SubmitRequest::synth(r as u64 + 1, "hal", 17, 25.0))
+            .collect();
+        tcp_exchange(addr, &reqs)
+    });
+    let rate_stats = rate_service.stats();
+    rate_service.shutdown();
+    let admitted = responses.iter().filter(|r| r.ok).count() as u64;
+    let rate_limited = responses
+        .iter()
+        .filter(|r| r.error.as_deref() == Some("rate_limited"))
+        .count() as u64;
+    let rate_limit = RateLimitPhaseRecord {
+        rate_per_sec,
+        burst: bucket_burst,
+        requests: rate_requests,
+        admitted,
+        rate_limited,
+    };
+    println!(
+        "overload/rate: {} pipelined at {}/s burst {} | admitted {} rate-limited {}",
+        rate_requests, rate_per_sec, bucket_burst, admitted, rate_limited,
+    );
+
+    let record = OverloadRecord {
+        schema: "pchls-bench-v1".into(),
+        workload: "overload".into(),
+        points: warm_points + burst_requests + probes + rate_requests,
+        threads,
+        host_cores,
+        clean_shutdowns: 3,
+        warm,
+        overload,
+        rate_limit,
+    };
+
+    // The admission contract, asserted on the measurement itself.
+    assert!(record.warm.outputs_identical, "warm replies diverged");
+    if let Some(baseline) = record.warm.bench4_throughput_rps {
+        assert!(
+            record.warm.throughput_rps >= baseline,
+            "warm hit-lane TCP throughput {:.0} req/s fell below the \
+             synthesis-bound service-throughput baseline {:.0} req/s",
+            record.warm.throughput_rps,
+            baseline
+        );
+    }
+    assert_eq!(
+        (record.overload.malformed, record.overload.dropped),
+        (0, 0),
+        "overload must answer every request with a well-formed line"
+    );
+    assert_eq!(
+        record.overload.served + record.overload.shed,
+        burst_requests as u64,
+        "burst replies must be served or shed, nothing else"
+    );
+    assert!(
+        record.overload.shed > 0,
+        "the burst must overflow admission"
+    );
+    assert!(
+        record.overload.served > 0,
+        "the worker must serve something"
+    );
+    assert_eq!(probe_failures, 0, "warm probes starved during the storm");
+    assert!(
+        record.overload.outputs_identical,
+        "served storm replies diverged"
+    );
+    assert_eq!(
+        storm_stats.shed, record.overload.shed,
+        "stats disagree with the wire"
+    );
+    assert!(
+        record.overload.hit_lane_p999_secs < 2.0,
+        "hit lane p99.9 unbounded under storm: {:.3}s",
+        record.overload.hit_lane_p999_secs
+    );
+    assert_eq!((rate_malformed, rate_dropped), (0, 0));
+    assert_eq!(admitted + rate_limited, rate_requests as u64);
+    assert!(
+        rate_limited > 0,
+        "a 20-deep pipeline must trip a burst-4 bucket"
+    );
+    assert!(admitted >= 4, "the burst allowance must be admitted");
+    assert_eq!(
+        rate_stats.rate_limited, rate_limited,
+        "stats disagree with the wire"
+    );
+
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write("BENCH_8.json", json).expect("write BENCH_8.json");
+    eprintln!("wrote BENCH_8.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1311,6 +1850,7 @@ fn main() {
         "envelope",
         "scaling",
         "store",
+        "overload",
     ];
     if let Some(bad) = only.iter().find(|w| !known.contains(w)) {
         eprintln!("unknown workload `{bad}` (expected one of {known:?})");
@@ -1336,5 +1876,8 @@ fn main() {
     }
     if want("store") {
         store_workload(smoke, &engine, &opts);
+    }
+    if want("overload") {
+        overload_workload(smoke, &opts);
     }
 }

@@ -1,0 +1,41 @@
+//! `pchls-net` — a hand-rolled nonblocking reactor for the serve tier.
+//!
+//! The workspace vendors every dependency, so there is no mio, no
+//! tokio, and no libc crate to lean on. This crate builds the whole
+//! stack from raw Linux syscalls up:
+//!
+//! - [`sys`]: inline-asm syscall shims (the only `unsafe` in the
+//!   crate) — epoll, ppoll, pipe2, read/write/close with errno
+//!   mapping.
+//! - [`Poller`]: level-triggered readiness over epoll, with a
+//!   poll(2)-family fallback backend that doubles as a differential
+//!   test oracle.
+//! - [`Waker`] / [`wake_pair`]: cross-thread wakeup over a
+//!   nonblocking pipe, coalescing.
+//! - [`TimerWheel`]: hashed wheel for request deadlines — O(1)
+//!   insert/cancel, lazy expiry.
+//! - [`LineCodec`] / [`WriteBuffer`]: bounded line framing for the
+//!   JSON-lines protocol and cursor-tracked outbound buffering.
+//! - [`Reactor`]: the composed event loop `pchls-serve` drives its
+//!   accept loop and connection I/O on.
+//!
+//! Everything above `sys` is safe code; `unsafe` is confined to the
+//! syscall shims and reviewed in one place.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+#[allow(unsafe_code)]
+pub mod sys;
+
+mod framing;
+mod poller;
+mod reactor;
+mod timer;
+mod wake;
+
+pub use framing::{Frame, FrameError, LineCodec, WriteBuffer};
+pub use poller::{Backend, Event, Interest, Poller, Token};
+pub use reactor::{Reactor, WAKE_TOKEN};
+pub use timer::{TimerId, TimerWheel};
+pub use wake::{wake_pair, WakeReader, Waker};

@@ -1,0 +1,125 @@
+//! Fuzz-style property tests for the framing layer: arbitrary byte
+//! streams cut at arbitrary split points must frame identically to a
+//! reference one-shot splitter, and codec memory must stay bounded no
+//! matter how hostile the input.
+
+use pchls_net::{FrameError, LineCodec};
+use proptest::prelude::*;
+
+/// Maps weighted (class, raw) pairs to a byte stream with a healthy
+/// mix of newlines, carriage returns, letters, and arbitrary bytes.
+fn to_stream(pairs: &[(u32, u32)]) -> Vec<u8> {
+    pairs
+        .iter()
+        .map(|&(class, raw)| match class {
+            0 | 1 => b'\n',
+            2 => b'\r',
+            3..=7 => b'a' + (raw % 26) as u8,
+            _ => (raw % 256) as u8,
+        })
+        .collect()
+}
+
+/// Reference model: frame the whole stream in one pass.
+fn reference_frames(stream: &[u8], max_line: usize) -> Vec<Result<Vec<u8>, FrameError>> {
+    let mut out: Vec<Vec<u8>> = stream.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+    // split() yields a trailing element after the last newline (the
+    // unterminated partial) — not a frame, but crossing the cap is
+    // reported eagerly even before the newline arrives.
+    let tail_overflow = out.pop().is_some_and(|tail| tail.len() > max_line);
+    let mut frames: Vec<Result<Vec<u8>, FrameError>> = out
+        .into_iter()
+        .map(|mut line| {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > max_line {
+                Err(FrameError::TooLong(max_line))
+            } else {
+                Ok(line)
+            }
+        })
+        .collect();
+    if tail_overflow {
+        frames.push(Err(FrameError::TooLong(max_line)));
+    }
+    frames
+}
+
+fn drain(codec: &mut LineCodec) -> Vec<Result<Vec<u8>, FrameError>> {
+    std::iter::from_fn(|| codec.next_frame()).collect()
+}
+
+proptest! {
+    /// Any split of the same byte stream produces the same frames.
+    #[test]
+    fn framing_is_split_invariant(
+        pairs in proptest::collection::vec((0u32..10, 0u32..4096), 0usize..512),
+        cuts in proptest::collection::vec(0usize..513, 0usize..16),
+        max_line in 1usize..64,
+    ) {
+        let stream = to_stream(&pairs);
+        let mut cuts: Vec<usize> = cuts.into_iter().filter(|&c| c <= stream.len()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut codec = LineCodec::new(max_line);
+        let mut start = 0;
+        for &cut in &cuts {
+            codec.push(&stream[start..cut]);
+            start = cut;
+        }
+        codec.push(&stream[start..]);
+
+        let got = drain(&mut codec);
+        let want = reference_frames(&stream, max_line);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The unterminated tail survives framing exactly, unless it went
+    /// oversized (then it is discarded, and memory stays bounded).
+    #[test]
+    fn partial_tail_matches_or_is_discarded(
+        raw in proptest::collection::vec(0u32..256, 0usize..256),
+        max_line in 1usize..64,
+    ) {
+        let stream: Vec<u8> = raw.iter().map(|&b| (b % 256) as u8).collect();
+        let mut codec = LineCodec::new(max_line);
+        // Feed one byte at a time — the worst-case split.
+        for &b in &stream {
+            codec.push(std::slice::from_ref(&b));
+        }
+        let tail: &[u8] = match stream.iter().rposition(|&b| b == b'\n') {
+            Some(nl) => &stream[nl + 1..],
+            None => &stream,
+        };
+        if tail.len() > max_line {
+            prop_assert!(codec.partial().is_empty(), "oversized tail must be dropped");
+        } else {
+            prop_assert_eq!(codec.partial(), tail);
+        }
+        // Invariant regardless of input: buffered bytes never exceed the cap.
+        prop_assert!(codec.partial().len() <= max_line);
+    }
+
+    /// Hostile no-newline floods never grow the buffer past the cap and
+    /// report exactly one error per oversized line.
+    #[test]
+    fn flood_without_newlines_is_bounded(
+        raw in proptest::collection::vec(0u32..255, 1usize..128),
+        repeats in 1usize..64,
+        max_line in 1usize..32,
+    ) {
+        // Map 0..255 onto the byte range skipping b'\n' (10).
+        let chunk: Vec<u8> = raw.iter().map(|&b| if b >= 10 { (b + 1) as u8 } else { b as u8 }).collect();
+        let mut codec = LineCodec::new(max_line);
+        for _ in 0..repeats {
+            codec.push(&chunk);
+        }
+        prop_assert!(codec.partial().len() <= max_line);
+        let frames = drain(&mut codec);
+        let errors = frames.iter().filter(|f| f.is_err()).count();
+        prop_assert!(errors <= 1, "at most one TooLong per oversized line: {frames:?}");
+        prop_assert_eq!(frames.len(), errors, "no complete lines without a newline");
+    }
+}

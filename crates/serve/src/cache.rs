@@ -96,6 +96,33 @@ impl CacheStats {
             self.eviction_age_sum as f64 / self.evictions as f64
         }
     }
+
+    /// Per-shard snapshots summed into a service-wide one.
+    #[must_use]
+    pub fn merged(snapshots: impl IntoIterator<Item = CacheStats>) -> CacheStats {
+        snapshots.into_iter().fold(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+                evictions: 0,
+                entries: 0,
+                entry_bytes: 0,
+                eviction_age_sum: 0,
+                last_eviction_age: 0,
+            },
+            |a, b| CacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                coalesced: a.coalesced + b.coalesced,
+                evictions: a.evictions + b.evictions,
+                entries: a.entries + b.entries,
+                entry_bytes: a.entry_bytes + b.entry_bytes,
+                eviction_age_sum: a.eviction_age_sum + b.eviction_age_sum,
+                last_eviction_age: a.last_eviction_age.max(b.last_eviction_age),
+            },
+        )
+    }
 }
 
 /// Approximate resident footprint of one slot, from the graph structure

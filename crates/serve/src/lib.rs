@@ -14,17 +14,27 @@
 //!   verified by full equality, bounded LRU, with identical in-flight
 //!   compiles coalesced so N clients submitting the same graph trigger
 //!   one compile.
-//! * [`Service`] — a bounded MPMC job queue feeding a dedicated
-//!   [`pchls_par::WorkerPool`], with per-request deadlines and
-//!   cancellation through the engine's progress hook
-//!   (`SynthesisError::Cancelled`).
+//! * [`Service`] — compile cache, result tier and a bounded two-lane
+//!   job queue **sharded N ways by fingerprint** (shards never contend
+//!   on a lock), each shard fed by its own
+//!   [`pchls_par::WorkerPool`] workers plus a dedicated hit-lane
+//!   worker, with per-request deadlines and cancellation through the
+//!   engine's progress hook (`SynthesisError::Cancelled`). Admission
+//!   is explicit: blocking [`Service::submit`] backpressure for
+//!   in-process callers, shedding [`Service::try_submit`] (a
+//!   well-formed `overloaded` error, never a dropped connection) for
+//!   the network.
 //! * [`SubmitRequest`]/[`SubmitResponse`] — a JSON-lines protocol
-//!   served over stdin/stdout ([`serve_stdio`]) or a `std::net` TCP
-//!   listener, thread per connection ([`serve_tcp`]); exposed on the
-//!   command line as `pchls serve`.
-//! * [`ServiceStats`] — a snapshot of requests, p50/p99 latency (from
-//!   a fixed-bucket [`LatencyHistogram`]), cache hit rate and queue
-//!   depth.
+//!   served over stdin/stdout ([`serve_stdio`]) or TCP on a
+//!   single-threaded nonblocking reactor ([`serve_tcp_with`], built on
+//!   [`pchls_net`]) with per-connection token-bucket rate limits,
+//!   capped line framing and a first-class stop signal
+//!   ([`ShutdownHandle`]); exposed on the command line as `pchls
+//!   serve`.
+//! * [`ServiceStats`] — a snapshot of requests, shed/rate-limited
+//!   counts, p50/p99/p99.9/max latency (from fixed-bucket
+//!   [`LatencyHistogram`]s, one global plus one per priority lane) and
+//!   cache hit rates.
 //!
 //! Service responses are **byte-identical** to what a direct
 //! [`Session::synthesize`](pchls_core::Session::synthesize) /
@@ -56,7 +66,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod cache;
+mod lanes;
 mod net;
 mod protocol;
 mod queue;
@@ -64,10 +76,12 @@ mod results;
 mod service;
 mod stats;
 
+pub use admission::TokenBucket;
 pub use cache::{CacheLookup, CacheStats, CompileCache, CompileOutcome};
-pub use net::{handle_connection, serve_stdio, serve_tcp};
+pub use lanes::{Lane, LaneQueues, PushRefusal};
+pub use net::{handle_connection, serve_stdio, serve_tcp, serve_tcp_with, ShutdownHandle};
 pub use protocol::{SubmitRequest, SubmitResponse};
 pub use queue::JobQueue;
-pub use results::{ResultCacheStats, ResultTier, StoreTierStats};
-pub use service::{Service, ServiceConfig};
-pub use stats::{LatencyHistogram, ServiceStats};
+pub use results::{ResultCacheStats, ResultTier, StoreHandle, StoreTierStats};
+pub use service::{Service, ServiceConfig, SubmitOutcome};
+pub use stats::{LaneSnapshot, LatencyHistogram, ServiceStats};

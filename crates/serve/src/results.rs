@@ -10,10 +10,14 @@
 //! separate store directories).
 //!
 //! * **Tier 1** — a bounded in-memory LRU of [`StoreRecord`]s. A hit
-//!   skips compile *and* synthesis.
-//! * **Tier 2** (optional) — a persistent [`pchls_store::Store`].
-//!   Lookups that miss memory read the store under its lock; completed
-//!   results are handed to a **write-behind** thread over a channel, so
+//!   skips compile *and* synthesis. The service runs one tier **per
+//!   shard** (keys shard by fingerprint, so shards never contend).
+//! * **Tier 2** (optional) — a persistent [`pchls_store::Store`] behind
+//!   a [`StoreHandle`] **shared across shards** (the store file is one
+//!   per directory; sharding it would split the on-disk index for no
+//!   contention win — disk I/O is off the hot path anyway). Lookups
+//!   that miss memory read the store under its lock; completed results
+//!   are handed to one **write-behind** thread over a channel, so
 //!   workers never block on disk. A restarted service re-opens the
 //!   store and answers previously-seen points warm, byte-identical,
 //!   without compiling anything.
@@ -68,6 +72,22 @@ impl ResultCacheStats {
             self.eviction_age_sum as f64 / self.evictions as f64
         }
     }
+
+    /// Per-shard snapshots summed into a service-wide one.
+    #[must_use]
+    pub fn merged(snapshots: impl IntoIterator<Item = ResultCacheStats>) -> ResultCacheStats {
+        snapshots
+            .into_iter()
+            .fold(ResultCacheStats::default(), |a, b| ResultCacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                evictions: a.evictions + b.evictions,
+                entries: a.entries + b.entries,
+                entry_bytes: a.entry_bytes + b.entry_bytes,
+                eviction_age_sum: a.eviction_age_sum + b.eviction_age_sum,
+                last_eviction_age: a.last_eviction_age.max(b.last_eviction_age),
+            })
+    }
 }
 
 /// Counter snapshot of the persistent tier (all zero when no store is
@@ -113,13 +133,102 @@ struct StoreCounters {
     appends: AtomicU64,
 }
 
+/// One persistent store plus its write-behind thread, shareable by any
+/// number of [`ResultTier`]s (the service gives each shard a tier over
+/// the same handle).
 #[derive(Debug)]
-struct StoreTier {
+pub struct StoreHandle {
     store: Arc<Mutex<Store>>,
     /// Feed to the write-behind thread; dropped to initiate shutdown.
     sender: Mutex<Option<Sender<StoreRecord>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
     counters: Arc<StoreCounters>,
+}
+
+impl StoreHandle {
+    /// Opens (or recovers) the store under `dir` and starts its
+    /// write-behind thread.
+    ///
+    /// # Errors
+    ///
+    /// Opening or recovering the store failed.
+    pub fn open(dir: &Path) -> io::Result<Arc<StoreHandle>> {
+        let store = Arc::new(Mutex::new(Store::open(dir)?));
+        let counters = Arc::new(StoreCounters::default());
+        let (tx, rx) = std::sync::mpsc::channel::<StoreRecord>();
+        let writer = {
+            let store = Arc::clone(&store);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("pchls-store-writer".into())
+                .spawn(move || write_behind(&rx, &store, &counters))
+                .expect("spawn store writer")
+        };
+        Ok(Arc::new(StoreHandle {
+            store,
+            sender: Mutex::new(Some(tx)),
+            writer: Mutex::new(Some(writer)),
+            counters,
+        }))
+    }
+
+    /// Whether the on-disk index knows `key` — an index probe only, no
+    /// record read, no counter movement. The admission layer uses this
+    /// to classify requests into the hit lane.
+    #[must_use]
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.store.lock().expect("store lock").contains(key)
+    }
+
+    fn lookup(&self, key: &StoreKey) -> Option<StoreRecord> {
+        let found = self
+            .store
+            .lock()
+            .expect("store lock")
+            .get(key)
+            .unwrap_or_default();
+        match found {
+            Some(record) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn enqueue(&self, record: StoreRecord) {
+        let sender = self.sender.lock().expect("sender lock");
+        if let Some(tx) = sender.as_ref() {
+            // The writer owning the receiver only exits once this
+            // sender is dropped, so a send cannot fail while it is
+            // held here.
+            let _ = tx.send(record);
+        }
+    }
+
+    /// Counter snapshot of the persistent tier.
+    #[must_use]
+    pub fn stats(&self) -> StoreTierStats {
+        StoreTierStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            appends: self.counters.appends.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the write-behind thread (draining everything queued) and
+    /// flushes the store's footer so the next open needs no recovery
+    /// scan. Idempotent — safe to call once per sharing tier.
+    pub fn shutdown(&self) {
+        drop(self.sender.lock().expect("sender lock").take());
+        if let Some(writer) = self.writer.lock().expect("writer lock").take() {
+            let _ = writer.join();
+        }
+        let _ = self.store.lock().expect("store lock").flush();
+    }
 }
 
 /// The two-tier result cache: memory LRU in front, optional persistent
@@ -128,50 +237,55 @@ struct StoreTier {
 pub struct ResultTier {
     inner: Mutex<ResultInner>,
     cap: usize,
-    store: Option<StoreTier>,
+    store: Option<Arc<StoreHandle>>,
 }
 
 impl ResultTier {
     /// A tier holding at most `cap` records in memory (clamped to ≥ 1),
-    /// optionally backed by the store under `store_dir`.
+    /// optionally backed by its own store under `store_dir`. Sharded
+    /// services share one store across tiers via
+    /// [`ResultTier::with_store`] instead.
     ///
     /// # Errors
     ///
     /// Opening or recovering the store failed.
     pub fn open(cap: usize, store_dir: Option<&Path>) -> io::Result<ResultTier> {
-        let store = match store_dir {
-            None => None,
-            Some(dir) => {
-                let store = Arc::new(Mutex::new(Store::open(dir)?));
-                let counters = Arc::new(StoreCounters::default());
-                let (tx, rx) = std::sync::mpsc::channel::<StoreRecord>();
-                let writer = {
-                    let store = Arc::clone(&store);
-                    let counters = Arc::clone(&counters);
-                    std::thread::Builder::new()
-                        .name("pchls-store-writer".into())
-                        .spawn(move || write_behind(&rx, &store, &counters))
-                        .expect("spawn store writer")
-                };
-                Some(StoreTier {
-                    store,
-                    sender: Mutex::new(Some(tx)),
-                    writer: Mutex::new(Some(writer)),
-                    counters,
-                })
-            }
-        };
-        Ok(ResultTier {
+        let store = store_dir.map(StoreHandle::open).transpose()?;
+        Ok(ResultTier::with_store(cap, store))
+    }
+
+    /// A tier over an already-open (possibly shared) store handle.
+    #[must_use]
+    pub fn with_store(cap: usize, store: Option<Arc<StoreHandle>>) -> ResultTier {
+        ResultTier {
             inner: Mutex::new(ResultInner::default()),
             cap: cap.max(1),
             store,
-        })
+        }
     }
 
     /// Whether a persistent store backs this tier.
     #[must_use]
     pub fn persistent(&self) -> bool {
         self.store.is_some()
+    }
+
+    /// Whether `key` would be answered without synthesis — resident in
+    /// memory or present in the store's index. Moves no counters and no
+    /// LRU state: this is the admission layer's lane classifier, and a
+    /// probe that shifted hit rates would make stats lie.
+    #[must_use]
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        if self
+            .inner
+            .lock()
+            .expect("result cache lock")
+            .map
+            .contains_key(key)
+        {
+            return true;
+        }
+        self.store.as_ref().is_some_and(|s| s.contains(key))
     }
 
     /// Looks `key` up in memory, then (on miss) in the store. A store
@@ -189,36 +303,15 @@ impl ResultTier {
             }
             inner.misses += 1;
         }
-        let tier = self.store.as_ref()?;
-        let found = tier
-            .store
-            .lock()
-            .expect("store lock")
-            .get(key)
-            .unwrap_or_default();
-        match found {
-            Some(record) => {
-                tier.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.insert_memory(record.clone());
-                Some(record)
-            }
-            None => {
-                tier.counters.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        let record = self.store.as_ref()?.lookup(key)?;
+        self.insert_memory(record.clone());
+        Some(record)
     }
 
     /// Records a completed result in memory and (write-behind) on disk.
     pub fn insert(&self, record: StoreRecord) {
-        if let Some(tier) = &self.store {
-            let sender = tier.sender.lock().expect("sender lock");
-            if let Some(tx) = sender.as_ref() {
-                // The writer owning the receiver only exits once this
-                // sender is dropped, so a send cannot fail while it is
-                // held here.
-                let _ = tx.send(record.clone());
-            }
+        if let Some(store) = &self.store {
+            store.enqueue(record.clone());
         }
         self.insert_memory(record);
     }
@@ -255,7 +348,9 @@ impl ResultTier {
         }
     }
 
-    /// Counter snapshots of both tiers.
+    /// Counter snapshots of both tiers. With a shared store handle the
+    /// store counters are service-wide — sum only the memory side
+    /// across shards.
     pub fn stats(&self) -> (ResultCacheStats, StoreTierStats) {
         let inner = self.inner.lock().expect("result cache lock");
         let memory = ResultCacheStats {
@@ -270,24 +365,19 @@ impl ResultTier {
         let store = self
             .store
             .as_ref()
-            .map_or_else(StoreTierStats::default, |t| StoreTierStats {
-                hits: t.counters.hits.load(Ordering::Relaxed),
-                misses: t.counters.misses.load(Ordering::Relaxed),
-                appends: t.counters.appends.load(Ordering::Relaxed),
-            });
+            .map_or_else(StoreTierStats::default, |s| s.stats());
         (memory, store)
     }
 
     /// Stops the write-behind thread (draining everything queued) and
     /// flushes the store's footer so the next open needs no recovery
-    /// scan. Idempotent; also run on drop.
+    /// scan. Idempotent; also run on drop. With a shared handle, the
+    /// first tier to shut down stops the writer for all of them — the
+    /// service does this only after every worker has been joined.
     pub fn shutdown(&self) {
-        let Some(tier) = &self.store else { return };
-        drop(tier.sender.lock().expect("sender lock").take());
-        if let Some(writer) = tier.writer.lock().expect("writer lock").take() {
-            let _ = writer.join();
+        if let Some(store) = &self.store {
+            store.shutdown();
         }
-        let _ = tier.store.lock().expect("store lock").flush();
     }
 }
 
@@ -387,6 +477,47 @@ mod tests {
         let (mem2, store2) = tier.stats();
         assert_eq!(mem2.hits, mem.hits + 1);
         assert_eq!(store2.hits, store.hits);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn contains_probes_both_tiers_without_moving_counters() {
+        let dir = temp_dir("contains");
+        {
+            let warm = ResultTier::open(4, Some(&dir)).unwrap();
+            warm.insert(record(1));
+        } // drop flushes record 1 to disk
+
+        let tier = ResultTier::open(4, Some(&dir)).unwrap();
+        tier.insert(record(2));
+        assert!(tier.contains(&record(2).key), "memory-resident");
+        assert!(tier.contains(&record(1).key), "on disk only");
+        assert!(!tier.contains(&record(9).key));
+        let (mem, disk) = tier.stats();
+        // One insert, zero lookups: contains moved nothing.
+        assert_eq!((mem.hits, mem.misses), (0, 0));
+        assert_eq!((disk.hits, disk.misses), (0, 0));
+        drop(tier);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shards_share_one_store_handle() {
+        let dir = temp_dir("shared");
+        let handle = StoreHandle::open(&dir).unwrap();
+        let shard_a = ResultTier::with_store(4, Some(Arc::clone(&handle)));
+        let shard_b = ResultTier::with_store(4, Some(Arc::clone(&handle)));
+        shard_a.insert(record(1));
+        shard_b.insert(record(2));
+        shard_a.shutdown(); // idempotent, drains the shared writer
+        shard_b.shutdown();
+        assert_eq!(handle.stats().appends, 2, "both shards' writes landed");
+        // A fresh tier over the same directory sees both records.
+        drop((shard_a, shard_b));
+        let fresh = ResultTier::open(4, Some(&dir)).unwrap();
+        assert!(fresh.lookup(&record(1).key).is_some());
+        assert!(fresh.lookup(&record(2).key).is_some());
+        drop(fresh);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,6 +1,35 @@
-//! The request scheduler: a bounded job queue feeding a dedicated
-//! worker pool, with per-request deadlines and cancellation.
+//! The request scheduler: shards of compile cache + result tier +
+//! two-lane job queue, each fed by its own workers, with per-request
+//! deadlines, cancellation and load-shedding admission.
+//!
+//! # Sharding
+//!
+//! Every request is routed to a shard by its graph's content hash
+//! (`graph_fingerprint % shards`), so one graph's compile cache entry,
+//! result-tier entries and queue always live on the same shard and two
+//! shards never contend on a lock for the hot path. The persistent
+//! store (tier 2) stays service-wide behind one shared
+//! [`StoreHandle`](crate::results::StoreHandle) — disk is off the hot
+//! path and the on-disk index is one file per directory.
+//!
+//! # Lanes and admission
+//!
+//! At admission each request is classified: if the shard's result tier
+//! already holds the answer (memory or store index — a pure probe, no
+//! counters move) it rides the **hit lane**, otherwise the **synth
+//! lane**. Each shard runs one dedicated hit worker plus its share of
+//! synthesis workers; all workers drain hits first, so a queued
+//! rand200-sized synthesis job never delays a warm lookup behind it.
+//!
+//! In-process callers use the blocking [`Service::submit`]
+//! (backpressure, never sheds). Network front ends use
+//! [`Service::try_submit`]: past the shard's admission bound the
+//! request is refused *immediately* with a well-formed `overloaded`
+//! error — the reactor thread never blocks on a saturated shard, and
+//! the client always gets a parseable response instead of a dropped
+//! connection.
 
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,29 +45,51 @@ use pchls_core::{
 use pchls_par::WorkerPool;
 use pchls_store::{StoreKey, StoreRecord};
 
-use crate::cache::CompileCache;
+use crate::cache::{CacheStats, CompileCache};
+use crate::lanes::{Lane, LaneQueues, PushRefusal};
 use crate::protocol::{SubmitRequest, SubmitResponse};
-use crate::queue::JobQueue;
-use crate::results::ResultTier;
+use crate::results::{ResultCacheStats, ResultTier, StoreHandle, StoreTierStats};
 use crate::stats::{LatencyHistogram, ServiceStats};
 
 /// Tuning knobs of a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads consuming the job queue (0 = one per available
-    /// core, i.e. [`pchls_par::thread_count`]).
+    /// Synthesis worker threads across all shards (0 = one per
+    /// available core, i.e. [`pchls_par::thread_count`]). Each shard
+    /// additionally runs one dedicated hit-lane worker.
     pub workers: usize,
-    /// Maximum jobs waiting in the queue before [`Service::submit`]
-    /// blocks (backpressure).
+    /// Maximum jobs waiting per lane across the service — divided
+    /// evenly over the shards (each lane of each shard gets
+    /// `queue_cap / shards`, at least 1). [`Service::submit`] blocks at
+    /// the bound (backpressure); [`Service::try_submit`] sheds.
     pub queue_cap: usize,
-    /// Maximum compiled graphs resident in the cache.
+    /// Maximum compiled graphs resident across all shard caches.
     pub cache_cap: usize,
-    /// Maximum synthesis results resident in the in-memory result tier.
+    /// Maximum synthesis results resident across all in-memory result
+    /// tiers.
     pub result_cap: usize,
     /// Directory of the persistent result store (tier 2). `None` runs
     /// memory-only; `Some` makes completed results durable and answers
-    /// previously-seen points warm across restarts.
+    /// previously-seen points warm across restarts. One store serves
+    /// all shards.
     pub store_dir: Option<PathBuf>,
+    /// Independent shards (0 = auto: one per synthesis worker, capped
+    /// at 4). Each shard owns a compile cache, a result tier, a
+    /// two-lane queue and its workers.
+    pub shards: usize,
+    /// Synth-lane depth at which [`Service::try_submit`] starts
+    /// shedding, per shard (0 = the lane's capacity, i.e. shed only
+    /// when full). Lower values trade queueing delay for shed rate.
+    pub shed_depth: usize,
+    /// Per-connection token-bucket refill rate for `synth` requests on
+    /// the TCP front end, in requests per second (0 = unlimited).
+    pub rate_per_sec: f64,
+    /// Per-connection token-bucket burst capacity (clamped to ≥ 1).
+    pub burst: f64,
+    /// Longest request line the network front ends accept, in bytes.
+    /// Oversized lines are answered with a structured error and
+    /// discarded — client buffers never grow without bound.
+    pub max_line_bytes: usize,
     /// Synthesis options applied to every request (the CLI and batch
     /// path use the default paper configuration). Result-cache keys do
     /// not carry options — point one store directory at one options
@@ -54,17 +105,76 @@ impl Default for ServiceConfig {
             cache_cap: 64,
             result_cap: 4096,
             store_dir: None,
+            shards: 0,
+            shed_depth: 0,
+            rate_per_sec: 0.0,
+            burst: 32.0,
+            max_line_bytes: 1 << 20,
             options: SynthesisOptions::default(),
         }
     }
 }
 
+/// Where a finished job's response goes.
+pub(crate) enum ReplySink {
+    /// An in-process caller's channel.
+    Channel(Sender<SubmitResponse>),
+    /// A reactor-owned connection: the completion channel plus the
+    /// reactor's waker, so the I/O thread learns about the response
+    /// without polling.
+    Conn {
+        conn: u64,
+        tx: Sender<(u64, SubmitResponse)>,
+        waker: pchls_net::Waker,
+    },
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, response: SubmitResponse) {
+        match self {
+            // A caller that hung up stops caring about its reply;
+            // nothing to do about the send failing.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplySink::Conn { conn, tx, waker } => {
+                let _ = tx.send((*conn, response));
+                let _ = waker.wake();
+            }
+        }
+    }
+}
+
+/// What [`Service::try_submit`] did with a request.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Queued; the reply will arrive on the sink. Carries the request's
+    /// cancellation flag — store `true` to abort the run mid-iteration.
+    Accepted(Arc<AtomicBool>),
+    /// Shed at admission: the shard's lane was past its bound. A
+    /// well-formed `overloaded` error was already sent on the sink.
+    Overloaded,
+    /// The service is shutting down. A `shutting down` error was
+    /// already sent on the sink.
+    ShuttingDown,
+}
+
+/// The admission knobs the network front ends read off the service.
+pub(crate) struct FrontendLimits {
+    pub rate_per_sec: f64,
+    pub burst: f64,
+    pub max_line_bytes: usize,
+}
+
 /// One queued synthesis job.
-struct Job {
+pub(crate) struct Job {
     request: SubmitRequest,
     cancel: Arc<AtomicBool>,
-    reply: Sender<SubmitResponse>,
+    reply: ReplySink,
     accepted: Instant,
+    /// The lane this job was admitted on (for the per-lane histogram —
+    /// classification happens once, at admission).
+    lane: Lane,
 }
 
 /// How a processed job ended, for the counters.
@@ -74,35 +184,55 @@ enum Disposition {
     Cancelled,
 }
 
-/// State shared between the front-ends, the queue and the workers.
+/// One shard: compile cache, in-memory result tier and two-lane queue,
+/// all keyed by graphs whose `fingerprint % shards` selects this shard.
+struct Shard {
+    cache: CompileCache,
+    results: ResultTier,
+    lanes: LaneQueues<Job>,
+    /// Synth-lane depth at which `try_submit` sheds.
+    shed_depth: usize,
+}
+
+/// State shared between the front ends, the shards and the workers.
 struct Shared {
     engine: Engine,
     options: SynthesisOptions,
-    cache: CompileCache,
-    results: ResultTier,
-    queue: JobQueue<Job>,
+    shards: Vec<Shard>,
+    /// The persistent tier, shared by every shard's result tier.
+    store: Option<Arc<StoreHandle>>,
     latency: LatencyHistogram,
+    hit_latency: LatencyHistogram,
+    synth_latency: LatencyHistogram,
     /// The built-in graphs, constructed once so the per-request
     /// named-graph lookup is a scan + clone-free borrow, not a rebuild
     /// of the whole benchmark suite.
     builtin_graphs: Vec<Cdfg>,
+    /// Name → fingerprint for the built-ins, so routing a named request
+    /// costs one hash lookup instead of a fingerprint computation.
+    builtin_fingerprints: HashMap<String, u64>,
+    limits: FrontendLimits,
     workers: usize,
     requests: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    shed: AtomicU64,
+    rate_limited: AtomicU64,
 }
 
-/// A running synthesis service: an [`Engine`] fronted by the
-/// content-addressed [`CompileCache`] and a bounded queue of synthesis
-/// jobs consumed by a dedicated [`WorkerPool`].
+/// A running synthesis service: an [`Engine`] fronted by sharded
+/// content-addressed caches and bounded two-lane queues consumed by
+/// dedicated [`WorkerPool`]s (see the module docs for the sharding and
+/// admission story).
 ///
 /// Requests enter through [`submit`](Service::submit) (asynchronous,
-/// replies over a channel) or [`call`](Service::call) (synchronous
-/// convenience); the stdio/TCP front-ends
+/// blocking backpressure), [`try_submit`](Service::try_submit)
+/// (non-blocking, sheds under load) or [`call`](Service::call)
+/// (synchronous convenience); the stdio/TCP front ends
 /// ([`serve_stdio`](crate::serve_stdio) / [`serve_tcp`](crate::serve_tcp))
-/// adapt the wire protocol onto `submit`. Dropping the service closes
-/// the queue, drains in-flight jobs and joins the workers.
+/// adapt the wire protocol onto them. Dropping the service closes the
+/// queues, drains in-flight jobs and joins the workers.
 ///
 /// # Example
 ///
@@ -120,11 +250,11 @@ struct Shared {
 /// ```
 pub struct Service {
     shared: Arc<Shared>,
-    pool: Option<WorkerPool>,
+    pools: Vec<WorkerPool>,
 }
 
 impl Service {
-    /// Starts the worker pool over `engine` and begins accepting jobs.
+    /// Starts the worker pools over `engine` and begins accepting jobs.
     ///
     /// # Panics
     ///
@@ -142,38 +272,88 @@ impl Service {
     ///
     /// Opening or recovering the store under `config.store_dir` failed.
     pub fn try_start(engine: Engine, config: ServiceConfig) -> std::io::Result<Service> {
-        let workers = if config.workers == 0 {
+        let synth_workers = if config.workers == 0 {
             pchls_par::thread_count()
         } else {
             config.workers
         };
-        let results = ResultTier::open(config.result_cap, config.store_dir.as_deref())?;
+        let shard_count = if config.shards == 0 {
+            synth_workers.clamp(1, 4)
+        } else {
+            config.shards
+        };
+        let per = |total: usize| (total / shard_count).max(1);
+        let lane_cap = per(config.queue_cap);
+        let shed_depth = if config.shed_depth == 0 {
+            lane_cap
+        } else {
+            config.shed_depth.min(lane_cap)
+        };
+        let store = config
+            .store_dir
+            .as_deref()
+            .map(StoreHandle::open)
+            .transpose()?;
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard {
+                cache: CompileCache::new(per(config.cache_cap)),
+                results: ResultTier::with_store(per(config.result_cap), store.clone()),
+                lanes: LaneQueues::new(lane_cap, lane_cap),
+                shed_depth,
+            })
+            .collect();
+        let builtin_graphs = benchmarks::all();
+        let builtin_fingerprints = builtin_graphs
+            .iter()
+            .map(|g| (g.name().to_string(), graph_fingerprint(g)))
+            .collect();
         let shared = Arc::new(Shared {
             engine,
             options: config.options,
-            cache: CompileCache::new(config.cache_cap),
-            results,
-            queue: JobQueue::new(config.queue_cap),
+            shards,
+            store,
             latency: LatencyHistogram::new(),
-            builtin_graphs: benchmarks::all(),
-            workers,
+            hit_latency: LatencyHistogram::new(),
+            synth_latency: LatencyHistogram::new(),
+            builtin_graphs,
+            builtin_fingerprints,
+            limits: FrontendLimits {
+                rate_per_sec: config.rate_per_sec.max(0.0),
+                burst: config.burst,
+                max_line_bytes: config.max_line_bytes.max(1),
+            },
+            // One hit worker per shard rides along with the synth pool.
+            workers: synth_workers + shard_count,
             requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
         });
-        let pool = {
-            let shared = Arc::clone(&shared);
-            WorkerPool::spawn(workers, move |_worker| {
-                while let Some(job) = shared.queue.pop() {
-                    shared.process(job);
+        let mut pools = Vec::with_capacity(2 * shard_count);
+        for idx in 0..shard_count {
+            // Spread the synth workers over the shards, at least one
+            // each.
+            let count = (synth_workers / shard_count
+                + usize::from(idx < synth_workers % shard_count))
+            .max(1);
+            let sh = Arc::clone(&shared);
+            pools.push(WorkerPool::spawn(count, move |_worker| {
+                let shard = &sh.shards[idx];
+                while let Some((_, job)) = shard.lanes.pop() {
+                    sh.process(shard, job);
                 }
-            })
-        };
-        Ok(Service {
-            shared,
-            pool: Some(pool),
-        })
+            }));
+            let sh = Arc::clone(&shared);
+            pools.push(WorkerPool::spawn(1, move |_worker| {
+                let shard = &sh.shards[idx];
+                while let Some(job) = shard.lanes.pop_hit() {
+                    sh.process(shard, job);
+                }
+            }));
+        }
+        Ok(Service { shared, pools })
     }
 
     /// The engine answering this service's requests.
@@ -183,34 +363,100 @@ impl Service {
     }
 
     /// Enqueues a `synth` request; the reply arrives on `reply` when a
-    /// worker finishes it. Blocks while the queue is full
-    /// (backpressure). Returns the request's cancellation flag — store
-    /// `true` to abort the run mid-iteration.
+    /// worker finishes it. Blocks while the target lane is full
+    /// (backpressure — this path never sheds). Returns the request's
+    /// cancellation flag — store `true` to abort the run mid-iteration.
     ///
     /// # Errors
     ///
     /// Hands the request back when the service is shutting down.
-    // The `Err` carries the whole request (now budget-bearing) by
-    // design — it only materializes on the cold shutdown path, and the
-    // caller owns the request it gets back.
+    // The `Err` carries the whole request (budget-bearing) by design —
+    // it only materializes on the cold shutdown path, and the caller
+    // owns the request it gets back.
     #[allow(clippy::result_large_err)]
     pub fn submit(
         &self,
         request: SubmitRequest,
         reply: Sender<SubmitResponse>,
     ) -> Result<Arc<AtomicBool>, SubmitRequest> {
+        let (shard, lane) = self.shared.route(&request);
         let cancel = Arc::new(AtomicBool::new(false));
         let job = Job {
             request,
             cancel: Arc::clone(&cancel),
-            reply,
+            reply: ReplySink::Channel(reply),
             accepted: Instant::now(),
+            lane,
         };
-        self.shared.queue.push(job).map_err(|job| job.request)?;
+        self.shared.shards[shard]
+            .lanes
+            .push(lane, job)
+            .map_err(|job| job.request)?;
         // Count only after the push: a request rejected at shutdown was
         // never "accepted into the queue" (the documented meaning).
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         Ok(cancel)
+    }
+
+    /// Non-blocking admission — the network front ends' path. Refused
+    /// requests (shard past its admission bound, or shutdown) are
+    /// *answered*, not dropped: a well-formed error response is sent on
+    /// `reply` before this returns.
+    pub fn try_submit(
+        &self,
+        request: SubmitRequest,
+        reply: Sender<SubmitResponse>,
+    ) -> SubmitOutcome {
+        self.submit_sink(request, ReplySink::Channel(reply))
+    }
+
+    /// [`try_submit`](Service::try_submit) over any reply sink.
+    pub(crate) fn submit_sink(&self, request: SubmitRequest, sink: ReplySink) -> SubmitOutcome {
+        let (shard_idx, lane) = self.shared.route(&request);
+        let shard = &self.shared.shards[shard_idx];
+        if lane == Lane::Synth && shard.lanes.depth(Lane::Synth) >= shard.shed_depth {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            sink.send(SubmitResponse::error(request.id, "overloaded"));
+            return SubmitOutcome::Overloaded;
+        }
+        let cancel = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            request,
+            cancel: Arc::clone(&cancel),
+            reply: sink,
+            accepted: Instant::now(),
+            lane,
+        };
+        match shard.lanes.try_push(lane, job) {
+            Ok(()) => {
+                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Accepted(cancel)
+            }
+            Err(PushRefusal::Full(job)) => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                job.reply
+                    .send(SubmitResponse::error(job.request.id, "overloaded"));
+                SubmitOutcome::Overloaded
+            }
+            Err(PushRefusal::Closed(job)) => {
+                job.reply.send(SubmitResponse::error(
+                    job.request.id,
+                    "service is shutting down",
+                ));
+                SubmitOutcome::ShuttingDown
+            }
+        }
+    }
+
+    /// Records one request refused by a connection's token bucket (the
+    /// TCP front end answers it with a `rate_limited` error).
+    pub(crate) fn note_rate_limited(&self) {
+        self.shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The admission knobs the network front ends apply per connection.
+    pub(crate) fn limits(&self) -> &FrontendLimits {
+        &self.shared.limits
     }
 
     /// Submits and waits for the reply — the one-liner for tests,
@@ -228,18 +474,28 @@ impl Service {
     }
 
     /// A consistent metrics snapshot (served immediately; never queued
-    /// behind synthesis jobs).
+    /// behind synthesis jobs). Cache and result counters are summed
+    /// across shards; store counters come from the one shared handle.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        let cache = self.shared.cache.stats();
-        let (results, store) = self.shared.results.stats();
+        let shared = &self.shared;
+        let cache = CacheStats::merged(shared.shards.iter().map(|s| s.cache.stats()));
+        let results = ResultCacheStats::merged(shared.shards.iter().map(|s| s.results.stats().0));
+        let store = shared
+            .store
+            .as_ref()
+            .map_or_else(StoreTierStats::default, |s| s.stats());
+        let queue_depth = shared.shards.iter().map(|s| s.lanes.len()).sum();
         ServiceStats {
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            failed: self.shared.failed.load(Ordering::Relaxed),
-            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
-            queue_depth: self.shared.queue.len(),
-            workers: self.shared.workers,
+            requests: shared.requests.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
+            cancelled: shared.cancelled.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            rate_limited: shared.rate_limited.load(Ordering::Relaxed),
+            queue_depth,
+            workers: shared.workers,
+            shards: shared.shards.len(),
             cache_entries: cache.entries,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -258,12 +514,16 @@ impl Service {
             store_hits: store.hits,
             store_misses: store.misses,
             store_appends: store.appends,
-            p50_latency_secs: self.shared.latency.quantile(0.50),
-            p99_latency_secs: self.shared.latency.quantile(0.99),
+            p50_latency_secs: shared.latency.quantile(0.50),
+            p99_latency_secs: shared.latency.quantile(0.99),
+            p999_latency_secs: shared.latency.quantile(0.999),
+            max_latency_secs: shared.latency.max_seconds(),
+            hit_lane: shared.hit_latency.snapshot(),
+            synth_lane: shared.synth_latency.snapshot(),
         }
     }
 
-    /// Stops accepting new jobs, drains the queue and joins the
+    /// Stops accepting new jobs, drains the queues and joins the
     /// workers. Also runs on drop; call explicitly to control when the
     /// blocking happens.
     pub fn shutdown(mut self) {
@@ -271,21 +531,27 @@ impl Service {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.shared.queue.close();
-        if let Some(pool) = self.pool.take() {
+        for shard in &self.shared.shards {
+            shard.lanes.close();
+        }
+        let mut panicked = 0;
+        for pool in self.pools.drain(..) {
             // `join_lossy`, not `join`: this also runs from Drop, which
             // may execute while already unwinding from the very failure
             // that killed a worker — propagating there would double-
             // panic and abort. Surface worker panics only when it is
             // safe to do so.
-            let panicked = pool.join_lossy();
-            if panicked > 0 && !std::thread::panicking() {
-                panic!("{panicked} service worker(s) panicked");
-            }
+            panicked += pool.join_lossy();
+        }
+        if panicked > 0 && !std::thread::panicking() {
+            panic!("{panicked} service worker(s) panicked");
         }
         // With the workers gone no one produces results any more; drain
-        // the write-behind queue and commit the store footer.
-        self.shared.results.shutdown();
+        // the write-behind queue and commit the store footer. The
+        // handle is shared — shutting down any one tier settles all.
+        if let Some(store) = &self.shared.store {
+            store.shutdown();
+        }
     }
 }
 
@@ -299,50 +565,102 @@ impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
             .field("workers", &self.shared.workers)
-            .field("queue_depth", &self.shared.queue.len())
-            .field("cache_entries", &self.shared.cache.len())
+            .field("shards", &self.shared.shards.len())
+            .field(
+                "queue_depth",
+                &self
+                    .shared
+                    .shards
+                    .iter()
+                    .map(|s| s.lanes.len())
+                    .sum::<usize>(),
+            )
             .finish()
     }
 }
 
+/// FNV-1a — routes requests that have no graph fingerprint (unknown
+/// names, unparseable text) to a stable shard.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 impl Shared {
+    /// Shard + lane for a request. The shard is the graph fingerprint
+    /// modulo the shard count (inline `graph_text` is parsed here so
+    /// structurally identical text and named requests land on the same
+    /// shard and share cache entries); requests whose answer already
+    /// sits in that shard's result tier ride the hit lane. The
+    /// classification is best-effort — an entry evicted between
+    /// admission and processing just makes one hit-lane job do real
+    /// work.
+    fn route(&self, req: &SubmitRequest) -> (usize, Lane) {
+        let n = self.shards.len() as u64;
+        let fingerprint = if req.graph_text.is_empty() {
+            self.builtin_fingerprints.get(&req.graph).copied()
+        } else {
+            parse_cdfg(&req.graph_text)
+                .ok()
+                .map(|g| graph_fingerprint(&g))
+        };
+        let Some(fingerprint) = fingerprint else {
+            // Unknown graph or unparseable text: fails fast in the
+            // worker; any stable shard will do.
+            let bytes = if req.graph_text.is_empty() {
+                req.graph.as_bytes()
+            } else {
+                req.graph_text.as_bytes()
+            };
+            return ((fnv1a(bytes) % n) as usize, Lane::Synth);
+        };
+        let shard = (fingerprint % n) as usize;
+        let lane = match validated_constraints(req) {
+            Ok(constraints)
+                if self.shards[shard]
+                    .results
+                    .contains(&StoreKey::new(fingerprint, &constraints)) =>
+            {
+                Lane::Hit
+            }
+            _ => Lane::Synth,
+        };
+        (shard, lane)
+    }
+
     /// Processes one job on a worker thread and sends the reply.
-    fn process(&self, job: Job) {
-        let (response, disposition) = self.respond(&job);
+    fn process(&self, shard: &Shard, job: Job) {
+        let (response, disposition) = self.respond(shard, &job);
         match disposition {
             Disposition::Completed => &self.completed,
             Disposition::Failed => &self.failed,
             Disposition::Cancelled => &self.cancelled,
         }
         .fetch_add(1, Ordering::Relaxed);
-        self.latency.record(job.accepted.elapsed());
-        // A client that hung up stops caring about its reply; nothing
-        // to do about the send failing.
-        let _ = job.reply.send(response);
+        let elapsed = job.accepted.elapsed();
+        self.latency.record(elapsed);
+        match job.lane {
+            Lane::Hit => &self.hit_latency,
+            Lane::Synth => &self.synth_latency,
+        }
+        .record(elapsed);
+        job.reply.send(response);
     }
 
-    fn respond(&self, job: &Job) -> (SubmitResponse, Disposition) {
+    fn respond(&self, shard: &Shard, job: &Job) -> (SubmitResponse, Disposition) {
         let req = &job.request;
         let fail = |msg: String| (SubmitResponse::error(req.id, msg), Disposition::Failed);
 
         // Validate the constraint point up front — the constraints
-        // constructor panics on nonsense, a worker must not. (A budget
-        // envelope is already validated by its `Deserialize` impl; only
-        // the horizon fit remains to be checked here.)
-        if req.latency == 0 {
-            return fail("latency must be a positive cycle count".into());
-        }
-        if req.power.is_nan() || req.power < 0.0 {
-            return fail("power bound must be non-negative".into());
-        }
-        if let Some(budget) = &req.budget {
-            // Shape-vs-horizon rules live on `PowerBudget` itself (one
-            // source of truth with the CLI's `--budget` validation);
-            // value validity was already enforced by the deserializer.
-            if let Err(msg) = budget.check_horizon(req.latency) {
-                return fail(msg);
-            }
-        }
+        // constructor panics on nonsense, a worker must not.
+        let constraints = match validated_constraints(req) {
+            Ok(c) => c,
+            Err(msg) => return fail(msg),
+        };
         let graph = match self.resolve_graph(req) {
             Ok(g) => g,
             Err(msg) => return fail(msg),
@@ -353,20 +671,16 @@ impl Shared {
         // point answers with zero synthesis work — and on the
         // store-backed path, with zero compile work even after a
         // restart.
-        let constraints = match &req.budget {
-            Some(budget) => SynthesisConstraints::new(req.latency, budget.clone()),
-            None => SynthesisConstraints::new(req.latency, req.power),
-        };
         let fingerprint = graph_fingerprint(graph.as_ref());
         let key = StoreKey::new(fingerprint, &constraints);
-        if let Some(record) = self.results.lookup(&key) {
+        if let Some(record) = shard.results.lookup(&key) {
             // Determinism makes the reconstruction byte-identical to a
             // fresh `Session::synthesize` for this graph name.
             let point = record.to_point(graph.name());
             return (SubmitResponse::point(req.id, point), Disposition::Completed);
         }
 
-        let compiled = match self
+        let compiled = match shard
             .cache
             .get_or_compile_keyed(&self.engine, fingerprint, graph.as_ref())
             .0
@@ -414,7 +728,8 @@ impl Shared {
                 // Cache the completed outcome (infeasible included —
                 // "no design exists here" is as durable a fact as a
                 // design). Cancelled and failed runs are never cached.
-                self.results
+                shard
+                    .results
                     .insert(StoreRecord::from_point(key, &point, trace));
                 (SubmitResponse::point(req.id, point), Disposition::Completed)
             }
@@ -440,6 +755,27 @@ impl Shared {
             .map(std::borrow::Cow::Borrowed)
             .ok_or_else(|| format!("unknown graph `{}`", req.graph))
     }
+}
+
+/// Checks the request's constraint point and materializes it. (A budget
+/// envelope's values are already validated by its `Deserialize` impl;
+/// only the horizon fit remains to be checked here.)
+fn validated_constraints(req: &SubmitRequest) -> Result<SynthesisConstraints, String> {
+    if req.latency == 0 {
+        return Err("latency must be a positive cycle count".into());
+    }
+    if req.power.is_nan() || req.power < 0.0 {
+        return Err("power bound must be non-negative".into());
+    }
+    if let Some(budget) = &req.budget {
+        // Shape-vs-horizon rules live on `PowerBudget` itself (one
+        // source of truth with the CLI's `--budget` validation).
+        budget.check_horizon(req.latency)?;
+    }
+    Ok(match &req.budget {
+        Some(budget) => SynthesisConstraints::new(req.latency, budget.clone()),
+        None => SynthesisConstraints::new(req.latency, req.power),
+    })
 }
 
 #[cfg(test)]
@@ -517,6 +853,10 @@ mod tests {
         assert_eq!(stats.cache_hits + stats.cache_coalesced, 5);
         assert!(stats.cache_hit_rate > 0.0);
         assert!(stats.p50_latency_secs > 0.0);
+        assert!(stats.max_latency_secs > 0.0);
+        // One graph ⇒ one fingerprint ⇒ one shard served everything.
+        assert!(stats.shards >= 1);
+        assert_eq!(stats.shed, 0);
     }
 
     #[test]
@@ -606,9 +946,9 @@ mod tests {
         let via_text = service.call(SubmitRequest::synth_text(1, &text, 17, 25.0));
         let via_name = service.call(SubmitRequest::synth(2, "hal", 17, 25.0));
         assert_eq!(via_text.point, via_name.point);
-        // Same structure ⇒ same fingerprint ⇒ same result key: the
-        // second call is a tier-1 result hit and never even reaches the
-        // compile cache.
+        // Same structure ⇒ same fingerprint ⇒ same shard and same
+        // result key: the second call is a tier-1 result hit and never
+        // even reaches the compile cache.
         let stats = service.stats();
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 0);
@@ -630,6 +970,9 @@ mod tests {
         assert_eq!(stats.result_entries, 1);
         assert!(stats.result_entry_bytes > 0);
         assert!((stats.result_hit_rate - 0.5).abs() < 1e-12);
+        // The repeat was classified at admission and rode the hit lane.
+        assert_eq!(stats.hit_lane.count, 1);
+        assert_eq!(stats.synth_lane.count, 1);
         // Infeasible outcomes are cached facts too.
         let inf_a = service.call(SubmitRequest::synth(3, "hal", 17, 1.0));
         let inf_b = service.call(SubmitRequest::synth(4, "hal", 17, 1.0));
@@ -663,7 +1006,8 @@ mod tests {
         };
 
         // A brand-new service over the same store dir: every point is
-        // answered from disk, byte-identical, without one compile.
+        // answered from disk, byte-identical, without one compile —
+        // and, classified by the store's index, on the hit lane.
         let service = Service::start(Engine::new(paper_library()), config());
         for (id, (&(t, p), want)) in points.iter().zip(&cold).enumerate() {
             let resp = service.call(SubmitRequest::synth(10 + id as u64, "hal", t, p));
@@ -673,6 +1017,7 @@ mod tests {
         assert_eq!(stats.store_hits, 3, "all three served from the store");
         assert_eq!(stats.cache_misses, 0, "nothing was compiled");
         assert_eq!(stats.completed, 3);
+        assert_eq!(stats.hit_lane.count, 3, "store index fed the hit lane");
         service.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -744,5 +1089,145 @@ mod tests {
         service.shutdown();
         // Every queued job was still answered.
         assert_eq!(rx.iter().count(), 4);
+    }
+
+    #[test]
+    fn try_submit_sheds_with_a_well_formed_error_when_a_shard_is_full() {
+        // One shard, one worker, a one-deep synth lane. Park the worker
+        // on a slow job, fill the lane, then watch admission refuse.
+        let service = Service::start(
+            Engine::new(paper_library()),
+            ServiceConfig {
+                workers: 1,
+                shards: 1,
+                queue_cap: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let text = chunky_graph_text();
+        let latency = chunky_latency(&service, &text);
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Two slow jobs: one runs, one waits in the one-slot lane.
+        let slow = SubmitRequest::synth_text(1, &text, latency, 60.0);
+        let first = service.submit(slow.clone(), tx.clone()).unwrap();
+        // Wait until the worker has taken the first job off the queue,
+        // then occupy the freed slot.
+        let occupied = std::time::Instant::now();
+        loop {
+            match service.try_submit(
+                SubmitRequest::synth_text(2, &text, latency, 60.0),
+                tx.clone(),
+            ) {
+                SubmitOutcome::Accepted(_) => break,
+                SubmitOutcome::Overloaded => {
+                    assert!(
+                        occupied.elapsed() < Duration::from_secs(20),
+                        "worker never drained the first job"
+                    );
+                    // The shed was answered; consume it and retry.
+                    let resp = rx.recv().unwrap();
+                    assert_eq!(resp.error.as_deref(), Some("overloaded"));
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                SubmitOutcome::ShuttingDown => unreachable!("service is running"),
+            }
+        }
+        // Queue is now provably full: the next try_submit must shed and
+        // must answer on the channel, well-formed, with the right id.
+        let before = service.stats().shed;
+        match service.try_submit(
+            SubmitRequest::synth_text(77, &text, latency, 60.0),
+            tx.clone(),
+        ) {
+            SubmitOutcome::Overloaded => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let resp = rx.recv().unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.id, 77);
+        assert_eq!(resp.error.as_deref(), Some("overloaded"));
+        assert!(service.stats().shed > before);
+        // Unblock and drain.
+        first.store(true, Ordering::Relaxed);
+        drop(tx);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_answers_shutting_down_after_close() {
+        let service = service(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Shut down, then poke the corpse through a second handle's
+        // worth of API: lanes are closed, so admission must refuse.
+        for shard in &service.shared.shards {
+            shard.lanes.close();
+        }
+        match service.try_submit(SubmitRequest::synth(5, "hal", 17, 25.0), tx) {
+            SubmitOutcome::ShuttingDown => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.id, 5);
+        assert!(resp.error.unwrap().contains("shutting down"));
+    }
+
+    #[test]
+    fn hit_lane_answers_while_every_synth_worker_is_busy() {
+        // One shard, one synth worker. Park the synth worker on a slow
+        // job; a warm repeat must still be answered promptly by the
+        // dedicated hit worker.
+        let service = Service::start(
+            Engine::new(paper_library()),
+            ServiceConfig {
+                workers: 1,
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Warm the result tier.
+        assert!(service.call(SubmitRequest::synth(1, "hal", 17, 25.0)).ok);
+        let text = chunky_graph_text();
+        let latency = chunky_latency(&service, &text);
+        let (slow_tx, slow_rx) = std::sync::mpsc::channel();
+        let cancel = service
+            .submit(SubmitRequest::synth_text(2, &text, latency, 60.0), slow_tx)
+            .unwrap();
+        // While the lone synth worker grinds, the warm point answers.
+        let warm = service.call(SubmitRequest::synth(3, "hal", 17, 25.0));
+        assert!(warm.ok, "hit lane starved behind a synthesis job");
+        assert_eq!(service.stats().hit_lane.count, 1);
+        cancel.store(true, Ordering::Relaxed);
+        let _ = slow_rx.recv();
+        service.shutdown();
+    }
+
+    #[test]
+    fn sharded_service_keeps_results_byte_identical() {
+        // Four shards, several graphs: routing must not change answers.
+        let service = Service::start(
+            Engine::new(paper_library()),
+            ServiceConfig {
+                workers: 2,
+                shards: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        for (id, (graph, t, p)) in [
+            ("hal", 17, 25.0),
+            ("cosine", 15, 40.0),
+            ("hal", 10, 40.0),
+            ("cosine", 20, 30.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let resp = service.call(SubmitRequest::synth(id as u64, graph, t, p));
+            assert!(resp.ok, "{graph}: {:?}", resp.error);
+            let served = serde_json::to_string(&resp.point.unwrap()).unwrap();
+            let direct =
+                serde_json::to_string(&direct_point(service.engine(), graph, t, p)).unwrap();
+            assert_eq!(served, direct, "{graph} T={t} P={p}");
+        }
+        assert_eq!(service.stats().shards, 4);
     }
 }

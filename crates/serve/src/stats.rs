@@ -15,16 +15,20 @@ const BUCKETS: usize = 48;
 /// Bucket `i` counts observations in `[2^i, 2^(i+1))` microseconds
 /// (bucket 0 also absorbs sub-microsecond observations; the last bucket
 /// absorbs everything larger). Recording is one relaxed atomic
-/// increment — workers never contend on a lock for metrics — and
-/// quantiles are read by walking the 48 counters.
+/// increment plus a `fetch_max` for the running maximum — workers never
+/// contend on a lock for metrics — and quantiles are read by walking
+/// the 48 counters.
 ///
 /// Fixed buckets trade resolution for bounded memory and wait-free
 /// writes: a quantile is reported as the **upper bound** of the bucket
 /// the rank falls in, i.e. within 2× of the true value, which is ample
-/// for p50/p99 service dashboards.
+/// for p50/p99/p99.9 service dashboards. The maximum is exact (to the
+/// microsecond), because tail debugging wants the real worst case, not
+/// a bucket bound.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    max_micros: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -39,6 +43,7 @@ impl LatencyHistogram {
     pub fn new() -> LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_micros: AtomicU64::new(0),
         }
     }
 
@@ -51,11 +56,19 @@ impl LatencyHistogram {
     /// Records one observation (wait-free).
     pub fn record(&self, d: Duration) {
         self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
     }
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The largest observation in seconds (exact, not bucketed); `0.0`
+    /// while empty.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_micros.load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) in seconds, reported as the
@@ -82,13 +95,40 @@ impl LatencyHistogram {
         }
         unreachable!("rank ≤ total implies some bucket reaches it")
     }
+
+    /// The standard dashboard summary of this histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            count: self.count(),
+            p50_secs: self.quantile(0.50),
+            p99_secs: self.quantile(0.99),
+            p999_secs: self.quantile(0.999),
+            max_secs: self.max_seconds(),
+        }
+    }
+}
+
+/// Latency summary of one priority lane (or any single histogram).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LaneSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency in seconds, bucketed.
+    pub p50_secs: f64,
+    /// 99th percentile in seconds, bucketed.
+    pub p99_secs: f64,
+    /// 99.9th percentile in seconds, bucketed.
+    pub p999_secs: f64,
+    /// Largest observation in seconds (exact).
+    pub max_secs: f64,
 }
 
 /// One consistent snapshot of a running service, serializable onto the
 /// wire (the protocol's `Stats` message payload).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Requests accepted into the queue since start.
+    /// Requests accepted into the queues since start.
     pub requests: u64,
     /// Requests answered with a synthesis point (feasible or not).
     pub completed: u64,
@@ -97,10 +137,19 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Requests cancelled by the client or their deadline.
     pub cancelled: u64,
-    /// Jobs currently waiting in the queue.
+    /// Requests refused with an `overloaded` error because a shard's
+    /// lane was past its admission bound.
+    pub shed: u64,
+    /// Requests refused with a `rate_limited` error by a connection's
+    /// token bucket.
+    pub rate_limited: u64,
+    /// Jobs currently waiting across all shards and lanes.
     pub queue_depth: usize,
-    /// Worker threads serving the queue.
+    /// Worker threads serving the queues (all shards, both lanes).
     pub workers: usize,
+    /// Independent shards (each: compile cache + result tier + lanes +
+    /// workers), addressed by `graph_fingerprint`.
+    pub shards: usize,
     /// Compiled graphs currently resident in the cache.
     pub cache_entries: usize,
     /// Cache lookups served by a completed compile.
@@ -144,6 +193,15 @@ pub struct ServiceStats {
     pub p50_latency_secs: f64,
     /// 99th-percentile request latency in seconds, bucketed.
     pub p99_latency_secs: f64,
+    /// 99.9th-percentile request latency in seconds, bucketed.
+    pub p999_latency_secs: f64,
+    /// Largest request latency in seconds (exact, not bucketed).
+    pub max_latency_secs: f64,
+    /// Latency of requests that rode the hit lane (classified as
+    /// result-tier hits at admission).
+    pub hit_lane: LaneSnapshot,
+    /// Latency of requests that rode the synth lane.
+    pub synth_lane: LaneSnapshot,
 }
 
 #[cfg(test)]
@@ -155,6 +213,8 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max_seconds(), 0.0);
+        assert_eq!(h.snapshot(), LaneSnapshot::default());
     }
 
     #[test]
@@ -178,6 +238,33 @@ mod tests {
     }
 
     #[test]
+    fn p999_separates_a_one_in_a_thousand_tail() {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_secs(1));
+        h.record(Duration::from_secs(1));
+        // p99 is blind to a 2/1002 tail; p99.9 is not (its rank, 1001,
+        // lands on the first slow observation).
+        assert!(h.quantile(0.99) < 1e-3);
+        assert!(h.quantile(0.999) > 0.5, "p999={}", h.quantile(0.999));
+    }
+
+    #[test]
+    fn max_is_exact_not_bucketed() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(777_777));
+        // The bucketed p100 rounds up to 2^20 µs ≈ 1.05 s; max is exact.
+        assert!((h.max_seconds() - 0.777_777).abs() < 1e-9);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!((snap.max_secs - 0.777_777).abs() < 1e-9);
+        assert!(snap.p50_secs <= snap.p99_secs && snap.p99_secs <= snap.p999_secs);
+    }
+
+    #[test]
     fn extreme_durations_stay_in_range() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_nanos(1));
@@ -185,6 +272,7 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.0) > 0.0);
         assert!(h.quantile(1.0).is_finite());
+        assert!(h.max_seconds().is_finite());
     }
 
     #[test]
@@ -194,8 +282,11 @@ mod tests {
             completed: 8,
             failed: 1,
             cancelled: 1,
+            shed: 3,
+            rate_limited: 2,
             queue_depth: 0,
             workers: 4,
+            shards: 2,
             cache_entries: 2,
             cache_hits: 7,
             cache_misses: 2,
@@ -216,8 +307,25 @@ mod tests {
             store_appends: 5,
             p50_latency_secs: 0.004,
             p99_latency_secs: 0.125,
+            p999_latency_secs: 0.5,
+            max_latency_secs: 0.61,
+            hit_lane: LaneSnapshot {
+                count: 6,
+                p50_secs: 0.001,
+                p99_secs: 0.002,
+                p999_secs: 0.004,
+                max_secs: 0.003,
+            },
+            synth_lane: LaneSnapshot {
+                count: 4,
+                p50_secs: 0.02,
+                p99_secs: 0.125,
+                p999_secs: 0.5,
+                max_secs: 0.61,
+            },
         };
         let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"hit_lane\""), "{json}");
         let back: ServiceStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }

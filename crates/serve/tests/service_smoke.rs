@@ -12,12 +12,33 @@ use pchls_core::{
     Engine, SynthesisConstraints, SynthesisOptions, SynthesisRequest, SynthesisResult,
 };
 use pchls_fulib::paper_library;
-use pchls_serve::{serve_tcp, Service, ServiceConfig, SubmitRequest, SubmitResponse};
+use pchls_serve::{
+    serve_tcp_with, Service, ServiceConfig, ShutdownHandle, SubmitRequest, SubmitResponse,
+};
 
-/// Starts a service on an ephemeral port; returns the shared service
-/// and the address to dial. The acceptor thread serves until the test
-/// process exits.
-fn spawn_server() -> (Arc<Service>, std::net::SocketAddr) {
+/// A reactor front end on an ephemeral port. Dropping the guard
+/// requests a stop and asserts the serve loop exits cleanly — every
+/// test here also exercises the shutdown path end to end.
+struct ServerGuard {
+    service: Arc<Service>,
+    addr: std::net::SocketAddr,
+    shutdown: Arc<ShutdownHandle>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.shutdown.request_stop();
+        if let Some(thread) = self.thread.take() {
+            let result = thread.join().expect("serve loop must not panic");
+            assert!(result.is_ok(), "serve loop must exit cleanly: {result:?}");
+        }
+    }
+}
+
+/// Starts a service on an ephemeral port; returns the shared service,
+/// the address to dial, and the stop guard.
+fn spawn_server() -> ServerGuard {
     let service = Arc::new(Service::start(
         Engine::new(paper_library()),
         ServiceConfig {
@@ -27,11 +48,18 @@ fn spawn_server() -> (Arc<Service>, std::net::SocketAddr) {
     ));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
-    let server = Arc::clone(&service);
-    std::thread::spawn(move || {
-        let _ = serve_tcp(&server, &listener);
-    });
-    (service, addr)
+    let shutdown = Arc::new(ShutdownHandle::new());
+    let thread = {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve_tcp_with(&service, &listener, &shutdown))
+    };
+    ServerGuard {
+        service,
+        addr,
+        shutdown,
+        thread: Some(thread),
+    }
 }
 
 /// The request mix both sides evaluate: repeated graphs (cache
@@ -67,7 +95,8 @@ fn direct_line(engine: &Engine, graph: &str, latency: u32, power: f64) -> String
 
 #[test]
 fn tcp_round_trip_is_byte_identical_to_direct_engine_output() {
-    let (service, addr) = spawn_server();
+    let server = spawn_server();
+    let (service, addr) = (Arc::clone(&server.service), server.addr);
     let stream = TcpStream::connect(addr).expect("dial the service");
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
@@ -116,7 +145,8 @@ fn tcp_round_trip_is_byte_identical_to_direct_engine_output() {
 
 #[test]
 fn two_connections_share_one_cache() {
-    let (service, addr) = spawn_server();
+    let server = spawn_server();
+    let (service, addr) = (Arc::clone(&server.service), server.addr);
     let point_of = |id: u64| {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());

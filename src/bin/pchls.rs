@@ -8,7 +8,8 @@
 //! pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>] [--store <dir>]
 //! pchls batch <graph> --points <file> [--budget <file>] [--store <dir>]
 //! pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
-//! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>] [--store <dir>]
+//! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--shards <n>] [--cache-cap <n>] [--queue-cap <n>]
+//!             [--shed-depth <n>] [--rate <req/s>] [--burst <n>] [--max-line-bytes <n>] [--store <dir>]
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
 //! pchls store (stat|verify|compact) <dir>
@@ -78,7 +79,8 @@ usage:
   pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>] [--store <dir>]   # with --budget, sweeps envelope scale factors
   pchls batch <graph> --points <file> [--budget <file>] [--store <dir>]   # one `T P` pair per line; with --budget, P scales the envelope
   pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
-  pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--cache-cap <n>] [--queue-cap <n>] [--store <dir>]
+  pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--shards <n>] [--cache-cap <n>] [--queue-cap <n>]
+              [--shed-depth <n>] [--rate <req/s>] [--burst <n>] [--max-line-bytes <n>] [--store <dir>]
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
   pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
   pchls store (stat|verify|compact) <dir>
@@ -170,7 +172,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.options.insert("power".into(), v.clone());
             }
             "--library" | "--steps" | "--out" | "--points" | "--addr" | "--workers"
-            | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" | "--store" => {
+            | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" | "--store"
+            | "--shards" | "--shed-depth" | "--rate" | "--burst" | "--max-line-bytes" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -844,14 +847,30 @@ fn serve(args: &[String]) -> Result<String, String> {
                 .map_err(|_| format!("--{key} must be a non-negative integer"))
         })
     };
+    let f64_option = |key: &str, default: f64| -> Result<f64, String> {
+        flags.options.get(key).map_or(Ok(default), |v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| format!("--{key} must be a non-negative number"))
+        })
+    };
     let defaults = ServiceConfig::default();
     let config = ServiceConfig {
         workers: usize_option("workers", defaults.workers)?,
+        shards: usize_option("shards", defaults.shards)?,
         cache_cap: usize_option("cache-cap", defaults.cache_cap)?,
         queue_cap: usize_option("queue-cap", defaults.queue_cap)?,
+        shed_depth: usize_option("shed-depth", defaults.shed_depth)?,
+        rate_per_sec: f64_option("rate", defaults.rate_per_sec)?,
+        burst: f64_option("burst", defaults.burst)?,
+        max_line_bytes: usize_option("max-line-bytes", defaults.max_line_bytes)?,
         store_dir: flags.options.get("store").map(std::path::PathBuf::from),
         ..defaults
     };
+    if config.max_line_bytes == 0 {
+        return Err("--max-line-bytes must be at least 1".into());
+    }
     let lib = load_library(&flags)?;
     let service = Service::try_start(Engine::new(lib), config)
         .map_err(|e| format!("opening result store: {e}"))?;
@@ -865,7 +884,46 @@ fn serve(args: &[String]) -> Result<String, String> {
             serve_tcp(&service, &listener).map_err(|e| format!("serving {local}: {e}"))?;
         }
     }
+    // Final stats to stderr — stdout is (or was) the protocol channel.
+    eprintln!("{}", render_serve_stats(&service.stats()));
     Ok(String::new())
+}
+
+/// The one-line service summary printed when a serve loop exits:
+/// request disposition, the global latency tail (p50/p99/p99.9 and the
+/// exact max) and both priority lanes.
+fn render_serve_stats(stats: &pchls::serve::ServiceStats) -> String {
+    let ms = |secs: f64| format!("{:.1}ms", secs * 1e3);
+    let lane = |snap: &pchls::serve::LaneSnapshot| {
+        format!(
+            "{} @ p50 {} p99.9 {} max {}",
+            snap.count,
+            ms(snap.p50_secs),
+            ms(snap.p999_secs),
+            ms(snap.max_secs)
+        )
+    };
+    format!(
+        "pchls serve: {} requests ({} ok, {} failed, {} cancelled, {} shed, {} rate-limited) | \
+         {} shard(s), {} worker(s) | latency p50 {} p99 {} p99.9 {} max {} | \
+         hit lane {} | synth lane {} | compile cache {:.1}% hit | result tier {:.1}% hit",
+        stats.requests,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.shed,
+        stats.rate_limited,
+        stats.shards,
+        stats.workers,
+        ms(stats.p50_latency_secs),
+        ms(stats.p99_latency_secs),
+        ms(stats.p999_latency_secs),
+        ms(stats.max_latency_secs),
+        lane(&stats.hit_lane),
+        lane(&stats.synth_lane),
+        stats.cache_hit_rate * 100.0,
+        stats.result_hit_rate * 100.0,
+    )
 }
 
 /// `pchls store (stat|verify|compact) <dir>`: inspects and maintains a
@@ -1490,6 +1548,17 @@ mod tests {
         assert!(err.contains("--workers"), "{err}");
         let err = run(&argv("serve --addr not-an-address")).unwrap_err();
         assert!(err.contains("binding"), "{err}");
+        // Admission knobs validate before any socket is touched.
+        let err = run(&argv("serve --stdio --shards x")).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run(&argv("serve --stdio --shed-depth -3")).unwrap_err();
+        assert!(err.contains("--shed-depth"), "{err}");
+        let err = run(&argv("serve --stdio --rate fast")).unwrap_err();
+        assert!(err.contains("--rate"), "{err}");
+        let err = run(&argv("serve --stdio --burst -1")).unwrap_err();
+        assert!(err.contains("--burst"), "{err}");
+        let err = run(&argv("serve --stdio --max-line-bytes 0")).unwrap_err();
+        assert!(err.contains("--max-line-bytes"), "{err}");
     }
 
     #[test]
