@@ -127,6 +127,7 @@ impl Engine {
     /// [`SynthesisError::Uncovered`] when the library implements none of
     /// the modules for some operation kind in the graph.
     pub fn try_compile(&self, graph: &Cdfg) -> Result<CompiledGraph, SynthesisError> {
+        let _span = pchls_obs::span!("engine.compile", "ops" => graph.len());
         for node in graph.nodes() {
             if self.kind_modules[node.kind().index()].is_empty() {
                 return Err(SynthesisError::Uncovered { kind: node.kind() });

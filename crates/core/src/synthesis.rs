@@ -107,8 +107,11 @@ pub(crate) fn synthesize_session(
     // the horizon are identical; the design still records the caller's
     // own constraints.
     let budget = constraints.budget.normalized(constraints.latency);
-    let (mut timing, est_modules) =
-        bootstrap(graph, library, constraints, &budget, reach, compiled)?;
+    let _synth_span = pchls_obs::span!("kernel.synthesize", "ops" => n);
+    let (mut timing, est_modules) = {
+        let _span = pchls_obs::span!("kernel.bootstrap");
+        bootstrap(graph, library, constraints, &budget, reach, compiled)?
+    };
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
@@ -138,9 +141,11 @@ pub(crate) fn synthesize_session(
     // put them, and placement order is timing-determined), so the
     // schedule is only recomputed when a commit actually displaced an
     // operation or changed its module timing — the "dirty" commits.
-    let mut provisional =
+    let mut provisional = {
+        let _span = pchls_obs::span!("fds.refit");
         pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
-            .map_err(|cause| SynthesisError::Infeasible { cause })?;
+            .map_err(|cause| SynthesisError::Infeasible { cause })?
+    };
     let mut dirty = false;
 
     while unbound_count > 0 {
@@ -158,6 +163,7 @@ pub(crate) fn synthesize_session(
             }
         }
         if dirty {
+            let _span = pchls_obs::span!("fds.refit");
             provisional =
                 pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
                     .map_err(|cause| SynthesisError::Infeasible { cause })?;
@@ -168,7 +174,10 @@ pub(crate) fn synthesize_session(
         // forward one succeeded; fall back to zero mobility (late =
         // early, the provisional schedule itself), which is always safe
         // — borrowed, not cloned.
-        let palap = palap_locked_budget(graph, &timing, &budget, constraints.latency, &locked).ok();
+        let palap = {
+            let _span = pchls_obs::span!("fds.palap");
+            palap_locked_budget(graph, &timing, &budget, constraints.latency, &locked).ok()
+        };
         let late = palap.as_ref().unwrap_or(&provisional);
 
         scratch.unbound_vec.clear();
@@ -214,16 +223,20 @@ pub(crate) fn synthesize_session(
             start0: std::mem::take(&mut scratch.start0),
             avoided: std::mem::take(&mut scratch.avoided),
         };
-        ctx.precompute_tables(&scratch.unbound_vec, parallel);
-        scratch.candidates.clear();
-        enumerate_candidates(
-            &ctx,
-            &scratch.unbound_vec,
-            unbound.words(),
-            parallel,
-            &mut scratch.candidates,
-            &mut scratch.pairs,
-        );
+        {
+            let mut score_span = pchls_obs::span!("kernel.score");
+            ctx.precompute_tables(&scratch.unbound_vec, parallel);
+            scratch.candidates.clear();
+            enumerate_candidates(
+                &ctx,
+                &scratch.unbound_vec,
+                unbound.words(),
+                parallel,
+                &mut scratch.candidates,
+                &mut scratch.pairs,
+            );
+            score_span.arg("candidates", scratch.candidates.len());
+        }
         // Hand the score tables back for the next iteration and release
         // every `ctx` borrow before the commit loop mutates state.
         scratch.start0 = std::mem::take(&mut ctx.start0);
@@ -246,11 +259,14 @@ pub(crate) fn synthesize_session(
                 .then(a.op.cmp(&b.op))
                 .then(x.cmp(&y))
         };
-        scratch.top.clear();
-        for i in 0..candidates.len() as u32 {
-            scratch.top.push(i, cmp);
-        }
-        let order: &[u32] = scratch.top.sorted(cmp);
+        let order: &[u32] = {
+            let _span = pchls_obs::span!("kernel.topk");
+            scratch.top.clear();
+            for i in 0..candidates.len() as u32 {
+                scratch.top.push(i, cmp);
+            }
+            scratch.top.sorted(cmp)
+        };
 
         // Try candidates best-first; a candidate commits only if the
         // remaining operations still admit a power-feasible schedule (the
@@ -258,7 +274,10 @@ pub(crate) fn synthesize_session(
         // skipped; attempts are capped so a pathological iteration stays
         // cheap.
         let mut committed = false;
+        let mut commit_span = pchls_obs::span!("kernel.commit");
+        let mut attempts = 0u64;
         for cand in order.iter().map(|&i| &candidates[i as usize]) {
+            attempts += 1;
             let saved = saved_state(cand, library, &timing, &locked, &ledger);
             apply(
                 cand,
@@ -304,6 +323,8 @@ pub(crate) fn synthesize_session(
             );
             stats.rejected_candidates += 1;
         }
+        commit_span.arg("attempts", attempts);
+        drop(commit_span);
         if !committed {
             // Every candidate strands the remaining operations. The
             // paper's repair: backtrack (all failed decisions are already
@@ -332,6 +353,7 @@ pub(crate) fn synthesize_session(
 
     // All operations bound and locked: the locked schedule is final.
     let final_schedule = if dirty {
+        let _span = pchls_obs::span!("fds.refit");
         pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
             .map_err(SynthesisError::Schedule)?
     } else {

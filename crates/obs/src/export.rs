@@ -1,0 +1,169 @@
+//! Exporters: Chrome trace-event JSON from a [`TraceSnapshot`].
+//!
+//! The output is the stable subset of the [Trace Event Format] that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: complete events (`"ph":"X"`) for spans, instant events
+//! (`"ph":"i"`) for points, timestamps in microseconds since the trace
+//! epoch. The JSON is written by hand — this crate takes no
+//! dependencies — and the `chrome_golden` integration test pins the
+//! exact bytes and re-parses them with a real JSON parser.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! The Prometheus-style text exposition lives on
+//! [`MetricsRegistry::render`](crate::MetricsRegistry::render).
+
+use std::fmt::Write as _;
+
+use crate::trace::{ArgValue, EventKind, TraceSnapshot};
+
+/// Renders a snapshot as Chrome trace-event JSON. Events come out in
+/// the snapshot's order (sorted by start time, so timestamps are
+/// monotone); dropped-event counts are surfaced as metadata on the
+/// trace object.
+#[must_use]
+pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, event) in snapshot.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, snapshot.name(event.name));
+        out.push_str(",\"cat\":\"pchls\"");
+        match event.kind {
+            EventKind::Span => {
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                    micros(event.start_ns),
+                    micros(event.dur_ns)
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}",
+                    micros(event.start_ns)
+                );
+            }
+        }
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", event.tid);
+        if event.id != 0 || event.parent != 0 || !event.args.is_empty() {
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            let mut field = |out: &mut String, key: &str| {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_json_string(out, key);
+                out.push(':');
+            };
+            if event.id != 0 {
+                field(&mut out, "span");
+                let _ = write!(out, "{}", event.id);
+            }
+            if event.parent != 0 {
+                field(&mut out, "parent");
+                let _ = write!(out, "{}", event.parent);
+            }
+            for (key, value) in &event.args {
+                field(&mut out, snapshot.name(*key));
+                match value {
+                    ArgValue::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    ArgValue::Str(s) => write_json_string(&mut out, snapshot.name(*s)),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{}}}}}",
+        snapshot.dropped
+    );
+    out
+}
+
+/// Microseconds with nanosecond precision, trailing zeros trimmed so
+/// whole values print as integers.
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1000) {
+        format!("{}", ns / 1000)
+    } else {
+        let s = format!("{}.{:03}", ns / 1000, ns % 1000);
+        s.trim_end_matches('0').to_owned()
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn spans_and_instants_render_their_phases() {
+        let snapshot = TraceSnapshot {
+            events: vec![
+                TraceEvent {
+                    name: 1,
+                    kind: EventKind::Span,
+                    tid: 1,
+                    start_ns: 1_500,
+                    dur_ns: 2_000,
+                    id: 1,
+                    parent: 0,
+                    args: vec![(2, ArgValue::U64(7))],
+                },
+                TraceEvent {
+                    name: 3,
+                    kind: EventKind::Instant,
+                    tid: 2,
+                    start_ns: 4_000,
+                    dur_ns: 0,
+                    id: 0,
+                    parent: 0,
+                    args: vec![],
+                },
+            ],
+            dropped: 5,
+            names: vec!["kernel.score".into(), "id".into(), "serve.shed".into()],
+        };
+        let json = chrome_trace_json(&snapshot);
+        assert!(json.contains("\"name\":\"kernel.score\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\",\"ts\":1.5,\"dur\":2"), "{json}");
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":4"), "{json}");
+        assert!(json.contains("\"id\":7"), "{json}");
+        assert!(json.contains("\"droppedEvents\":5"), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+}

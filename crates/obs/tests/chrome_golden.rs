@@ -1,0 +1,153 @@
+//! The Chrome trace-event exporter's contract, pinned three ways: the
+//! exact golden bytes for a hand-built snapshot, a re-parse of those
+//! bytes through a real JSON parser, and a live end-to-end trace (real
+//! spans through the global tracer) checked for validity and monotone
+//! timestamps.
+
+use pchls_obs::trace::TraceEvent;
+use pchls_obs::{chrome_trace_json, ArgValue, EventKind, TraceSnapshot};
+use serde_json::Value;
+
+/// A deterministic snapshot covering every encoder path: a root span
+/// with an integer argument, a child span with no arguments of its
+/// own, and an instant with a string argument on another thread.
+fn golden_snapshot() -> TraceSnapshot {
+    TraceSnapshot {
+        events: vec![
+            TraceEvent {
+                name: 1,
+                kind: EventKind::Span,
+                tid: 1,
+                start_ns: 1_500,
+                dur_ns: 2_500,
+                id: 1,
+                parent: 0,
+                args: vec![(3, ArgValue::U64(21))],
+            },
+            TraceEvent {
+                name: 4,
+                kind: EventKind::Span,
+                tid: 1,
+                start_ns: 2_000,
+                dur_ns: 400,
+                id: 2,
+                parent: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                name: 2,
+                kind: EventKind::Instant,
+                tid: 2,
+                start_ns: 4_000,
+                dur_ns: 0,
+                id: 0,
+                parent: 0,
+                args: vec![(5, ArgValue::Str(6))],
+            },
+        ],
+        dropped: 3,
+        names: vec![
+            "kernel.synthesize".into(),
+            "serve.shed".into(),
+            "ops".into(),
+            "fds.refit".into(),
+            "lane".into(),
+            "hit".into(),
+        ],
+    }
+}
+
+const GOLDEN: &str = concat!(
+    r#"{"traceEvents":["#,
+    r#"{"name":"kernel.synthesize","cat":"pchls","ph":"X","ts":1.5,"dur":2.5,"pid":1,"tid":1,"args":{"span":1,"ops":21}},"#,
+    r#"{"name":"fds.refit","cat":"pchls","ph":"X","ts":2,"dur":0.4,"pid":1,"tid":1,"args":{"span":2,"parent":1}},"#,
+    r#"{"name":"serve.shed","cat":"pchls","ph":"i","s":"t","ts":4,"pid":1,"tid":2,"args":{"lane":"hit"}}"#,
+    r#"],"displayTimeUnit":"ms","otherData":{"droppedEvents":3}}"#,
+);
+
+#[test]
+fn export_matches_the_golden_bytes() {
+    assert_eq!(chrome_trace_json(&golden_snapshot()), GOLDEN);
+}
+
+#[test]
+fn golden_bytes_reparse_as_the_same_structure() {
+    let value = serde_json::parse(GOLDEN).expect("golden trace is valid JSON");
+    let top = value.as_object().expect("top level is an object");
+    let events = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 3);
+    let field = |i: usize, key: &str| -> &Value {
+        events[i]
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("event {i} lacks `{key}`"))
+    };
+    assert_eq!(field(0, "name"), &Value::Str("kernel.synthesize".into()));
+    assert_eq!(field(0, "ph"), &Value::Str("X".into()));
+    assert_eq!(field(0, "ts"), &Value::Float(1.5));
+    assert_eq!(field(1, "dur"), &Value::Float(0.4));
+    assert_eq!(field(2, "ph"), &Value::Str("i".into()));
+    assert_eq!(field(2, "ts"), &Value::Int(4));
+    let dropped = top
+        .iter()
+        .find(|(k, _)| k == "otherData")
+        .and_then(|(_, v)| v.as_object())
+        .and_then(|o| o.iter().find(|(k, _)| k == "droppedEvents"))
+        .map(|(_, v)| v);
+    assert_eq!(dropped, Some(&Value::Int(3)));
+}
+
+/// Real spans through the global tracer: the export parses, every
+/// event carries the required keys, and timestamps come out monotone
+/// (snapshots sort by start time). Only this test in this binary
+/// touches the process-wide tracer.
+#[test]
+fn live_trace_exports_valid_monotone_json() {
+    pchls_obs::set_enabled(false);
+    pchls_obs::reset();
+    pchls_obs::set_enabled(true);
+    for i in 0..4u64 {
+        let _outer = pchls_obs::span!("work", "iter" => i);
+        let _inner = pchls_obs::span!("step");
+        pchls_obs::event!("mark");
+    }
+    pchls_obs::set_enabled(false);
+    let snapshot = pchls_obs::snapshot();
+    assert_eq!(snapshot.events.len(), 12);
+    assert_eq!(snapshot.dropped, 0);
+
+    let json = chrome_trace_json(&snapshot);
+    let value = serde_json::parse(&json).expect("live trace is valid JSON");
+    let events = value
+        .as_object()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 12);
+
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        let fields = ev.as_object().expect("event is an object");
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        for required in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(get(required).is_some(), "event lacks `{required}`: {ev:?}");
+        }
+        let ts = match get("ts").unwrap() {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            other => panic!("non-numeric ts {other:?}"),
+        };
+        assert!(ts >= last_ts, "timestamps regressed: {ts} after {last_ts}");
+        last_ts = ts;
+    }
+    pchls_obs::reset();
+}

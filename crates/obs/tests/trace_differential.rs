@@ -1,0 +1,160 @@
+//! Differential tests for the lock-free [`TraceBuffer`] against a
+//! mutex-guarded reference model under real multi-thread
+//! interleavings. The buffer's contract: accept exactly
+//! `min(total, capacity)` events, count every refusal in `dropped`,
+//! never tear a committed event, and preserve each writer thread's
+//! submission order in slot order.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use proptest::prelude::*;
+
+use pchls_obs::trace::{RawEvent, MAX_ARGS};
+use pchls_obs::{ArgValue, EventKind, TraceBuffer};
+
+/// A recognizable event: the payload fields are all derived from
+/// `(tid, seq)` so a torn write shows up as an internal inconsistency.
+fn raw(tid: u64, seq: u64) -> RawEvent {
+    let mut args = [None; MAX_ARGS];
+    args[0] = Some((1, ArgValue::U64(seq * 3)));
+    RawEvent {
+        name: tid as u32 + 1,
+        kind: EventKind::Span,
+        tid,
+        start_ns: seq,
+        dur_ns: seq + 7,
+        id: seq + 1,
+        parent: seq / 2,
+        args,
+    }
+}
+
+proptest! {
+    /// Concurrent writers: the committed set equals what a mutex-locked
+    /// reference accepted, no event is torn, and each thread's events
+    /// stay in its own submission order.
+    #[test]
+    fn concurrent_writers_match_the_locked_reference(
+        per_thread in proptest::collection::vec(0usize..48, 1usize..5),
+        capacity in 1usize..96,
+    ) {
+        let buffer = Arc::new(TraceBuffer::new(capacity));
+        let reference = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(per_thread.len()));
+        let handles: Vec<_> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, &count)| {
+                let buffer = Arc::clone(&buffer);
+                let reference = Arc::clone(&reference);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for seq in 0..count as u64 {
+                        let ev = raw(t as u64, seq);
+                        if buffer.push(&ev) {
+                            reference.lock().unwrap().push((ev.tid, ev.start_ns));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let total: usize = per_thread.iter().sum();
+        let events = buffer.events();
+        prop_assert_eq!(events.len(), total.min(buffer.capacity()));
+        prop_assert_eq!(buffer.dropped() as usize, total - events.len());
+
+        // The committed multiset is exactly the reference's accepted
+        // multiset (push returned true ⇔ the event is readable).
+        let mut accepted = std::mem::take(&mut *reference.lock().unwrap());
+        let mut got: Vec<(u64, u64)> = events.iter().map(|e| (e.tid, e.start_ns)).collect();
+        accepted.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, accepted);
+
+        // No tearing: every field of a committed event is consistent
+        // with the (tid, seq) it was derived from.
+        for e in &events {
+            let seq = e.start_ns;
+            prop_assert_eq!(u64::from(e.name), e.tid + 1);
+            prop_assert_eq!(e.kind, EventKind::Span);
+            prop_assert_eq!(e.dur_ns, seq + 7);
+            prop_assert_eq!(e.id, seq + 1);
+            prop_assert_eq!(e.parent, seq / 2);
+            prop_assert_eq!(e.args.as_slice(), &[(1, ArgValue::U64(seq * 3))]);
+        }
+
+        // Slot order preserves each thread's submission order: a
+        // writer reserves monotonically increasing slots, so its
+        // events' sequence numbers must appear ascending.
+        let mut last_seq = vec![None; per_thread.len()];
+        for e in &events {
+            let last = &mut last_seq[e.tid as usize];
+            if let Some(prev) = *last {
+                prop_assert!(e.start_ns > prev, "thread {} reordered", e.tid);
+            }
+            *last = Some(e.start_ns);
+        }
+    }
+
+    /// A full buffer refuses exactly the overflow and a reset restores
+    /// the whole capacity.
+    #[test]
+    fn reset_restores_capacity(capacity in 1usize..64, extra in 0usize..64) {
+        let buffer = TraceBuffer::new(capacity);
+        for seq in 0..(capacity + extra) as u64 {
+            buffer.push(&raw(0, seq));
+        }
+        assert_eq!(buffer.events().len(), capacity);
+        assert_eq!(buffer.dropped() as usize, extra);
+        buffer.reset();
+        assert_eq!(buffer.events().len(), 0);
+        assert_eq!(buffer.dropped(), 0);
+        for seq in 0..capacity as u64 {
+            assert!(buffer.push(&raw(0, seq)));
+        }
+        assert_eq!(buffer.events().len(), capacity);
+    }
+}
+
+/// The global tracer end to end: nested guards record parentage, and
+/// the snapshot nests child intervals inside their parents. Serial by
+/// construction — this is the only test in this binary touching the
+/// process-wide tracer.
+#[test]
+fn global_tracer_records_nested_parentage() {
+    pchls_obs::set_enabled(false);
+    pchls_obs::reset();
+    pchls_obs::set_enabled(true);
+    {
+        let _outer = pchls_obs::span!("outer", "ops" => 3u64);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _inner = pchls_obs::span!("inner");
+        pchls_obs::event!("tick");
+    }
+    pchls_obs::set_enabled(false);
+    let snap = pchls_obs::snapshot();
+
+    let find = |name: &str| {
+        snap.events
+            .iter()
+            .find(|e| snap.name(e.name) == name)
+            .unwrap_or_else(|| panic!("no `{name}` event"))
+    };
+    let (outer, inner, tick) = (find("outer"), find("inner"), find("tick"));
+    assert_eq!(outer.parent, 0);
+    assert_eq!(inner.parent, outer.id);
+    assert_eq!(tick.parent, inner.id, "instants attach to the open span");
+    assert!(outer.id != 0 && inner.id != 0);
+    assert_eq!(tick.id, 0, "instants carry no span id");
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    let ops = outer.args.first().expect("outer keeps its argument");
+    assert_eq!(snap.name(ops.0), "ops");
+    assert_eq!(ops.1, ArgValue::U64(3));
+    pchls_obs::reset();
+}

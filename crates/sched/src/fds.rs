@@ -64,6 +64,7 @@ pub fn force_directed_with(
     reach: &Reachability,
 ) -> Result<Schedule, ScheduleError> {
     assert_eq!(modules.len(), graph.len(), "one module per node required");
+    let _span = pchls_obs::span!("fds.schedule", "ops" => graph.len());
     let timing = TimingMap::from_modules(graph, library, modules);
     let n = graph.len();
 

@@ -34,7 +34,11 @@
 //! * [`ServiceStats`] — a snapshot of requests, shed/rate-limited
 //!   counts, p50/p99/p99.9/max latency (from fixed-bucket
 //!   [`LatencyHistogram`]s, one global plus one per priority lane) and
-//!   cache hit rates.
+//!   cache hit rates. The same counters and histograms live in a
+//!   per-service [`pchls_obs::MetricsRegistry`], scraped live as
+//!   Prometheus-style text through the protocol's `metrics` op
+//!   ([`Service::metrics_text`]); per-request spans land in the
+//!   process trace when `pchls_obs` tracing is enabled.
 //!
 //! Service responses are **byte-identical** to what a direct
 //! [`Session::synthesize`](pchls_core::Session::synthesize) /
@@ -84,4 +88,4 @@ pub use protocol::{SubmitRequest, SubmitResponse};
 pub use queue::JobQueue;
 pub use results::{ResultCacheStats, ResultTier, StoreHandle, StoreTierStats};
 pub use service::{Service, ServiceConfig, SubmitOutcome};
-pub use stats::{LaneSnapshot, LatencyHistogram, ServiceStats};
+pub use stats::{render_serve_stats, LaneSnapshot, LatencyHistogram, ServiceStats};

@@ -48,9 +48,15 @@ use pchls_net::{Backend, Interest, LineCodec, Reactor, TimerId, Token, Waker, Wr
 use crate::admission::TokenBucket;
 use crate::protocol::{SubmitRequest, SubmitResponse};
 use crate::service::{ReplySink, Service, SubmitOutcome};
+use crate::stats::render_serve_stats;
 
 /// The reactor token of the TCP listener; connections use `slot + 1`.
 const LISTENER_TOKEN: Token = Token(0);
+
+/// Timer payload token of the periodic `--stats-interval` line. Timer
+/// tokens are a namespace separate from fd registrations, and request
+/// deadline keys count up from zero — the top value can't collide.
+const STATS_TIMER_TOKEN: Token = Token(usize::MAX);
 
 /// Hard cap on unread response bytes buffered per connection before the
 /// peer is declared dead-or-hostile and dropped.
@@ -302,6 +308,15 @@ impl<'a> Server<'a> {
                 // behind synthesis.
                 conn.queue_response(&SubmitResponse::stats(request.id, self.service.stats()));
             }
+            "metrics" => {
+                // Inline and rate-limit exempt, like `stats`: a scraper
+                // must see the overload it is diagnosing, not be shed
+                // by it.
+                conn.queue_response(&SubmitResponse::metrics(
+                    request.id,
+                    self.service.metrics_text(),
+                ));
+            }
             other => {
                 conn.queue_response(&SubmitResponse::error(
                     request.id,
@@ -479,6 +494,15 @@ pub fn serve_tcp_with(
         .reactor
         .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
     shutdown.attach(server.waker.clone());
+    // Periodic in-flight stats line, riding the same timer wheel as the
+    // request deadlines (an idle server still reports on schedule).
+    let stats_every = (service.limits().stats_interval > 0)
+        .then(|| Duration::from_secs(service.limits().stats_interval));
+    if let Some(every) = stats_every {
+        server
+            .reactor
+            .arm_timer(Instant::now() + every, STATS_TIMER_TOKEN);
+    }
     let mut events = Vec::new();
     let mut expired = Vec::new();
     while !shutdown.is_stopped() {
@@ -488,8 +512,19 @@ pub fn serve_tcp_with(
         if shutdown.is_stopped() {
             break;
         }
-        for &timer in &expired {
-            server.timer_fired(timer);
+        // `poll` appends expired payloads without clearing (callers may
+        // accumulate); drain so a token fires exactly once.
+        for timer in expired.drain(..) {
+            if timer == STATS_TIMER_TOKEN {
+                eprintln!("{}", render_serve_stats(&service.stats()));
+                if let Some(every) = stats_every {
+                    server
+                        .reactor
+                        .arm_timer(Instant::now() + every, STATS_TIMER_TOKEN);
+                }
+            } else {
+                server.timer_fired(timer);
+            }
         }
         server.deliver_completions();
         for &ev in &events {
@@ -612,6 +647,9 @@ where
                 }
                 "stats" => {
                     let _ = tx.send(SubmitResponse::stats(request.id, service.stats()));
+                }
+                "metrics" => {
+                    let _ = tx.send(SubmitResponse::metrics(request.id, service.metrics_text()));
                 }
                 other => {
                     let _ = tx.send(SubmitResponse::error(

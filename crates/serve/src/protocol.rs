@@ -152,6 +152,11 @@ pub struct SubmitResponse {
     pub point: Option<SweepPoint>,
     /// The snapshot answering a `stats` request.
     pub stats: Option<ServiceStats>,
+    /// The Prometheus-style text exposition answering a `metrics`
+    /// request. Absent on every other reply (old clients that ignore
+    /// unknown fields keep working).
+    #[serde(default)]
+    pub metrics: Option<String>,
 }
 
 impl SubmitResponse {
@@ -164,6 +169,7 @@ impl SubmitResponse {
             error: None,
             point: Some(point),
             stats: None,
+            metrics: None,
         }
     }
 
@@ -176,6 +182,7 @@ impl SubmitResponse {
             error: Some(message.into()),
             point: None,
             stats: None,
+            metrics: None,
         }
     }
 
@@ -188,6 +195,21 @@ impl SubmitResponse {
             error: None,
             point: None,
             stats: Some(stats),
+            metrics: None,
+        }
+    }
+
+    /// A `metrics` reply: the text exposition, carried as one JSON
+    /// string field.
+    #[must_use]
+    pub fn metrics(id: u64, text: String) -> SubmitResponse {
+        SubmitResponse {
+            id,
+            ok: true,
+            error: None,
+            point: None,
+            stats: None,
+            metrics: Some(text),
         }
     }
 }

@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +42,7 @@ use pchls_core::{
     Engine, SynthesisConstraints, SynthesisError, SynthesisOptions, SynthesisRequest,
     SynthesisResult,
 };
+use pchls_obs::{Arg, Counter, MetricsRegistry};
 use pchls_par::WorkerPool;
 use pchls_store::{StoreKey, StoreRecord};
 
@@ -49,7 +50,7 @@ use crate::cache::{CacheStats, CompileCache};
 use crate::lanes::{Lane, LaneQueues, PushRefusal};
 use crate::protocol::{SubmitRequest, SubmitResponse};
 use crate::results::{ResultCacheStats, ResultTier, StoreHandle, StoreTierStats};
-use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::stats::{LaneSnapshot, LatencyHistogram, ServiceStats};
 
 /// Tuning knobs of a [`Service`].
 #[derive(Debug, Clone)]
@@ -90,6 +91,10 @@ pub struct ServiceConfig {
     /// Oversized lines are answered with a structured error and
     /// discarded — client buffers never grow without bound.
     pub max_line_bytes: usize,
+    /// Seconds between in-flight stats lines printed to stderr by the
+    /// TCP front end (0 = only the final line at exit). Driven by the
+    /// reactor's timer wheel, so an idle server still reports.
+    pub stats_interval: u64,
     /// Synthesis options applied to every request (the CLI and batch
     /// path use the default paper configuration). Result-cache keys do
     /// not carry options — point one store directory at one options
@@ -110,6 +115,7 @@ impl Default for ServiceConfig {
             rate_per_sec: 0.0,
             burst: 32.0,
             max_line_bytes: 1 << 20,
+            stats_interval: 0,
             options: SynthesisOptions::default(),
         }
     }
@@ -164,6 +170,7 @@ pub(crate) struct FrontendLimits {
     pub rate_per_sec: f64,
     pub burst: f64,
     pub max_line_bytes: usize,
+    pub stats_interval: u64,
 }
 
 /// One queued synthesis job.
@@ -201,9 +208,14 @@ struct Shared {
     shards: Vec<Shard>,
     /// The persistent tier, shared by every shard's result tier.
     store: Option<Arc<StoreHandle>>,
-    latency: LatencyHistogram,
-    hit_latency: LatencyHistogram,
-    synth_latency: LatencyHistogram,
+    /// This service's own metrics registry (per-instance, not global,
+    /// so exact-count tests never observe another service's traffic).
+    /// The handles below are resolved from it once at startup; the
+    /// registry itself is what `metrics_text` renders.
+    metrics: MetricsRegistry,
+    latency: Arc<LatencyHistogram>,
+    hit_latency: Arc<LatencyHistogram>,
+    synth_latency: Arc<LatencyHistogram>,
     /// The built-in graphs, constructed once so the per-request
     /// named-graph lookup is a scan + clone-free borrow, not a rebuild
     /// of the whole benchmark suite.
@@ -213,12 +225,12 @@ struct Shared {
     builtin_fingerprints: HashMap<String, u64>,
     limits: FrontendLimits,
     workers: usize,
-    requests: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    shed: AtomicU64,
-    rate_limited: AtomicU64,
+    requests: Counter,
+    completed: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    shed: Counter,
+    rate_limited: Counter,
 }
 
 /// A running synthesis service: an [`Engine`] fronted by sharded
@@ -307,29 +319,32 @@ impl Service {
             .iter()
             .map(|g| (g.name().to_string(), graph_fingerprint(g)))
             .collect();
+        let metrics = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             engine,
             options: config.options,
             shards,
             store,
-            latency: LatencyHistogram::new(),
-            hit_latency: LatencyHistogram::new(),
-            synth_latency: LatencyHistogram::new(),
+            latency: metrics.histogram("pchls_request_latency_seconds"),
+            hit_latency: metrics.histogram("pchls_lane_latency_seconds{lane=\"hit\"}"),
+            synth_latency: metrics.histogram("pchls_lane_latency_seconds{lane=\"synth\"}"),
             builtin_graphs,
             builtin_fingerprints,
             limits: FrontendLimits {
                 rate_per_sec: config.rate_per_sec.max(0.0),
                 burst: config.burst,
                 max_line_bytes: config.max_line_bytes.max(1),
+                stats_interval: config.stats_interval,
             },
             // One hit worker per shard rides along with the synth pool.
             workers: synth_workers + shard_count,
-            requests: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            rate_limited: AtomicU64::new(0),
+            requests: metrics.counter("pchls_requests_total"),
+            completed: metrics.counter("pchls_requests_completed_total"),
+            failed: metrics.counter("pchls_requests_failed_total"),
+            cancelled: metrics.counter("pchls_requests_cancelled_total"),
+            shed: metrics.counter("pchls_requests_shed_total"),
+            rate_limited: metrics.counter("pchls_requests_rate_limited_total"),
+            metrics,
         });
         let mut pools = Vec::with_capacity(2 * shard_count);
         for idx in 0..shard_count {
@@ -340,16 +355,14 @@ impl Service {
             .max(1);
             let sh = Arc::clone(&shared);
             pools.push(WorkerPool::spawn(count, move |_worker| {
-                let shard = &sh.shards[idx];
-                while let Some((_, job)) = shard.lanes.pop() {
-                    sh.process(shard, job);
+                while let Some((_, job)) = sh.shards[idx].lanes.pop() {
+                    sh.process(idx, job);
                 }
             }));
             let sh = Arc::clone(&shared);
             pools.push(WorkerPool::spawn(1, move |_worker| {
-                let shard = &sh.shards[idx];
-                while let Some(job) = shard.lanes.pop_hit() {
-                    sh.process(shard, job);
+                while let Some(job) = sh.shards[idx].lanes.pop_hit() {
+                    sh.process(idx, job);
                 }
             }));
         }
@@ -394,7 +407,7 @@ impl Service {
             .map_err(|job| job.request)?;
         // Count only after the push: a request rejected at shutdown was
         // never "accepted into the queue" (the documented meaning).
-        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.requests.inc();
         Ok(cancel)
     }
 
@@ -415,7 +428,8 @@ impl Service {
         let (shard_idx, lane) = self.shared.route(&request);
         let shard = &self.shared.shards[shard_idx];
         if lane == Lane::Synth && shard.lanes.depth(Lane::Synth) >= shard.shed_depth {
-            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.shed.inc();
+            pchls_obs::event!("serve.shed", "id" => request.id);
             sink.send(SubmitResponse::error(request.id, "overloaded"));
             return SubmitOutcome::Overloaded;
         }
@@ -429,11 +443,12 @@ impl Service {
         };
         match shard.lanes.try_push(lane, job) {
             Ok(()) => {
-                self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                self.shared.requests.inc();
                 SubmitOutcome::Accepted(cancel)
             }
             Err(PushRefusal::Full(job)) => {
-                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.shed.inc();
+                pchls_obs::event!("serve.shed", "id" => job.request.id);
                 job.reply
                     .send(SubmitResponse::error(job.request.id, "overloaded"));
                 SubmitOutcome::Overloaded
@@ -451,7 +466,8 @@ impl Service {
     /// Records one request refused by a connection's token bucket (the
     /// TCP front end answers it with a `rate_limited` error).
     pub(crate) fn note_rate_limited(&self) {
-        self.shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.shared.rate_limited.inc();
+        pchls_obs::event!("serve.rate_limited");
     }
 
     /// The admission knobs the network front ends apply per connection.
@@ -487,12 +503,12 @@ impl Service {
             .map_or_else(StoreTierStats::default, |s| s.stats());
         let queue_depth = shared.shards.iter().map(|s| s.lanes.len()).sum();
         ServiceStats {
-            requests: shared.requests.load(Ordering::Relaxed),
-            completed: shared.completed.load(Ordering::Relaxed),
-            failed: shared.failed.load(Ordering::Relaxed),
-            cancelled: shared.cancelled.load(Ordering::Relaxed),
-            shed: shared.shed.load(Ordering::Relaxed),
-            rate_limited: shared.rate_limited.load(Ordering::Relaxed),
+            requests: shared.requests.get(),
+            completed: shared.completed.get(),
+            failed: shared.failed.get(),
+            cancelled: shared.cancelled.get(),
+            shed: shared.shed.get(),
+            rate_limited: shared.rate_limited.get(),
             queue_depth,
             workers: shared.workers,
             shards: shared.shards.len(),
@@ -518,9 +534,39 @@ impl Service {
             p99_latency_secs: shared.latency.quantile(0.99),
             p999_latency_secs: shared.latency.quantile(0.999),
             max_latency_secs: shared.latency.max_seconds(),
-            hit_lane: shared.hit_latency.snapshot(),
-            synth_lane: shared.synth_latency.snapshot(),
+            hit_lane: LaneSnapshot::of(&shared.hit_latency),
+            synth_lane: LaneSnapshot::of(&shared.synth_latency),
         }
+    }
+
+    /// The Prometheus-style text exposition behind the wire protocol's
+    /// `metrics` op and `pchls serve --metrics`: this service's own
+    /// registry (request counters and latency histograms record in
+    /// place; cache-, result- and store-tier series are mirrored from
+    /// [`Service::stats`] at scrape time) followed by the process-wide
+    /// registry (the persistent store's disk timings).
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let m = &self.shared.metrics;
+        let mirror = |name: &str, value: u64| m.counter(name).store(value);
+        mirror("pchls_compile_cache_hits_total", stats.cache_hits);
+        mirror("pchls_compile_cache_misses_total", stats.cache_misses);
+        mirror("pchls_compile_cache_coalesced_total", stats.cache_coalesced);
+        mirror("pchls_compile_cache_evictions_total", stats.cache_evictions);
+        mirror("pchls_result_tier_hits_total", stats.result_hits);
+        mirror("pchls_result_tier_misses_total", stats.result_misses);
+        mirror("pchls_result_tier_evictions_total", stats.result_evictions);
+        mirror("pchls_store_tier_hits_total", stats.store_hits);
+        mirror("pchls_store_tier_misses_total", stats.store_misses);
+        mirror("pchls_store_appends_total", stats.store_appends);
+        let gauge = |name: &str, value: f64| m.gauge(name).set(value);
+        gauge("pchls_queue_depth", stats.queue_depth as f64);
+        gauge("pchls_workers", stats.workers as f64);
+        gauge("pchls_shards", stats.shards as f64);
+        gauge("pchls_compile_cache_entries", stats.cache_entries as f64);
+        gauge("pchls_result_tier_entries", stats.result_entries as f64);
+        format!("{}{}", m.render(), pchls_obs::global().render())
     }
 
     /// Stops accepting new jobs, drains the queues and joins the
@@ -633,21 +679,50 @@ impl Shared {
     }
 
     /// Processes one job on a worker thread and sends the reply.
-    fn process(&self, shard: &Shard, job: Job) {
-        let (response, disposition) = self.respond(shard, &job);
+    fn process(&self, shard_idx: usize, job: Job) {
+        let (response, disposition) = self.respond(&self.shards[shard_idx], &job);
         match disposition {
             Disposition::Completed => &self.completed,
             Disposition::Failed => &self.failed,
             Disposition::Cancelled => &self.cancelled,
         }
-        .fetch_add(1, Ordering::Relaxed);
-        let elapsed = job.accepted.elapsed();
+        .inc();
+        let done = Instant::now();
+        let elapsed = done - job.accepted;
         self.latency.record(elapsed);
         match job.lane {
             Lane::Hit => &self.hit_latency,
             Lane::Synth => &self.synth_latency,
         }
         .record(elapsed);
+        if pchls_obs::enabled() {
+            // Retroactive span: accepted on the front end, finished
+            // here — explicit timestamps rather than a scope guard.
+            pchls_obs::record_span(
+                "serve.request",
+                job.accepted,
+                done,
+                &[
+                    ("id", Arg::U64(job.request.id)),
+                    ("shard", Arg::U64(shard_idx as u64)),
+                    (
+                        "lane",
+                        Arg::Str(match job.lane {
+                            Lane::Hit => "hit",
+                            Lane::Synth => "synth",
+                        }),
+                    ),
+                    (
+                        "outcome",
+                        Arg::Str(match disposition {
+                            Disposition::Completed => "completed",
+                            Disposition::Failed => "failed",
+                            Disposition::Cancelled => "cancelled",
+                        }),
+                    ),
+                ],
+            );
+        }
         job.reply.send(response);
     }
 

@@ -1,113 +1,20 @@
-//! Service metrics: a lock-free fixed-bucket latency histogram and the
-//! [`ServiceStats`] snapshot the wire protocol exposes.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+//! Service metrics: the [`ServiceStats`] snapshot the wire protocol
+//! exposes, and its human-readable one-line rendering.
+//!
+//! The latency histogram that used to live here is now
+//! [`pchls_obs::Histogram`] — one wait-free fixed-bucket histogram type
+//! shared by the serve tier, the store and the kernel — re-exported
+//! under its old name for compatibility.
 
 use serde::{Deserialize, Serialize};
 
-/// Number of histogram buckets: powers of two of microseconds, so the
-/// top bucket starts at 2^47 µs (≈ 4.5 years) — effectively +∞.
-const BUCKETS: usize = 48;
+/// The shared fixed-bucket latency histogram (see
+/// [`pchls_obs::Histogram`] for the bucket layout and quantile
+/// semantics). Historical alias: this crate defined its own before the
+/// observability layer absorbed it.
+pub use pchls_obs::Histogram as LatencyHistogram;
 
-/// A fixed-bucket, power-of-two latency histogram.
-///
-/// Bucket `i` counts observations in `[2^i, 2^(i+1))` microseconds
-/// (bucket 0 also absorbs sub-microsecond observations; the last bucket
-/// absorbs everything larger). Recording is one relaxed atomic
-/// increment plus a `fetch_max` for the running maximum — workers never
-/// contend on a lock for metrics — and quantiles are read by walking
-/// the 48 counters.
-///
-/// Fixed buckets trade resolution for bounded memory and wait-free
-/// writes: a quantile is reported as the **upper bound** of the bucket
-/// the rank falls in, i.e. within 2× of the true value, which is ample
-/// for p50/p99/p99.9 service dashboards. The maximum is exact (to the
-/// microsecond), because tail debugging wants the real worst case, not
-/// a bucket bound.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    max_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            max_micros: AtomicU64::new(0),
-        }
-    }
-
-    /// Index of the bucket covering `d`.
-    fn bucket_of(d: Duration) -> usize {
-        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1);
-        (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one observation (wait-free).
-    pub fn record(&self, d: Duration) {
-        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
-        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Total number of observations.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The largest observation in seconds (exact, not bucketed); `0.0`
-    /// while empty.
-    pub fn max_seconds(&self) -> f64 {
-        self.max_micros.load(Ordering::Relaxed) as f64 / 1e6
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds, reported as the
-    /// upper bound of the bucket the rank lands in; `0.0` while empty.
-    pub fn quantile(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        // Rank of the requested quantile, 1-based, clamped into range.
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper bound of bucket i is 2^(i+1) µs.
-                return (1u64 << (i + 1)) as f64 / 1e6;
-            }
-        }
-        unreachable!("rank ≤ total implies some bucket reaches it")
-    }
-
-    /// The standard dashboard summary of this histogram.
-    #[must_use]
-    pub fn snapshot(&self) -> LaneSnapshot {
-        LaneSnapshot {
-            count: self.count(),
-            p50_secs: self.quantile(0.50),
-            p99_secs: self.quantile(0.99),
-            p999_secs: self.quantile(0.999),
-            max_secs: self.max_seconds(),
-        }
-    }
-}
+use pchls_obs::HistogramSummary;
 
 /// Latency summary of one priority lane (or any single histogram).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -122,6 +29,26 @@ pub struct LaneSnapshot {
     pub p999_secs: f64,
     /// Largest observation in seconds (exact).
     pub max_secs: f64,
+}
+
+impl From<HistogramSummary> for LaneSnapshot {
+    fn from(s: HistogramSummary) -> LaneSnapshot {
+        LaneSnapshot {
+            count: s.count,
+            p50_secs: s.p50_secs,
+            p99_secs: s.p99_secs,
+            p999_secs: s.p999_secs,
+            max_secs: s.max_secs,
+        }
+    }
+}
+
+impl LaneSnapshot {
+    /// The dashboard summary of `h`, in this crate's serializable shape.
+    #[must_use]
+    pub fn of(h: &LatencyHistogram) -> LaneSnapshot {
+        h.summary().into()
+    }
 }
 
 /// One consistent snapshot of a running service, serializable onto the
@@ -204,75 +131,59 @@ pub struct ServiceStats {
     pub synth_lane: LaneSnapshot,
 }
 
+/// The one-line service summary printed when a serve loop exits (and,
+/// with `--stats-interval`, periodically while it runs): request
+/// disposition, the global latency tail (p50/p99/p99.9 and the exact
+/// max) and both priority lanes.
+#[must_use]
+pub fn render_serve_stats(stats: &ServiceStats) -> String {
+    let ms = |secs: f64| format!("{:.1}ms", secs * 1e3);
+    let lane = |snap: &LaneSnapshot| {
+        format!(
+            "{} @ p50 {} p99.9 {} max {}",
+            snap.count,
+            ms(snap.p50_secs),
+            ms(snap.p999_secs),
+            ms(snap.max_secs)
+        )
+    };
+    format!(
+        "pchls serve: {} requests ({} ok, {} failed, {} cancelled, {} shed, {} rate-limited) | \
+         {} shard(s), {} worker(s) | latency p50 {} p99 {} p99.9 {} max {} | \
+         hit lane {} | synth lane {} | compile cache {:.1}% hit | result tier {:.1}% hit",
+        stats.requests,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.shed,
+        stats.rate_limited,
+        stats.shards,
+        stats.workers,
+        ms(stats.p50_latency_secs),
+        ms(stats.p99_latency_secs),
+        ms(stats.p999_latency_secs),
+        ms(stats.max_latency_secs),
+        lane(&stats.hit_lane),
+        lane(&stats.synth_lane),
+        stats.cache_hit_rate * 100.0,
+        stats.result_hit_rate * 100.0,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0.0);
-        assert_eq!(h.max_seconds(), 0.0);
-        assert_eq!(h.snapshot(), LaneSnapshot::default());
-    }
-
-    #[test]
-    fn quantiles_walk_the_buckets() {
-        let h = LatencyHistogram::new();
-        // 99 fast observations (~100 µs) and one slow (~2 s).
-        for _ in 0..99 {
-            h.record(Duration::from_micros(100));
-        }
-        h.record(Duration::from_secs(2));
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile(0.5);
-        let p99 = h.quantile(0.99);
-        let p100 = h.quantile(1.0);
-        // 100 µs lands in bucket [64, 128) µs → upper bound 128 µs.
-        assert!((p50 - 128e-6).abs() < 1e-12, "p50={p50}");
-        assert!((p99 - 128e-6).abs() < 1e-12, "p99={p99}");
-        // 2 s lands in bucket [2^21, 2^22) µs → upper bound ≈ 4.19 s.
-        assert!(p100 > 2.0 && p100 < 8.5, "p100={p100}");
-        assert!(p50 <= p99 && p99 <= p100);
-    }
-
-    #[test]
-    fn p999_separates_a_one_in_a_thousand_tail() {
-        let h = LatencyHistogram::new();
-        for _ in 0..1000 {
-            h.record(Duration::from_micros(100));
-        }
-        h.record(Duration::from_secs(1));
-        h.record(Duration::from_secs(1));
-        // p99 is blind to a 2/1002 tail; p99.9 is not (its rank, 1001,
-        // lands on the first slow observation).
-        assert!(h.quantile(0.99) < 1e-3);
-        assert!(h.quantile(0.999) > 0.5, "p999={}", h.quantile(0.999));
-    }
-
-    #[test]
-    fn max_is_exact_not_bucketed() {
+    fn lane_snapshot_mirrors_the_histogram_summary() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_micros(100));
         h.record(Duration::from_micros(777_777));
-        // The bucketed p100 rounds up to 2^20 µs ≈ 1.05 s; max is exact.
-        assert!((h.max_seconds() - 0.777_777).abs() < 1e-9);
-        let snap = h.snapshot();
+        let snap = LaneSnapshot::of(&h);
         assert_eq!(snap.count, 2);
         assert!((snap.max_secs - 0.777_777).abs() < 1e-9);
         assert!(snap.p50_secs <= snap.p99_secs && snap.p99_secs <= snap.p999_secs);
-    }
-
-    #[test]
-    fn extreme_durations_stay_in_range() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(1));
-        h.record(Duration::from_secs(60 * 60 * 24 * 365 * 10));
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(0.0) > 0.0);
-        assert!(h.quantile(1.0).is_finite());
-        assert!(h.max_seconds().is_finite());
     }
 
     #[test]
@@ -328,5 +239,26 @@ mod tests {
         assert!(json.contains("\"hit_lane\""), "{json}");
         let back: ServiceStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn render_covers_disposition_lanes_and_tiers() {
+        // All-zero baseline via JSON (the struct has no Default).
+        let zero = r#"{"requests":9,"completed":7,"failed":0,"cancelled":0,"shed":2,
+            "rate_limited":0,"queue_depth":0,"workers":2,"shards":1,"cache_entries":0,
+            "cache_hits":0,"cache_misses":0,"cache_coalesced":0,"cache_evictions":0,
+            "cache_hit_rate":0.0,"cache_entry_bytes":0,"cache_mean_eviction_age":0.0,
+            "result_entries":0,"result_hits":0,"result_misses":0,"result_evictions":0,
+            "result_entry_bytes":0,"result_mean_eviction_age":0.0,"result_hit_rate":0.0,
+            "store_hits":0,"store_misses":0,"store_appends":0,"p50_latency_secs":0.001,
+            "p99_latency_secs":0.002,"p999_latency_secs":0.004,"max_latency_secs":0.005,
+            "hit_lane":{"count":0,"p50_secs":0.0,"p99_secs":0.0,"p999_secs":0.0,"max_secs":0.0},
+            "synth_lane":{"count":0,"p50_secs":0.0,"p99_secs":0.0,"p999_secs":0.0,"max_secs":0.0}}"#;
+        let s: ServiceStats = serde_json::from_str(zero).unwrap();
+        let line = render_serve_stats(&s);
+        assert!(line.starts_with("pchls serve: 9 requests"), "{line}");
+        assert!(line.contains("2 shed"), "{line}");
+        assert!(line.contains("latency p50 1.0ms"), "{line}");
+        assert!(line.contains("compile cache 0.0% hit"), "{line}");
     }
 }

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::format::{
     decode_keys, decode_records, encode_block, encode_footer, parse_block_header, read_columns,
@@ -64,6 +66,27 @@ impl StoreStat {
     }
 }
 
+/// Handles into the process-wide metrics registry, resolved once per
+/// store open so the hot paths record without touching the registry
+/// lock.
+#[derive(Debug, Clone)]
+struct StoreObs {
+    read: Arc<pchls_obs::Histogram>,
+    append: Arc<pchls_obs::Histogram>,
+    compact: Arc<pchls_obs::Histogram>,
+}
+
+impl StoreObs {
+    fn new() -> StoreObs {
+        let global = pchls_obs::global();
+        StoreObs {
+            read: global.histogram("pchls_store_read_seconds"),
+            append: global.histogram("pchls_store_append_seconds"),
+            compact: global.histogram("pchls_store_compact_seconds"),
+        }
+    }
+}
+
 /// A persistent, append-only result store (see the crate docs for the
 /// format). One handle owns the file; share across threads behind a
 /// `Mutex` (lookups mutate the block cache, so methods take `&mut`).
@@ -81,6 +104,7 @@ pub struct Store {
     /// Blocks appended since the footer was last written.
     dirty: bool,
     recovered: bool,
+    obs: StoreObs,
 }
 
 impl Store {
@@ -123,6 +147,7 @@ impl Store {
                 data_end: FILE_MAGIC.len() as u64,
                 dirty: false,
                 recovered: false,
+                obs: StoreObs::new(),
             };
             use std::io::{Seek, SeekFrom, Write};
             store.file.seek(SeekFrom::Start(0))?;
@@ -151,6 +176,7 @@ impl Store {
             data_end: 0,
             dirty: recovered,
             recovered,
+            obs: StoreObs::new(),
         };
         store.data_end = store
             .blocks
@@ -218,11 +244,15 @@ impl Store {
         let Some(&(block, row)) = self.index.get(key) else {
             return Ok(None);
         };
+        let start = Instant::now();
+        let _span = pchls_obs::span!("store.read");
         if !self.decoded.contains_key(&block) {
             let records = self.read_block_records(block)?;
             self.decoded.insert(block, records);
         }
-        Ok(Some(self.decoded[&block][row as usize].clone()))
+        let record = self.decoded[&block][row as usize].clone();
+        self.obs.read.record(start.elapsed());
+        Ok(Some(record))
     }
 
     /// All live feasible records for one graph fingerprint, ordered by
@@ -263,6 +293,9 @@ impl Store {
         if records.is_empty() {
             return Ok(());
         }
+        let start = Instant::now();
+        let mut span = pchls_obs::span!("store.append");
+        span.arg("records", records.len());
         use std::io::{Seek, SeekFrom, Write};
         let (bytes, meta) = encode_block(records, self.data_end);
         self.file.seek(SeekFrom::Start(self.data_end))?;
@@ -275,6 +308,7 @@ impl Store {
         self.data_end = meta.end();
         self.blocks.push(meta);
         self.dirty = true;
+        self.obs.append.record(start.elapsed());
         Ok(())
     }
 
@@ -462,6 +496,8 @@ impl Store {
     ///
     /// I/O failures; the original file is left untouched on error.
     pub fn compact(&mut self) -> io::Result<u64> {
+        let start = Instant::now();
+        let _span = pchls_obs::span!("store.compact");
         let live = self.scan_records()?;
         let before: u64 = self.blocks.iter().map(|b| u64::from(b.records)).sum();
         let dropped = before - live.len() as u64;
@@ -479,6 +515,7 @@ impl Store {
         std::fs::write(&tmp, &bytes)?;
         std::fs::rename(&tmp, &self.path)?;
         *self = Store::open_file(std::mem::take(&mut self.path))?;
+        self.obs.compact.record(start.elapsed());
         Ok(dropped)
     }
 

@@ -10,6 +10,7 @@
 //! pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
 //! pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--shards <n>] [--cache-cap <n>] [--queue-cap <n>]
 //!             [--shed-depth <n>] [--rate <req/s>] [--burst <n>] [--max-line-bytes <n>] [--store <dir>]
+//!             [--stats-interval <secs>] [--metrics]
 //! pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
 //! pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
 //! pchls store (stat|verify|compact) <dir>
@@ -41,6 +42,15 @@
 //! appended, so an interrupted run resumes where it stopped and a
 //! restarted service answers warm. `pchls store stat|verify|compact`
 //! inspects and maintains a store directory.
+//!
+//! `--trace-out <file>` on `synth`/`batch` enables the `pchls-obs`
+//! tracer for the run and writes every recorded span (compile, scoring,
+//! ledger fits, FDS refits, TopK, commit) as Chrome trace-event JSON —
+//! load the file in Perfetto or `chrome://tracing`. On `serve`,
+//! `--stats-interval <secs>` prints the one-line stats summary to
+//! stderr periodically from the reactor's timer wheel, and `--metrics`
+//! dumps the Prometheus-style exposition at exit; live scrapes go
+//! through the protocol's `metrics` op.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -53,7 +63,7 @@ use pchls::core::{
 };
 use pchls::fulib::{paper_library, parse_library, ModuleLibrary};
 use pchls::rtl::{simulate, to_structural_hdl, Datapath};
-use pchls::serve::{serve_stdio, serve_tcp, Service, ServiceConfig};
+use pchls::serve::{render_serve_stats, serve_stdio, serve_tcp, Service, ServiceConfig};
 use pchls::store::{trace_bytes, Store, StoreKey, StoreRecord, StoreStat, STORE_FILE_NAME};
 
 fn main() -> ExitCode {
@@ -75,18 +85,22 @@ const USAGE: &str = "\
 usage:
   pchls benchmarks
   pchls dump <graph> [--dot|--stats]
-  pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize]
+  pchls synth <graph> -T <cycles> (-P <power> | --budget <file>) [--library <file>] [--hdl] [--profile] [--gantt] [--refine] [--optimize] [--trace-out <file>]
   pchls sweep <graph> -T <cycles> [--steps <n>] [--budget <file>] [--store <dir>]   # with --budget, sweeps envelope scale factors
-  pchls batch <graph> --points <file> [--budget <file>] [--store <dir>]   # one `T P` pair per line; with --budget, P scales the envelope
+  pchls batch <graph> --points <file> [--budget <file>] [--store <dir>] [--trace-out <file>]   # one `T P` pair per line; with --budget, P scales the envelope
   pchls battery <graph> -T <cycles> (-P <power> | --budget <file>) [--capacity <charge>]
   pchls serve (--stdio | --addr <host:port>) [--workers <n>] [--shards <n>] [--cache-cap <n>] [--queue-cap <n>]
               [--shed-depth <n>] [--rate <req/s>] [--burst <n>] [--max-line-bytes <n>] [--store <dir>]
+              [--stats-interval <secs>] [--metrics]
   pchls simulate <graph> -T <cycles> -P <power> --set name=value ...
   pchls vcd <graph> -T <cycles> -P <power> --set name=value ... [--out <file>]
   pchls store (stat|verify|compact) <dir>
 
 budget files are JSON: {\"constant\": 25.0} | {\"steps\": [[0,30.0],[8,12.0]]} | {\"per_cycle\": [30.0,...]}
---store <dir> resumes batch/sweep from (and appends to) a persistent result store; serve uses it as a second cache tier";
+--store <dir> resumes batch/sweep from (and appends to) a persistent result store; serve uses it as a second cache tier
+--trace-out <file> records kernel phase spans and writes Chrome trace-event JSON (open in Perfetto / chrome://tracing)
+--stats-interval <secs> makes serve print its one-line stats summary to stderr every <secs> seconds; --metrics dumps the
+Prometheus-style text exposition to stderr at exit (live scrape: send {\"op\":\"metrics\"} over the wire)";
 
 /// Executes a parsed command line, returning the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -173,7 +187,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--library" | "--steps" | "--out" | "--points" | "--addr" | "--workers"
             | "--cache-cap" | "--queue-cap" | "--budget" | "--capacity" | "--store"
-            | "--shards" | "--shed-depth" | "--rate" | "--burst" | "--max-line-bytes" => {
+            | "--shards" | "--shed-depth" | "--rate" | "--burst" | "--max-line-bytes"
+            | "--trace-out" | "--stats-interval" => {
                 let key = a.trim_start_matches('-').to_owned();
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 f.options.insert(key, v.clone());
@@ -193,6 +208,31 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(f)
+}
+
+/// Arms the process tracer when `--trace-out <file>` is present and
+/// returns the target path; the caller writes the snapshot out with
+/// [`write_trace`] once the traced work is done.
+fn trace_out(flags: &Flags) -> Option<String> {
+    let path = flags.options.get("trace-out").cloned();
+    if path.is_some() {
+        pchls::obs::set_enabled(true);
+    }
+    path
+}
+
+/// Writes everything the tracer recorded to `path` as Chrome
+/// trace-event JSON (Perfetto / `chrome://tracing` open it directly).
+fn write_trace(path: &str) -> Result<(), String> {
+    let snapshot = pchls::obs::snapshot();
+    std::fs::write(path, pchls::obs::chrome_trace_json(&snapshot))
+        .map_err(|e| format!("writing trace {path}: {e}"))?;
+    eprintln!(
+        "trace: {} span(s)/event(s) ({} dropped) written to {path}",
+        snapshot.events.len(),
+        snapshot.dropped
+    );
+    Ok(())
 }
 
 /// Opens (creating as needed) the `--store <dir>` result store, when
@@ -463,6 +503,7 @@ fn synth(args: &[String]) -> Result<String, String> {
     let spec = flags.positionals.first().ok_or("missing graph")?;
     let g = load_graph(spec)?;
     let lib = load_library(&flags)?;
+    let trace_path = trace_out(&flags);
     let engine = Engine::new(lib);
     let compiled = if flags.switches.iter().any(|s| s == "optimize") {
         let c = engine.compile_optimized(&g).map_err(|e| e.to_string())?;
@@ -523,6 +564,9 @@ fn synth(args: &[String]) -> Result<String, String> {
     if flags.switches.iter().any(|s| s == "hdl") {
         out.push('\n');
         out.push_str(&to_structural_hdl(g, &design, lib));
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path)?;
     }
     Ok(out)
 }
@@ -710,6 +754,7 @@ fn batch(args: &[String]) -> Result<String, String> {
             .collect::<Result<Vec<_>, String>>()?,
     };
 
+    let trace_path = trace_out(&flags);
     let engine = Engine::new(lib);
     let compiled = engine.try_compile(&g).map_err(|e| e.to_string())?;
     let session = engine.session(&compiled);
@@ -769,6 +814,9 @@ fn batch(args: &[String]) -> Result<String, String> {
         }
     };
 
+    if let Some(path) = trace_path {
+        write_trace(&path)?;
+    }
     let mut out = String::new();
     for p in &out_points {
         let line = serde_json::to_string(p).map_err(|e| format!("serializing point: {e}"))?;
@@ -866,6 +914,7 @@ fn serve(args: &[String]) -> Result<String, String> {
         burst: f64_option("burst", defaults.burst)?,
         max_line_bytes: usize_option("max-line-bytes", defaults.max_line_bytes)?,
         store_dir: flags.options.get("store").map(std::path::PathBuf::from),
+        stats_interval: usize_option("stats-interval", defaults.stats_interval as usize)? as u64,
         ..defaults
     };
     if config.max_line_bytes == 0 {
@@ -886,44 +935,10 @@ fn serve(args: &[String]) -> Result<String, String> {
     }
     // Final stats to stderr — stdout is (or was) the protocol channel.
     eprintln!("{}", render_serve_stats(&service.stats()));
+    if flags.switches.iter().any(|s| s == "metrics") {
+        eprint!("{}", service.metrics_text());
+    }
     Ok(String::new())
-}
-
-/// The one-line service summary printed when a serve loop exits:
-/// request disposition, the global latency tail (p50/p99/p99.9 and the
-/// exact max) and both priority lanes.
-fn render_serve_stats(stats: &pchls::serve::ServiceStats) -> String {
-    let ms = |secs: f64| format!("{:.1}ms", secs * 1e3);
-    let lane = |snap: &pchls::serve::LaneSnapshot| {
-        format!(
-            "{} @ p50 {} p99.9 {} max {}",
-            snap.count,
-            ms(snap.p50_secs),
-            ms(snap.p999_secs),
-            ms(snap.max_secs)
-        )
-    };
-    format!(
-        "pchls serve: {} requests ({} ok, {} failed, {} cancelled, {} shed, {} rate-limited) | \
-         {} shard(s), {} worker(s) | latency p50 {} p99 {} p99.9 {} max {} | \
-         hit lane {} | synth lane {} | compile cache {:.1}% hit | result tier {:.1}% hit",
-        stats.requests,
-        stats.completed,
-        stats.failed,
-        stats.cancelled,
-        stats.shed,
-        stats.rate_limited,
-        stats.shards,
-        stats.workers,
-        ms(stats.p50_latency_secs),
-        ms(stats.p99_latency_secs),
-        ms(stats.p999_latency_secs),
-        ms(stats.max_latency_secs),
-        lane(&stats.hit_lane),
-        lane(&stats.synth_lane),
-        stats.cache_hit_rate * 100.0,
-        stats.result_hit_rate * 100.0,
-    )
 }
 
 /// `pchls store (stat|verify|compact) <dir>`: inspects and maintains a

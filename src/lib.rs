@@ -81,6 +81,9 @@ pub use pchls_cdfg as cdfg;
 pub use pchls_core as core;
 /// Functional-unit module library (the paper's Table 1).
 pub use pchls_fulib as fulib;
+/// Zero-dependency observability: metrics registry, tracing spans,
+/// Prometheus-style exposition and Chrome-trace export.
+pub use pchls_obs as obs;
 /// Datapath netlists, cycle-accurate simulation, HDL and VCD emission.
 pub use pchls_rtl as rtl;
 /// Time- and power-constrained scheduling algorithms.
