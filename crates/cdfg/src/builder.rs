@@ -45,6 +45,24 @@ impl CdfgBuilder {
         }
     }
 
+    /// A builder preloaded with an existing graph's nodes and edges, so
+    /// a graph can be extended (new ids continue after the existing
+    /// ones) and re-finished. For validated in-place edits — rewiring
+    /// or removing existing nodes — use [`GraphEdit`](crate::GraphEdit)
+    /// instead.
+    #[must_use]
+    pub fn from_graph(graph: &Cdfg) -> CdfgBuilder {
+        CdfgBuilder {
+            name: graph.name().to_owned(),
+            nodes: graph
+                .nodes()
+                .iter()
+                .map(|n| (n.kind(), n.label().to_owned()))
+                .collect(),
+            edges: graph.edges().to_vec(),
+        }
+    }
+
     fn push(&mut self, kind: OpKind, label: String, operands: &[NodeId]) -> NodeId {
         let id = NodeId::new(self.nodes.len() as u32);
         self.nodes.push((kind, label));
@@ -176,6 +194,26 @@ mod tests {
         b.output("o", c);
         let g = b.finish().unwrap();
         assert_ne!(g.node(a).label(), g.node(c).label());
+    }
+
+    #[test]
+    fn from_graph_round_trips_and_extends() {
+        let mut b = CdfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.add(x, y);
+        b.output("o", a);
+        let g = b.finish().unwrap();
+
+        let same = CdfgBuilder::from_graph(&g).finish().unwrap();
+        assert_eq!(same, g);
+
+        let mut b = CdfgBuilder::from_graph(&g);
+        let m = b.mul(a, a);
+        assert_eq!(m.index(), g.len());
+        let bigger = b.finish().unwrap();
+        assert_eq!(bigger.len(), g.len() + 1);
+        assert_eq!(bigger.operands(m), &[a, a]);
     }
 
     #[test]

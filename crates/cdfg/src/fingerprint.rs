@@ -59,6 +59,7 @@
 //! # }
 //! ```
 
+use crate::analysis::Reachability;
 use crate::graph::Cdfg;
 
 /// An incremental, order-sensitive stable hasher built from the same
@@ -160,6 +161,38 @@ fn hash_str(s: &str) -> u64 {
 #[must_use]
 pub fn graph_fingerprint(graph: &Cdfg) -> u64 {
     let n = graph.len();
+    let canon = canonical_hashes(graph);
+    let mut nodes: Vec<u64> = canon.clone();
+    nodes.sort_unstable();
+    let mut edges: Vec<u64> = graph
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut h = fold(0x6564_6765, canon[e.from.index()]);
+            h = fold(h, canon[e.to.index()]);
+            fold(h, e.port as u64)
+        })
+        .collect();
+    edges.sort_unstable();
+
+    let mut fp = fold(0x7063_686c_732d_6664, hash_str(graph.name()));
+    fp = fold(fp, n as u64);
+    fp = fold(fp, graph.edges().len() as u64);
+    for h in nodes {
+        fp = fold(fp, h);
+    }
+    for h in edges {
+        fp = fold(fp, h);
+    }
+    fp
+}
+
+/// The canonical per-node hash used by [`graph_fingerprint`]: a node is
+/// identified by its whole dependence cone in both directions,
+/// independently of its [`NodeId`](crate::NodeId). See the module docs
+/// for the construction.
+pub(crate) fn canonical_hashes(graph: &Cdfg) -> Vec<u64> {
+    let n = graph.len();
 
     // Forward pass: hash(kind, io label, port-ordered operand hashes),
     // in topological order so operand hashes are ready when needed.
@@ -207,32 +240,55 @@ pub fn graph_fingerprint(graph: &Cdfg) -> u64 {
         bwd[id.index()] = h;
     }
 
-    // Canonical per-node hash, then order-insensitive combination of
-    // the node and edge multisets.
-    let canon: Vec<u64> = (0..n).map(|i| fold(fwd[i], bwd[i])).collect();
-    let mut nodes: Vec<u64> = canon.clone();
-    nodes.sort_unstable();
-    let mut edges: Vec<u64> = graph
-        .edges()
-        .iter()
-        .map(|e| {
-            let mut h = fold(0x6564_6765, canon[e.from.index()]);
-            h = fold(h, canon[e.to.index()]);
-            fold(h, e.port as u64)
-        })
-        .collect();
-    edges.sort_unstable();
+    (0..n).map(|i| fold(fwd[i], bwd[i])).collect()
+}
 
-    let mut fp = fold(0x7063_686c_732d_6664, hash_str(graph.name()));
-    fp = fold(fp, n as u64);
-    fp = fold(fp, graph.edges().len() as u64);
-    for h in nodes {
-        fp = fold(fp, h);
-    }
-    for h in edges {
-        fp = fold(fp, h);
-    }
-    fp
+/// Per-node *cone fingerprints*: a stable hash of each node's full
+/// ancestor/descendant dependence cone.
+///
+/// `cone[i]` folds the node's canonical structural hash (which already
+/// encodes the shape of both cones — the same per-node hash that feeds
+/// [`graph_fingerprint`]) with the ancestor and descendant populations
+/// taken from the precomputed [`Reachability`] bitsets. Two uses:
+///
+/// * **permutation invariance**: relabeling the nodes permutes the
+///   returned vector but never changes the multiset of values, so cone
+///   fingerprints can be compared across graphs built in different
+///   insertion orders;
+/// * **edit locality**: an edit changes the cone fingerprints of
+///   exactly the nodes whose dependence cone the edit intersects —
+///   nodes outside the edit cone of [`diff`](crate::diff) keep their
+///   value bit-for-bit, which is what lets delta compilation certify
+///   reuse.
+///
+/// Like [`graph_fingerprint`] this is a hash, not a proof: act on a
+/// match only after a full verify.
+///
+/// # Panics
+///
+/// Panics if `reach` was built for a different node count than `graph`.
+#[must_use]
+pub fn cone_fingerprints(graph: &Cdfg, reach: &Reachability) -> Vec<u64> {
+    assert_eq!(
+        reach.node_count(),
+        graph.len(),
+        "reachability built for a different graph"
+    );
+    let canon = canonical_hashes(graph);
+    graph
+        .node_ids()
+        .map(|id| {
+            let anc: usize = reach
+                .ancestor_words(id)
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            let desc: usize = reach.descendant_count(id);
+            let mut h = fold(0x636f_6e65_2d66_7030, canon[id.index()]);
+            h = fold(h, anc as u64);
+            fold(h, desc as u64)
+        })
+        .collect()
 }
 
 /// For each entry of `graph.successors(id)` (in order), the operand

@@ -33,7 +33,9 @@
 mod analysis;
 pub mod benchmarks;
 mod builder;
+mod delta;
 mod dot;
+mod edit;
 mod error;
 mod fingerprint;
 mod graph;
@@ -46,8 +48,10 @@ mod text;
 
 pub use analysis::{iter_and_above, AnalysisCache, CriticalPath, NodeSet, Reachability};
 pub use builder::CdfgBuilder;
+pub use delta::{diff, GraphDelta};
+pub use edit::{EditError, GraphEdit};
 pub use error::CdfgError;
-pub use fingerprint::{graph_fingerprint, StableHasher};
+pub use fingerprint::{cone_fingerprints, graph_fingerprint, StableHasher};
 pub use graph::{Cdfg, Edge, Node, NodeId};
 pub use interp::{Interpreter, Stimulus, Value};
 pub use op::OpKind;

@@ -50,9 +50,11 @@
 
 use std::ops::ControlFlow;
 
-use pchls_cdfg::{optimize, AnalysisCache, Cdfg, OpKind, OptimizeStats, Reachability};
+use pchls_cdfg::{
+    diff, optimize, AnalysisCache, Cdfg, GraphDelta, OpKind, OptimizeStats, Reachability,
+};
 use pchls_fulib::{ModuleId, ModuleLibrary, SelectionPolicy};
-use pchls_sched::{alap, asap, PowerBudget, PowerProfile, Schedule, TimingMap};
+use pchls_sched::{alap, asap, OpTiming, PowerBudget, PowerProfile, Schedule, TimingMap};
 
 use crate::baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, BaselineDesign};
 use crate::constraints::SynthesisConstraints;
@@ -61,7 +63,8 @@ use crate::error::SynthesisError;
 use crate::explore::{envelope, latency_order, power_order, run_point, SweepAxis, SweepPoint};
 use crate::options::SynthesisOptions;
 use crate::refine::{portfolio_session, refined_session};
-use crate::synthesis::synthesize_session;
+use crate::replay::{ReplayState, SynthesisMemo};
+use crate::synthesis::{synthesize_session, synthesize_session_mode, KernelMode};
 
 /// Whether some library module implements both kinds, indexed by
 /// [`OpKind::index`] on both axes.
@@ -294,6 +297,160 @@ impl Engine {
             })
             .collect()
     }
+
+    /// Recompiles an edited graph against a previous compile, reusing
+    /// every per-graph artifact outside the edit cone: the structural
+    /// delta is computed here (span `cdfg.diff`), then handed to
+    /// [`recompile_with_delta`](Engine::recompile_with_delta). The
+    /// compiled output is byte-identical to a cold
+    /// [`try_compile`](Engine::try_compile) of `edited` — asserted by
+    /// the differential tests via `CompiledGraph::artifacts_equal`.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_compile`](Engine::try_compile).
+    pub fn recompile(
+        &self,
+        base: &CompiledGraph,
+        edited: &Cdfg,
+    ) -> Result<(CompiledGraph, GraphDelta), SynthesisError> {
+        let delta = {
+            let _span = pchls_obs::span!("cdfg.diff", "ops" => edited.len());
+            diff(base.graph(), edited)
+        };
+        let compiled = self.recompile_with_delta(base, edited, &delta)?;
+        Ok((compiled, delta))
+    }
+
+    /// [`recompile`](Engine::recompile) with a precomputed delta.
+    ///
+    /// Artifacts reused from `base` for every node outside the edit
+    /// cone: bootstrap module estimates, fastest/min-area timing
+    /// entries, ASAP starts (copied rather than re-propagated), and the
+    /// transitive closure (recomputed only for cone rows via
+    /// [`Reachability::incremental`]). Degenerate deltas (non-monotone
+    /// mapping) fall back to a full [`try_compile`](Engine::try_compile).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_compile`](Engine::try_compile).
+    pub fn recompile_with_delta(
+        &self,
+        base: &CompiledGraph,
+        edited: &Cdfg,
+        delta: &GraphDelta,
+    ) -> Result<CompiledGraph, SynthesisError> {
+        if delta.degenerate()
+            || delta.base_len() != base.graph.len()
+            || delta.edited_len() != edited.len()
+        {
+            return self.try_compile(edited);
+        }
+        let mut span = pchls_obs::span!(
+            "engine.recompile",
+            "ops" => edited.len(),
+            "cone" => delta.cone_size()
+        );
+        for node in edited.nodes() {
+            if self.kind_modules[node.kind().index()].is_empty() {
+                return Err(SynthesisError::Uncovered { kind: node.kind() });
+            }
+        }
+        let n = edited.len();
+        let mut seed_modules = Vec::with_capacity(n);
+        let mut fastest_entries = Vec::with_capacity(n);
+        let mut min_area_entries = Vec::with_capacity(n);
+        for (i, node) in edited.nodes().iter().enumerate() {
+            let id = pchls_cdfg::NodeId::new(i as u32);
+            // Per-node selections depend on the node's kind alone, so
+            // any mapped node can copy the base entries verbatim
+            // (mapped nodes never change kind).
+            if let Some(b) = delta.map_edited(id) {
+                seed_modules.push(base.seed_modules[b.index()]);
+                fastest_entries.push(base.fastest_timing.of(b));
+                min_area_entries.push(base.min_area_timing.of(b));
+            } else {
+                let seed = self
+                    .library
+                    .select(node.kind(), SelectionPolicy::MinArea)
+                    .expect("coverage checked above");
+                seed_modules.push(seed);
+                let fm = self.library.module(
+                    self.library
+                        .select(node.kind(), SelectionPolicy::Fastest)
+                        .expect("coverage checked above"),
+                );
+                fastest_entries.push(OpTiming {
+                    delay: fm.latency(),
+                    power: fm.power(),
+                });
+                let am = self.library.module(seed);
+                min_area_entries.push(OpTiming {
+                    delay: am.latency(),
+                    power: am.power(),
+                });
+            }
+        }
+        let fastest_timing = TimingMap::from_entries(fastest_entries);
+        let min_area_timing = TimingMap::from_entries(min_area_entries);
+        let reach = Reachability::incremental(edited, base.reachability(), delta);
+        // ASAP starts: out-of-cone mapped nodes have edge-for-edge
+        // identical ancestor subgraphs with identical timing, so their
+        // base starts are copied; cone nodes re-propagate exactly as
+        // `pchls_sched::asap` would (same max-over-operands recurrence,
+        // same topological order restricted to these nodes).
+        let mut starts = vec![0u32; n];
+        let mut copied = 0usize;
+        for &id in edited.topological() {
+            if let (false, Some(b)) = (delta.cone().contains(id), delta.map_edited(id)) {
+                starts[id.index()] = base.asap_fastest.start(b);
+                copied += 1;
+            } else {
+                starts[id.index()] = edited
+                    .operands(id)
+                    .iter()
+                    .map(|&p| starts[p.index()] + fastest_timing.delay(p))
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        span.arg("asap_copied", copied);
+        let asap_fastest = Schedule::new(starts);
+        let min_latency = asap_fastest.latency(&fastest_timing);
+        let asap_peak = PowerProfile::of(&asap_fastest, &fastest_timing).peak();
+        // Compatibility masks depend only on the node-kind sequence:
+        // identical when the mapping is the identity (no adds/removes —
+        // monotone total mappings are identities), rebuilt otherwise.
+        let mask_words = n.div_ceil(64);
+        let compat_masks = if delta.added().is_empty() && delta.removed().is_empty() {
+            base.compat_masks.clone()
+        } else {
+            let mut masks = vec![0u64; OpKind::ALL.len() * mask_words];
+            for (j, node) in edited.nodes().iter().enumerate() {
+                let kj = node.kind().index();
+                for k in 0..OpKind::ALL.len() {
+                    if self.kind_compat[k][kj] {
+                        masks[k * mask_words + j / 64] |= 1u64 << (j % 64);
+                    }
+                }
+            }
+            masks
+        };
+        Ok(CompiledGraph {
+            graph: edited.clone(),
+            analyses: AnalysisCache::with_reachability(reach),
+            seed_modules,
+            fastest_timing,
+            min_area_timing,
+            asap_fastest,
+            alap_fastest: std::sync::OnceLock::new(),
+            min_latency,
+            asap_peak,
+            compat_masks,
+            mask_words,
+            optimize_stats: None,
+        })
+    }
 }
 
 /// The per-graph half of the synthesis state: an owned copy of the
@@ -403,6 +560,25 @@ impl CompiledGraph {
     pub fn optimize_stats(&self) -> Option<&OptimizeStats> {
         self.optimize_stats.as_ref()
     }
+
+    /// Whether every eagerly computed compile artifact equals `other`'s
+    /// — the invariant [`Engine::recompile`] maintains against a cold
+    /// compile of the same graph. Test support; not part of the stable
+    /// API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn artifacts_equal(&self, other: &CompiledGraph) -> bool {
+        self.graph == other.graph
+            && self.seed_modules == other.seed_modules
+            && self.fastest_timing == other.fastest_timing
+            && self.min_area_timing == other.min_area_timing
+            && self.asap_fastest == other.asap_fastest
+            && self.min_latency == other.min_latency
+            && self.asap_peak.to_bits() == other.asap_peak.to_bits()
+            && self.compat_masks == other.compat_masks
+            && self.mask_words == other.mask_words
+            && self.reachability() == other.reachability()
+    }
 }
 
 /// One iteration snapshot handed to a progress hook (see
@@ -418,6 +594,30 @@ pub struct Progress {
     pub backtracks: usize,
     /// Candidate decisions rejected so far.
     pub rejected_candidates: usize,
+}
+
+/// The outcome of [`Session::resynthesize`]: the design plus which
+/// path produced it.
+#[derive(Debug, Clone)]
+pub struct Resynthesis {
+    /// The synthesized design — byte-identical to a cold synthesis of
+    /// the edited graph either way.
+    pub design: SynthesizedDesign,
+    /// Whether the incremental replay path ran (`false`: full-recompute
+    /// fallback).
+    pub incremental: bool,
+    /// The edit cone's size, as reported by the delta.
+    pub cone_size: usize,
+    /// Kernel iterations that were gated against the recorded memo
+    /// (zero on the fallback path).
+    pub gated_iterations: usize,
+    /// Gated iterations that exhausted the recorded trust bound and
+    /// re-enumerated cold before committing.
+    pub extensions: usize,
+    /// Whether the replay abandoned the memo mid-run because the edited
+    /// run's commit order diverged from the recording (the rest of the
+    /// run used the cold path, bounding cost near a full recompute).
+    pub bailed: bool,
 }
 
 /// A synthesis session: an [`Engine`] paired with one of its
@@ -479,6 +679,148 @@ impl<'e> Session<'e> {
             options,
             Some(hook),
         )
+    }
+
+    /// [`synthesize`](Session::synthesize) while recording a
+    /// [`SynthesisMemo`]: a per-iteration observation journal of the
+    /// kernel run, replayable against edited graphs via
+    /// [`resynthesize`](Session::resynthesize). The design returned is
+    /// byte-identical to the plain [`synthesize`](Session::synthesize)
+    /// call — recording only observes.
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Session::synthesize).
+    pub fn synthesize_recorded(
+        &self,
+        constraints: SynthesisConstraints,
+        options: &SynthesisOptions,
+    ) -> Result<(SynthesizedDesign, SynthesisMemo), SynthesisError> {
+        let mut memo = SynthesisMemo::empty(constraints.clone(), *options);
+        let design = synthesize_session_mode(
+            self.engine,
+            self.compiled,
+            &constraints,
+            options,
+            None,
+            KernelMode::Record(&mut memo),
+        )?;
+        Ok((design, memo))
+    }
+
+    /// [`synthesize_recorded`](Session::synthesize_recorded) with a
+    /// progress/cancel hook, for callers (like the serve tier) that
+    /// record replay seeds inside deadline-supervised requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize_with_progress`](Session::synthesize_with_progress).
+    pub fn synthesize_recorded_with_progress(
+        &self,
+        constraints: SynthesisConstraints,
+        options: &SynthesisOptions,
+        hook: &mut dyn FnMut(Progress) -> ControlFlow<()>,
+    ) -> Result<(SynthesizedDesign, SynthesisMemo), SynthesisError> {
+        let mut memo = SynthesisMemo::empty(constraints.clone(), *options);
+        let design = synthesize_session_mode(
+            self.engine,
+            self.compiled,
+            &constraints,
+            options,
+            Some(hook),
+            KernelMode::Record(&mut memo),
+        )?;
+        Ok((design, memo))
+    }
+
+    /// Re-synthesizes after a graph edit, seeding the kernel from a
+    /// recorded base run: this session must hold the **edited** compiled
+    /// graph (typically from [`Engine::recompile`]), `memo` a recording
+    /// of the **base** graph under the constraints and options that are
+    /// reused here, and `delta` the structural diff between the two.
+    ///
+    /// Small edit cones replay incrementally — quiet operations skip
+    /// candidate enumeration and trust the recorded scores, while every
+    /// attempt still executes for real — and the output is
+    /// byte-identical to a cold synthesis of the edited graph (designs,
+    /// decision traces and effort counters alike; asserted by the
+    /// differential tests). Cones above half the graph, degenerate
+    /// deltas and shape mismatches fall back to a full cold run. Use
+    /// [`resynthesize_with_limit`](Session::resynthesize_with_limit) to
+    /// tune the cutoff.
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Session::synthesize), against the edited graph.
+    pub fn resynthesize(
+        &self,
+        memo: &SynthesisMemo,
+        delta: &GraphDelta,
+    ) -> Result<Resynthesis, SynthesisError> {
+        self.resynthesize_with_limit(memo, delta, self.compiled.graph().len() / 2)
+    }
+
+    /// [`resynthesize`](Session::resynthesize) with an explicit maximum
+    /// edit-cone size for the incremental path; larger cones run the
+    /// full cold kernel (above roughly half the graph the bookkeeping
+    /// outweighs the skipped enumeration).
+    ///
+    /// # Errors
+    ///
+    /// As [`resynthesize`](Session::resynthesize).
+    pub fn resynthesize_with_limit(
+        &self,
+        memo: &SynthesisMemo,
+        delta: &GraphDelta,
+        max_cone: usize,
+    ) -> Result<Resynthesis, SynthesisError> {
+        let cone_size = delta.cone_size();
+        let incremental = !delta.degenerate()
+            && delta.base_len() == memo.n
+            && delta.edited_len() == self.compiled.graph().len()
+            && memo.lib_len == self.engine.library().len()
+            && !memo.iters.is_empty()
+            && cone_size <= max_cone;
+        let _span = pchls_obs::span!(
+            "kernel.patch",
+            "cone" => cone_size,
+            "mode" => if incremental { "incremental" } else { "full" }
+        );
+        let (design, gated_iterations, extensions, bailed) = if incremental {
+            pchls_obs::global()
+                .counter("pchls_session_incremental_hits_total")
+                .inc();
+            let mut rs = ReplayState::new(memo, delta);
+            let design = synthesize_session_mode(
+                self.engine,
+                self.compiled,
+                &memo.constraints,
+                &memo.options,
+                None,
+                KernelMode::Replay(&mut rs),
+            )?;
+            (design, rs.gated_iterations, rs.extensions, rs.bailed)
+        } else {
+            pchls_obs::global()
+                .counter("pchls_session_incremental_fallbacks_total")
+                .inc();
+            let design = synthesize_session(
+                self.engine,
+                self.compiled,
+                &memo.constraints,
+                &memo.options,
+                None,
+            )?;
+            (design, 0, 0, false)
+        };
+        Ok(Resynthesis {
+            design,
+            incremental,
+            cone_size,
+            gated_iterations,
+            extensions,
+            bailed,
+        })
     }
 
     /// The self-tightening refinement loop

@@ -63,6 +63,7 @@ mod error;
 mod explore;
 mod options;
 mod refine;
+mod replay;
 mod synthesis;
 mod topk;
 
@@ -71,8 +72,8 @@ pub use baseline::{trimmed_allocation_bind, two_step_bind, unconstrained_bind, B
 pub use constraints::SynthesisConstraints;
 pub use design::{SynthesisStats, SynthesizedDesign};
 pub use engine::{
-    CompiledGraph, Engine, Progress, Session, SweepJob, SweepResult, SweepSpec, SynthesisRequest,
-    SynthesisResult,
+    CompiledGraph, Engine, Progress, Resynthesis, Session, SweepJob, SweepResult, SweepSpec,
+    SynthesisRequest, SynthesisResult,
 };
 pub use error::SynthesisError;
 pub use explore::{
@@ -85,6 +86,7 @@ pub use options::{SynthesisOptions, SynthesisOptionsBuilder};
 pub use pchls_sched::PowerBudget;
 #[allow(deprecated)]
 pub use refine::{synthesize_portfolio, synthesize_refined};
+pub use replay::SynthesisMemo;
 #[allow(deprecated)]
 pub use synthesis::synthesize;
 pub use topk::TopK;

@@ -15,6 +15,7 @@ use crate::design::{SynthesisStats, SynthesizedDesign};
 use crate::engine::{CompiledGraph, Engine, KindCompat, Progress};
 use crate::error::SynthesisError;
 use crate::options::SynthesisOptions;
+use crate::replay::{plan_gated_iteration, ReplayState, SynthesisMemo};
 use crate::topk::TopK;
 
 /// One greedy decision over the compatibility structure, in decreasing
@@ -28,19 +29,33 @@ use crate::topk::TopK;
 /// * open a dedicated instance for one operation (fallback; negative
 ///   score so it only wins when nothing can be shared).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Decision {
-    op: NodeId,
-    module: ModuleId,
-    start: u32,
-    target: Target,
-    score: f64,
+pub(crate) struct Decision {
+    pub(crate) op: NodeId,
+    pub(crate) module: ModuleId,
+    pub(crate) start: u32,
+    pub(crate) target: Target,
+    pub(crate) score: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     Existing(InstanceId),
     Fresh,
     FreshPair { partner: NodeId, partner_start: u32 },
+}
+
+/// How one kernel run interacts with the incremental-replay machinery
+/// (see [`crate::replay`]): `Plain` runs are untouched, `Record` runs
+/// additionally journal per-iteration observation state into a
+/// [`SynthesisMemo`], and `Replay` runs consult a memo plus a graph
+/// delta to skip candidate enumeration wherever the edit provably
+/// cannot have changed it. All three modes produce byte-identical
+/// designs and effort counters for the same `(graph, constraints,
+/// options)` input.
+pub(crate) enum KernelMode<'m, 'r> {
+    Plain,
+    Record(&'r mut SynthesisMemo),
+    Replay(&'r mut ReplayState<'m>),
 }
 
 /// Synthesizes `graph` under `constraints`, minimizing functional-unit
@@ -88,7 +103,28 @@ pub(crate) fn synthesize_session(
     compiled: &CompiledGraph,
     constraints: &SynthesisConstraints,
     options: &SynthesisOptions,
+    hook: Option<&mut dyn FnMut(Progress) -> ControlFlow<()>>,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    synthesize_session_mode(
+        engine,
+        compiled,
+        constraints,
+        options,
+        hook,
+        KernelMode::Plain,
+    )
+}
+
+/// [`synthesize_session`] with an explicit [`KernelMode`] — the
+/// recording ([`crate::Session::synthesize_recorded`]) and replay
+/// ([`crate::Session::resynthesize`]) entry points land here.
+pub(crate) fn synthesize_session_mode(
+    engine: &Engine,
+    compiled: &CompiledGraph,
+    constraints: &SynthesisConstraints,
+    options: &SynthesisOptions,
     mut hook: Option<&mut dyn FnMut(Progress) -> ControlFlow<()>>,
+    mut mode: KernelMode<'_, '_>,
 ) -> Result<SynthesizedDesign, SynthesisError> {
     let graph = compiled.graph();
     let library = engine.library();
@@ -112,6 +148,16 @@ pub(crate) fn synthesize_session(
         let _span = pchls_obs::span!("kernel.bootstrap");
         bootstrap(graph, library, constraints, &budget, reach, compiled)?
     };
+    if let KernelMode::Record(memo) = &mut mode {
+        memo.begin(
+            constraints.clone(),
+            *options,
+            n,
+            library.len(),
+            est_modules.clone(),
+            reach.clone(),
+        );
+    }
 
     let mut binding = Binding::new(n);
     let mut locked = LockedStarts::none(n);
@@ -201,6 +247,29 @@ pub(crate) fn synthesize_session(
         for iid in binding.instance_ids() {
             scratch.by_module[binding.instance(iid).module().index()].push(iid);
         }
+        // Replay alignment: `Some` names the recorded iteration to gate
+        // this one against; `None` means replay fell back to the cold
+        // path for the rest of the run (or the mode never replays).
+        let gated = match &mut mode {
+            KernelMode::Replay(rs) => rs.align(&unbound),
+            _ => None,
+        };
+        if let KernelMode::Record(memo) = &mut mode {
+            // Snapshot everything the replay-side quiet test compares —
+            // taken here, after the per-iteration buffers are rebuilt
+            // and before any candidate attempt mutates state.
+            memo.begin_iteration(
+                &provisional,
+                late,
+                &locked,
+                &timing,
+                &ledger,
+                &unbound,
+                &binding,
+                &scratch.by_module,
+                constraints.latency,
+            );
+        }
         let mut ctx = Context {
             graph,
             library,
@@ -223,131 +292,264 @@ pub(crate) fn synthesize_session(
             start0: std::mem::take(&mut scratch.start0),
             avoided: std::mem::take(&mut scratch.avoided),
         };
-        {
-            let mut score_span = pchls_obs::span!("kernel.score");
-            ctx.precompute_tables(&scratch.unbound_vec, parallel);
-            scratch.candidates.clear();
-            enumerate_candidates(
-                &ctx,
-                &scratch.unbound_vec,
-                unbound.words(),
-                parallel,
-                &mut scratch.candidates,
-                &mut scratch.pairs,
-            );
-            score_span.arg("candidates", scratch.candidates.len());
-        }
-        // Hand the score tables back for the next iteration and release
-        // every `ctx` borrow before the commit loop mutates state.
-        scratch.start0 = std::mem::take(&mut ctx.start0);
-        scratch.avoided = std::mem::take(&mut ctx.avoided);
-        drop(ctx);
-        let candidates: &[Decision] = &scratch.candidates;
-        // Deterministic order: best score first, then earlier start, then
-        // smaller op id, then enumeration index — the index makes the
-        // comparison a *total* order, so the kept top-k set is unique
-        // and the bounded heap below equals a stable full sort truncated
-        // to `MAX_ATTEMPTS`. One pass, one persistent buffer: each
-        // also-ran candidate costs a single comparison against the
-        // heap's worst kept entry.
-        let cmp = |&x: &u32, &y: &u32| {
-            let (a, b) = (&candidates[x as usize], &candidates[y as usize]);
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
-                .then(a.start.cmp(&b.start))
-                .then(a.op.cmp(&b.op))
-                .then(x.cmp(&y))
-        };
-        let order: &[u32] = {
-            let _span = pchls_obs::span!("kernel.topk");
-            scratch.top.clear();
-            for i in 0..candidates.len() as u32 {
-                scratch.top.push(i, cmp);
-            }
-            scratch.top.sorted(cmp)
-        };
-
-        // Try candidates best-first; a candidate commits only if the
-        // remaining operations still admit a power-feasible schedule (the
-        // paper's feasibility check). Rejected candidates are undone and
-        // skipped; attempts are capped so a pathological iteration stays
-        // cheap.
-        let mut committed = false;
-        let mut commit_span = pchls_obs::span!("kernel.commit");
-        let mut attempts = 0u64;
-        for cand in order.iter().map(|&i| &candidates[i as usize]) {
-            attempts += 1;
-            let saved = saved_state(cand, library, &timing, &locked, &ledger);
-            apply(
-                cand,
+        if gated.is_some() {
+            let KernelMode::Replay(rs) = &mut mode else {
+                unreachable!("gated iterations only arise in replay mode")
+            };
+            let rs = &mut **rs;
+            // Gated iteration: trust the memo for every quiet operation
+            // (scores copied, not recomputed) and evaluate only the hot
+            // cone fresh. Attempts still run for real — state mutations,
+            // feasibility probes and effort counters are identical to
+            // the cold path by construction.
+            let plan = {
+                let mut patch_span = pchls_obs::span!("kernel.patch");
+                let plan =
+                    plan_gated_iteration(rs, &mut ctx, &scratch.unbound_vec, unbound.words());
+                patch_span.arg("hot", plan.hot_ops);
+                plan
+            };
+            scratch.start0 = std::mem::take(&mut ctx.start0);
+            scratch.avoided = std::mem::take(&mut ctx.avoided);
+            drop(ctx);
+            let mut commit_span = pchls_obs::span!("kernel.commit");
+            let mut attempts = 0u64;
+            let mut outcome = run_attempts(
+                plan.entries.iter(),
+                graph,
                 library,
+                constraints,
+                &budget,
+                &provisional,
                 &mut binding,
                 &mut locked,
                 &mut timing,
                 &mut ledger,
-                &saved,
+                &mut unbound,
+                &mut unbound_count,
+                &mut stats,
+                &mut dirty,
+                &mut attempts,
             );
-            // A candidate that locks its operation(s) exactly at their
-            // provisional starts with unchanged timing cannot invalidate
-            // the provisional schedule — it is feasible by construction
-            // and the expensive re-schedule is skipped.
-            let clean = is_clean(cand, &saved, &provisional);
-            let feasible = clean
-                || pasap_locked_budget(graph, &timing, &budget, constraints.latency, &locked)
-                    .is_ok();
-            if feasible {
-                unbound.remove(cand.op);
-                unbound_count -= 1;
-                stats.decisions += 1;
-                if let Target::FreshPair { partner, .. } = cand.target {
-                    unbound.remove(partner);
-                    unbound_count -= 1;
-                    stats.decisions += 1;
+            if outcome.is_none() && !plan.exhaustive {
+                // The replayed stream was truncated at the recorded
+                // trust bound without committing: re-enumerate the whole
+                // iteration cold and continue past the already-attempted
+                // prefix (every undo restored state bit-exactly, and the
+                // busy/bucket scratch rows are iteration-start snapshots
+                // the attempts never touch). Repeated extensions mean
+                // the memo no longer predicts this run — `align` bails
+                // to the cold path after a few.
+                rs.extensions += 1;
+                let mut ctx = Context {
+                    graph,
+                    library,
+                    options,
+                    reach,
+                    compiled,
+                    timing: &timing,
+                    est_modules: &est_modules,
+                    kind_modules,
+                    binding: &binding,
+                    locked: &locked,
+                    ledger: &ledger,
+                    busy: &scratch.busy,
+                    by_module: &scratch.by_module,
+                    kind_compat,
+                    provisional: &provisional,
+                    late,
+                    constraints,
+                    peak_power: constraints.max_power(),
+                    start0: std::mem::take(&mut scratch.start0),
+                    avoided: std::mem::take(&mut scratch.avoided),
+                };
+                {
+                    let mut score_span = pchls_obs::span!("kernel.score");
+                    ctx.precompute_tables(&scratch.unbound_vec, parallel);
+                    scratch.candidates.clear();
+                    enumerate_candidates(
+                        &ctx,
+                        &scratch.unbound_vec,
+                        unbound.words(),
+                        parallel,
+                        &mut scratch.candidates,
+                        &mut scratch.pairs,
+                    );
+                    score_span.arg("candidates", scratch.candidates.len());
                 }
-                if clean {
-                    stats.fast_commits += 1;
-                } else {
-                    dirty = true;
-                }
-                committed = true;
-                break;
+                scratch.start0 = std::mem::take(&mut ctx.start0);
+                scratch.avoided = std::mem::take(&mut ctx.avoided);
+                drop(ctx);
+                let candidates: &[Decision] = &scratch.candidates;
+                let cmp = |&x: &u32, &y: &u32| {
+                    let (a, b) = (&candidates[x as usize], &candidates[y as usize]);
+                    b.score
+                        .partial_cmp(&a.score)
+                        .expect("scores are finite")
+                        .then(a.start.cmp(&b.start))
+                        .then(a.op.cmp(&b.op))
+                        .then(x.cmp(&y))
+                };
+                let order: &[u32] = {
+                    let _span = pchls_obs::span!("kernel.topk");
+                    scratch.top.clear();
+                    for i in 0..candidates.len() as u32 {
+                        scratch.top.push(i, cmp);
+                    }
+                    scratch.top.sorted(cmp)
+                };
+                let skip = attempts as usize;
+                debug_assert!(
+                    plan.entries
+                        .iter()
+                        .zip(order.iter())
+                        .all(|(e, &i)| *e == candidates[i as usize]),
+                    "replayed candidate prefix diverged from the cold ranking"
+                );
+                outcome = run_attempts(
+                    order.iter().skip(skip).map(|&i| &candidates[i as usize]),
+                    graph,
+                    library,
+                    constraints,
+                    &budget,
+                    &provisional,
+                    &mut binding,
+                    &mut locked,
+                    &mut timing,
+                    &mut ledger,
+                    &mut unbound,
+                    &mut unbound_count,
+                    &mut stats,
+                    &mut dirty,
+                    &mut attempts,
+                );
             }
-            undo(
-                cand,
+            commit_span.arg("attempts", attempts);
+            drop(commit_span);
+            if outcome.is_none() {
+                backtrack_all(
+                    graph,
+                    &timing,
+                    constraints,
+                    &budget,
+                    options,
+                    &scratch.unbound_vec,
+                    &provisional,
+                    &mut locked,
+                    &mut ledger,
+                    &mut stats,
+                )?;
+                // A backtrack invalidates every later recorded
+                // iteration (recording stops at the first backtrack);
+                // finish the run on the cold path.
+                rs.full = true;
+            }
+        } else {
+            {
+                let mut score_span = pchls_obs::span!("kernel.score");
+                ctx.precompute_tables(&scratch.unbound_vec, parallel);
+                scratch.candidates.clear();
+                enumerate_candidates(
+                    &ctx,
+                    &scratch.unbound_vec,
+                    unbound.words(),
+                    parallel,
+                    &mut scratch.candidates,
+                    &mut scratch.pairs,
+                );
+                score_span.arg("candidates", scratch.candidates.len());
+            }
+            if let KernelMode::Record(memo) = &mut mode {
+                memo.record_tables(&ctx.start0, &ctx.avoided);
+            }
+            // Hand the score tables back for the next iteration and release
+            // every `ctx` borrow before the commit loop mutates state.
+            scratch.start0 = std::mem::take(&mut ctx.start0);
+            scratch.avoided = std::mem::take(&mut ctx.avoided);
+            drop(ctx);
+            let candidates: &[Decision] = &scratch.candidates;
+            // Deterministic order: best score first, then earlier start, then
+            // smaller op id, then enumeration index — the index makes the
+            // comparison a *total* order, so the kept top-k set is unique
+            // and the bounded heap below equals a stable full sort truncated
+            // to `MAX_ATTEMPTS`. One pass, one persistent buffer: each
+            // also-ran candidate costs a single comparison against the
+            // heap's worst kept entry.
+            let cmp = |&x: &u32, &y: &u32| {
+                let (a, b) = (&candidates[x as usize], &candidates[y as usize]);
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("scores are finite")
+                    .then(a.start.cmp(&b.start))
+                    .then(a.op.cmp(&b.op))
+                    .then(x.cmp(&y))
+            };
+            let order: &[u32] = {
+                let _span = pchls_obs::span!("kernel.topk");
+                scratch.top.clear();
+                for i in 0..candidates.len() as u32 {
+                    scratch.top.push(i, cmp);
+                }
+                scratch.top.sorted(cmp)
+            };
+            if let KernelMode::Record(memo) = &mut mode {
+                memo.record_top(order, candidates, &scratch.by_module, kind_modules, graph);
+            }
+
+            // Try candidates best-first; a candidate commits only if the
+            // remaining operations still admit a power-feasible schedule (the
+            // paper's feasibility check). Rejected candidates are undone and
+            // skipped; attempts are capped so a pathological iteration stays
+            // cheap.
+            let mut commit_span = pchls_obs::span!("kernel.commit");
+            let mut attempts = 0u64;
+            let committed = run_attempts(
+                order.iter().map(|&i| &candidates[i as usize]),
+                graph,
+                library,
+                constraints,
+                &budget,
+                &provisional,
                 &mut binding,
                 &mut locked,
                 &mut timing,
                 &mut ledger,
-                &saved,
+                &mut unbound,
+                &mut unbound_count,
+                &mut stats,
+                &mut dirty,
+                &mut attempts,
             );
-            stats.rejected_candidates += 1;
-        }
-        commit_span.arg("attempts", attempts);
-        drop(commit_span);
-        if !committed {
-            // Every candidate strands the remaining operations. The
-            // paper's repair: backtrack (all failed decisions are already
-            // undone) and lock every unscheduled operation to the last
-            // valid pasap schedule, then continue with binding-only
-            // decisions. Locks land exactly at provisional starts, so the
-            // provisional schedule remains valid (not dirty).
-            if !options.backtracking {
-                return Err(SynthesisError::Infeasible {
-                    cause: ScheduleError::Infeasible {
-                        node: scratch.unbound_vec[0],
-                        horizon: constraints.latency,
-                        max_power: constraints.max_power(),
-                    },
-                });
+            commit_span.arg("attempts", attempts);
+            drop(commit_span);
+            if let KernelMode::Record(memo) = &mut mode {
+                match committed {
+                    Some(d) => memo.commit_iteration(
+                        d.op,
+                        match d.target {
+                            Target::FreshPair { partner, .. } => Some(partner),
+                            _ => None,
+                        },
+                    ),
+                    // A backtracked iteration ends the usable recording:
+                    // replays go cold from here (see `ReplayState`).
+                    None => memo.abort_recording(),
+                }
             }
-            for &v in &scratch.unbound_vec {
-                locked.lock(v, provisional.start(v));
+            if committed.is_none() {
+                backtrack_all(
+                    graph,
+                    &timing,
+                    constraints,
+                    &budget,
+                    options,
+                    &scratch.unbound_vec,
+                    &provisional,
+                    &mut locked,
+                    &mut ledger,
+                    &mut stats,
+                )?;
             }
-            // Rebuild the ledger from the full locked set (the newly
-            // locked operations were not reserved incrementally).
-            ledger = locked_ledger(graph, &timing, &locked, constraints.latency, &budget)?;
-            stats.backtracks += 1;
         }
     }
 
@@ -397,6 +599,99 @@ fn is_clean(cand: &Decision, saved: &Saved, provisional: &Schedule) -> bool {
     }
 }
 
+/// Attempts candidates best-first until one commits: apply, prove
+/// feasibility (fast-path for clean commits), keep or undo — the loop
+/// body shared verbatim by the cold and gated (replay) paths, so both
+/// produce identical state mutations and effort counters.
+#[allow(clippy::too_many_arguments)]
+fn run_attempts<'d>(
+    cands: impl Iterator<Item = &'d Decision>,
+    graph: &Cdfg,
+    library: &ModuleLibrary,
+    constraints: &SynthesisConstraints,
+    budget: &pchls_sched::PowerBudget,
+    provisional: &Schedule,
+    binding: &mut Binding,
+    locked: &mut LockedStarts,
+    timing: &mut TimingMap,
+    ledger: &mut PowerLedger,
+    unbound: &mut NodeSet,
+    unbound_count: &mut usize,
+    stats: &mut SynthesisStats,
+    dirty: &mut bool,
+    attempts: &mut u64,
+) -> Option<Decision> {
+    for cand in cands {
+        *attempts += 1;
+        let saved = saved_state(cand, library, timing, locked, ledger);
+        apply(cand, library, binding, locked, timing, ledger, &saved);
+        // A candidate that locks its operation(s) exactly at their
+        // provisional starts with unchanged timing cannot invalidate
+        // the provisional schedule — it is feasible by construction
+        // and the expensive re-schedule is skipped.
+        let clean = is_clean(cand, &saved, provisional);
+        let feasible = clean
+            || pasap_locked_budget(graph, timing, budget, constraints.latency, locked).is_ok();
+        if feasible {
+            unbound.remove(cand.op);
+            *unbound_count -= 1;
+            stats.decisions += 1;
+            if let Target::FreshPair { partner, .. } = cand.target {
+                unbound.remove(partner);
+                *unbound_count -= 1;
+                stats.decisions += 1;
+            }
+            if clean {
+                stats.fast_commits += 1;
+            } else {
+                *dirty = true;
+            }
+            return Some(*cand);
+        }
+        undo(cand, binding, locked, timing, ledger, &saved);
+        stats.rejected_candidates += 1;
+    }
+    None
+}
+
+/// Every candidate stranded the remaining operations. The paper's
+/// repair: backtrack (all failed decisions are already undone) and lock
+/// every unscheduled operation to the last valid pasap schedule, then
+/// continue with binding-only decisions. Locks land exactly at
+/// provisional starts, so the provisional schedule remains valid (not
+/// dirty).
+#[allow(clippy::too_many_arguments)]
+fn backtrack_all(
+    graph: &Cdfg,
+    timing: &TimingMap,
+    constraints: &SynthesisConstraints,
+    budget: &pchls_sched::PowerBudget,
+    options: &SynthesisOptions,
+    unbound_vec: &[NodeId],
+    provisional: &Schedule,
+    locked: &mut LockedStarts,
+    ledger: &mut PowerLedger,
+    stats: &mut SynthesisStats,
+) -> Result<(), SynthesisError> {
+    if !options.backtracking {
+        return Err(SynthesisError::Infeasible {
+            cause: ScheduleError::Infeasible {
+                node: unbound_vec[0],
+                horizon: constraints.latency,
+                max_power: constraints.max_power(),
+            },
+        });
+    }
+    for &v in unbound_vec {
+        locked.lock(v, provisional.start(v));
+    }
+    // Rebuild the ledger from the full locked set (the newly locked
+    // operations were not reserved incrementally).
+    *ledger = locked_ledger(graph, timing, locked, constraints.latency, budget)?;
+    stats.backtracks += 1;
+    Ok(())
+}
+
 /// Minimum unbound-op count at which one scoring iteration fans out
 /// across the worker pool: below this the per-iteration thread spawn
 /// costs more than the (identical) serial pass.
@@ -404,47 +699,47 @@ const PAR_MIN_OPS: usize = 24;
 
 /// Candidate attempts per iteration: commits are tried best-first and a
 /// pathological iteration must stay cheap.
-const MAX_ATTEMPTS: usize = 64;
+pub(crate) const MAX_ATTEMPTS: usize = 64;
 
 /// Read-only state shared by the candidate enumeration helpers, plus
 /// per-iteration score tables (every tabulated quantity depends only on
 /// state that is fixed for the whole enumeration pass, so the tables are
 /// filled up-front — in parallel on wide iterations — and the scoring
 /// context stays `Sync` for the fan-out).
-struct Context<'a> {
-    graph: &'a Cdfg,
-    library: &'a ModuleLibrary,
-    options: &'a SynthesisOptions,
-    reach: &'a Reachability,
+pub(crate) struct Context<'a> {
+    pub(crate) graph: &'a Cdfg,
+    pub(crate) library: &'a ModuleLibrary,
+    pub(crate) options: &'a SynthesisOptions,
+    pub(crate) reach: &'a Reachability,
     /// Source of the compiled kind-compat node masks (see
     /// [`Context::compat_row`]).
-    compiled: &'a CompiledGraph,
-    timing: &'a TimingMap,
-    est_modules: &'a [ModuleId],
+    pub(crate) compiled: &'a CompiledGraph,
+    pub(crate) timing: &'a TimingMap,
+    pub(crate) est_modules: &'a [ModuleId],
     /// Per-kind module candidate lists, indexed by [`OpKind::index`].
-    kind_modules: &'a [Vec<ModuleId>],
-    binding: &'a Binding,
-    locked: &'a LockedStarts,
-    ledger: &'a PowerLedger,
-    busy: &'a [Vec<(u32, u32)>],
+    pub(crate) kind_modules: &'a [Vec<ModuleId>],
+    pub(crate) binding: &'a Binding,
+    pub(crate) locked: &'a LockedStarts,
+    pub(crate) ledger: &'a PowerLedger,
+    pub(crate) busy: &'a [Vec<(u32, u32)>],
     /// Open instances per library module, ascending instance id.
-    by_module: &'a [Vec<InstanceId>],
+    pub(crate) by_module: &'a [Vec<InstanceId>],
     /// `kind_compat[a][b]`: some module implements both kinds.
-    kind_compat: &'a KindCompat,
-    provisional: &'a Schedule,
-    late: &'a Schedule,
-    constraints: &'a SynthesisConstraints,
+    pub(crate) kind_compat: &'a KindCompat,
+    pub(crate) provisional: &'a Schedule,
+    pub(crate) late: &'a Schedule,
+    pub(crate) constraints: &'a SynthesisConstraints,
     /// Cached `constraints.max_power()` — the peak per-cycle bound any
     /// cycle can see (the bound itself for scalar constraints).
-    peak_power: f64,
+    pub(crate) peak_power: f64,
     /// Tabulated `candidate_start(op, m, 0)`, flattened as
     /// `op.index() * library.len() + m.index()`; filled for every unbound
     /// op over its kind's candidate modules (the only entries scoring
     /// reads). The pair-merge loop queries these O(n²·modules) times for
     /// only O(n·modules) distinct answers.
-    start0: Vec<Option<u32>>,
+    pub(crate) start0: Vec<Option<u32>>,
     /// Tabulated [`Context::avoided_area`] per unbound operation.
-    avoided: Vec<f64>,
+    pub(crate) avoided: Vec<f64>,
 }
 
 /// The per-cycle power already reserved by locked operations.
@@ -604,7 +899,7 @@ impl Context<'_> {
     }
 
     /// The candidate modules of `op`'s kind.
-    fn kind_list(&self, op: NodeId) -> &[ModuleId] {
+    pub(crate) fn kind_list(&self, op: NodeId) -> &[ModuleId] {
         &self.kind_modules[self.graph.node(op).kind().index()]
     }
 
@@ -612,19 +907,19 @@ impl Context<'_> {
     /// module implements both `op`'s kind and node `j`'s kind. ANDed
     /// against the unbound bitset this yields exactly the partners
     /// `pair_decisions` would not reject on kind grounds.
-    fn compat_row(&self, op: NodeId) -> &[u64] {
+    pub(crate) fn compat_row(&self, op: NodeId) -> &[u64] {
         self.compiled.compat_row(self.graph.node(op).kind())
     }
 
     /// Tabulated avoided area of `op` (unbound ops only).
-    fn avoided_area(&self, op: NodeId) -> f64 {
+    pub(crate) fn avoided_area(&self, op: NodeId) -> f64 {
         self.avoided[op.index()]
     }
 
     /// Tabulated `candidate_start(op, m, 0)` — the form every scoring
     /// path asks for repeatedly. Valid for unbound `op` and any `m`
     /// implementing its kind.
-    fn candidate_start0(&self, op: NodeId, m: ModuleId) -> Option<u32> {
+    pub(crate) fn candidate_start0(&self, op: NodeId, m: ModuleId) -> Option<u32> {
         self.start0[op.index() * self.library.len() + m.index()]
     }
 
@@ -633,7 +928,7 @@ impl Context<'_> {
     /// palap-estimated deadline (softened so the provisional slot always
     /// qualifies), locked direct successors, and — for locked ops — the
     /// fixed slot and timing.
-    fn candidate_start(&self, op: NodeId, m: ModuleId, not_before: u32) -> Option<u32> {
+    pub(crate) fn candidate_start(&self, op: NodeId, m: ModuleId, not_before: u32) -> Option<u32> {
         let spec = self.library.module(m);
         if let Some(s) = self.locked.get(op) {
             let cur = self.timing.of(op);
@@ -674,7 +969,7 @@ impl Context<'_> {
     }
 
     /// Interconnect bonus: shared operand producers / result consumers.
-    fn interconnect(&self, u: NodeId, others: &[NodeId]) -> f64 {
+    pub(crate) fn interconnect(&self, u: NodeId, others: &[NodeId]) -> f64 {
         if !self.options.interconnect_scoring {
             return 0.0;
         }
@@ -698,7 +993,7 @@ impl Context<'_> {
 
     /// Modules allowed for `op` under the ablation switches (borrowed —
     /// no per-query allocation).
-    fn modules_for(&self, op: NodeId) -> &[ModuleId] {
+    pub(crate) fn modules_for(&self, op: NodeId) -> &[ModuleId] {
         if self.options.module_selection {
             self.kind_list(op)
         } else {
@@ -777,45 +1072,61 @@ fn enumerate_candidates(
 /// dedicated-instance fallback, in the serial enumeration order.
 fn single_decisions(ctx: &Context<'_>, u: NodeId, out: &mut Vec<Decision>) {
     for &m in ctx.modules_for(u) {
-        let spec = ctx.library.module(m);
-        let area = f64::from(spec.area());
         // (1) Merge onto an existing instance: earliest start at which
         // the instance is free and power fits. Starting later than the
         // op's free earliest start consumes schedule slack and is
         // penalized (see `CostWeights::displacement`).
-        let free_start = ctx.candidate_start0(u, m);
         for &iid in &ctx.by_module[m.index()] {
-            let inst = ctx.binding.instance(iid);
-            if let Some(s) = earliest_instance_fit(ctx, u, m, iid) {
-                let displaced = f64::from(s - free_start.expect("fit implies a free start"));
-                // The +1 bonus breaks ties against pair merges: growing
-                // an existing clique saves one unit per *one* operation
-                // consumed, a pair saves one unit per two — without the
-                // bonus the greedy fragments large op classes into
-                // many two-op instances.
-                out.push(Decision {
-                    op: u,
-                    module: m,
-                    start: s,
-                    target: Target::Existing(iid),
-                    score: ctx.options.weights.area * ctx.avoided_area(u)
-                        + ctx.interconnect(u, inst.ops())
-                        - ctx.options.weights.displacement * displaced
-                        + 1.0,
-                });
+            if let Some(d) = existing_decision(ctx, u, m, iid) {
+                out.push(d);
             }
         }
         // (3) Dedicated instance (fallback).
-        if let Some(s) = ctx.candidate_start0(u, m) {
-            out.push(Decision {
-                op: u,
-                module: m,
-                start: s,
-                target: Target::Fresh,
-                score: -ctx.options.weights.area * area,
-            });
+        if let Some(d) = fresh_decision(ctx, u, m) {
+            out.push(d);
         }
     }
+}
+
+/// The decision merging unbound `u` onto existing instance `iid` of
+/// module `m`, if it fits.
+pub(crate) fn existing_decision(
+    ctx: &Context<'_>,
+    u: NodeId,
+    m: ModuleId,
+    iid: InstanceId,
+) -> Option<Decision> {
+    let s = earliest_instance_fit(ctx, u, m, iid)?;
+    let free_start = ctx.candidate_start0(u, m);
+    let displaced = f64::from(s - free_start.expect("fit implies a free start"));
+    let inst = ctx.binding.instance(iid);
+    // The +1 bonus breaks ties against pair merges: growing an existing
+    // clique saves one unit per *one* operation consumed, a pair saves
+    // one unit per two — without the bonus the greedy fragments large
+    // op classes into many two-op instances.
+    Some(Decision {
+        op: u,
+        module: m,
+        start: s,
+        target: Target::Existing(iid),
+        score: ctx.options.weights.area * ctx.avoided_area(u) + ctx.interconnect(u, inst.ops())
+            - ctx.options.weights.displacement * displaced
+            + 1.0,
+    })
+}
+
+/// The decision opening a dedicated instance of module `m` for `u`, if
+/// a power-feasible start exists.
+pub(crate) fn fresh_decision(ctx: &Context<'_>, u: NodeId, m: ModuleId) -> Option<Decision> {
+    let s = ctx.candidate_start0(u, m)?;
+    let area = f64::from(ctx.library.module(m).area());
+    Some(Decision {
+        op: u,
+        module: m,
+        start: s,
+        target: Target::Fresh,
+        score: -ctx.options.weights.area * area,
+    })
 }
 
 /// Appends the pair-merge decisions for one unordered pair of unbound
@@ -834,39 +1145,47 @@ fn pair_decisions(ctx: &Context<'_>, u: NodeId, v: NodeId, out: &mut Vec<Decisio
         (u, v)
     };
     for &m in ctx.modules_for(first) {
-        let spec = ctx.library.module(m);
-        if !spec.implements(ctx.graph.node(second).kind()) {
-            continue;
+        if let Some(d) = pair_decision(ctx, first, second, m) {
+            out.push(d);
         }
-        let gain = ctx.avoided_area(first) + ctx.avoided_area(second) - f64::from(spec.area());
-        if gain <= 0.0 {
-            continue; // two dedicated cheapest units are no worse
-        }
-        let Some(s1) = ctx.candidate_start0(first, m) else {
-            continue;
-        };
-        let Some(s2_free) = ctx.candidate_start0(second, m) else {
-            continue;
-        };
-        let Some(s2) = ctx.candidate_start(second, m, s1 + spec.latency()) else {
-            continue;
-        };
-        // Dependence-ordered pairs serialize for free (s2 at its
-        // natural slot); concurrent siblings pay for the slack
-        // their serialization consumes.
-        let displaced = f64::from(s2 - s2_free);
-        out.push(Decision {
-            op: first,
-            module: m,
-            start: s1,
-            target: Target::FreshPair {
-                partner: second,
-                partner_start: s2,
-            },
-            score: ctx.options.weights.area * gain + ctx.interconnect(first, &[second])
-                - ctx.options.weights.displacement * displaced,
-        });
     }
+}
+
+/// The decision opening one shared instance of module `m` for the
+/// dependence-ordered pair `(first, second)`, if the merge is
+/// profitable and feasible.
+pub(crate) fn pair_decision(
+    ctx: &Context<'_>,
+    first: NodeId,
+    second: NodeId,
+    m: ModuleId,
+) -> Option<Decision> {
+    let spec = ctx.library.module(m);
+    if !spec.implements(ctx.graph.node(second).kind()) {
+        return None;
+    }
+    let gain = ctx.avoided_area(first) + ctx.avoided_area(second) - f64::from(spec.area());
+    if gain <= 0.0 {
+        return None; // two dedicated cheapest units are no worse
+    }
+    let s1 = ctx.candidate_start0(first, m)?;
+    let s2_free = ctx.candidate_start0(second, m)?;
+    let s2 = ctx.candidate_start(second, m, s1 + spec.latency())?;
+    // Dependence-ordered pairs serialize for free (s2 at its natural
+    // slot); concurrent siblings pay for the slack their serialization
+    // consumes.
+    let displaced = f64::from(s2 - s2_free);
+    Some(Decision {
+        op: first,
+        module: m,
+        start: s1,
+        target: Target::FreshPair {
+            partner: second,
+            partner_start: s2,
+        },
+        score: ctx.options.weights.area * gain + ctx.interconnect(first, &[second])
+            - ctx.options.weights.displacement * displaced,
+    })
 }
 
 /// Earliest start at which `u` can execute on instance `iid` of module

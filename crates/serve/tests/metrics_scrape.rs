@@ -133,6 +133,22 @@ fn metrics_op_scrapes_counters_lanes_and_tiers() {
         Some("pchls_result_tier_hits_total 1")
     );
 
+    // The near-miss patcher's series ride the per-service registry:
+    // no request here was a sibling edit, so both count zero, and the
+    // two cold runs each left a replay seed behind.
+    assert_eq!(
+        sample(&text, "pchls_requests_patched_total"),
+        Some("pchls_requests_patched_total 0")
+    );
+    assert_eq!(
+        sample(&text, "pchls_patch_fallbacks_total"),
+        Some("pchls_patch_fallbacks_total 0")
+    );
+    assert_eq!(
+        sample(&text, "pchls_replay_seed_entries"),
+        Some("pchls_replay_seed_entries 2")
+    );
+
     // Latency histograms render as summaries, per lane: the repeat ran
     // on the hit lane, the two cold points on the synth lane.
     assert!(
